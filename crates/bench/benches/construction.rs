@@ -1,0 +1,50 @@
+//! Construction-time benches (Tables 4 and 7 in miniature).
+//!
+//! One representative analogue per dataset family, all twelve methods.
+//! The `paper` binary regenerates the full tables; this bench tracks
+//! regressions on the hot construction paths with Criterion rigor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use hoplite_bench::runner::{build_method, MethodId, RunConfig};
+use hoplite_bench::small_datasets;
+
+fn bench_construction(c: &mut Criterion) {
+    let cfg = RunConfig {
+        budget_bytes: 1 << 28,
+        time_budget: Duration::from_secs(20),
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    // kegg: tree-like metabolic; arxiv: dense citation; p2p: random.
+    for name in ["kegg", "arxiv", "p2p"] {
+        let spec = small_datasets()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("known dataset");
+        // Scaled down so the slow baselines (2HOP) stay benchable.
+        let dag = spec.generate(0.12);
+        for mid in MethodId::paper_columns() {
+            group.bench_with_input(
+                BenchmarkId::new(mid.name(), name),
+                &dag,
+                |b, dag| {
+                    b.iter(|| {
+                        let o = build_method(mid, dag, &cfg);
+                        // Budget failures are valid outcomes for the
+                        // heavyweight baselines on the dense analogue.
+                        std::hint::black_box(o.build_ms)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench for the dynamic-overlay extension (paper §7 future work,
+//! `hoplite_core::dynamic`).
+//!
+//! Measures a mixed insert+query stream at different rebuild
+//! thresholds: a tiny threshold rebuilds constantly (paying DL's
+//! construction over and over), a huge one degrades query time (the
+//! Δ-overlay BFS grows). The sweet spot in between is the point of the
+//! design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_core::dynamic::DynamicOracle;
+use hoplite_core::DlConfig;
+use hoplite_graph::gen::{self, Rng};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let base = gen::tree_plus_dag(5_000, 1_000, 3);
+    let n = base.num_vertices();
+    const OPS: usize = 2_000; // 5% insertions, 95% queries
+
+    let mut group = c.benchmark_group("dynamic_mixed_stream");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(OPS as u64));
+    for threshold in [8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let mut oracle =
+                        DynamicOracle::with_config(base.clone(), DlConfig::default(), threshold);
+                    let mut rng = Rng::new(7);
+                    let mut acc = 0usize;
+                    for i in 0..OPS {
+                        let u = rng.gen_index(n) as u32;
+                        let v = rng.gen_index(n) as u32;
+                        if i % 20 == 0 {
+                            let _ = oracle.insert_edge(u, v);
+                        } else {
+                            acc += oracle.query(u, v) as usize;
+                        }
+                    }
+                    std::hint::black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

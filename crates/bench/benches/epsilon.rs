@@ -1,0 +1,80 @@
+//! Ablation: backbone locality ε and core-graph stop size (§4).
+//!
+//! The paper fixes ε = 2 for HL ("when ε = 2, the backbone can already
+//! be significantly reduced") and stops decomposition at a small core.
+//! This bench sweeps ε ∈ {1, 2, 3} (ε = 1 ≈ TF-label's folding) and
+//! the core-size limit, measuring construction and query time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::equal_workload;
+use hoplite_core::{HierarchicalLabeling, HlConfig, ReachIndex};
+
+fn bench_epsilon(c: &mut Criterion) {
+    let dag = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "agrocyc")
+        .expect("known dataset")
+        .generate(0.5);
+    let load = equal_workload(&dag, 5_000, 5);
+
+    let mut group = c.benchmark_group("hl_epsilon/build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for eps in [1u32, 2, 3] {
+        let cfg = HlConfig {
+            eps,
+            ..HlConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(HierarchicalLabeling::build(&dag, cfg)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hl_epsilon/query");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(load.len() as u64));
+    for eps in [1u32, 2, 3] {
+        let cfg = HlConfig {
+            eps,
+            ..HlConfig::default()
+        };
+        let hl = HierarchicalLabeling::build(&dag, &cfg);
+        eprintln!(
+            "# hl eps={eps}: levels {:?}, label entries {}",
+            hl.level_sizes(),
+            hl.labeling().total_entries()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &load, |b, load| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &load.pairs {
+                    hits += hl.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hl_core_limit/build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for limit in [64usize, 512, 4096] {
+        let cfg = HlConfig {
+            core_size_limit: limit,
+            ..HlConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(HierarchicalLabeling::build(&dag, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon);
+criterion_main!(benches);

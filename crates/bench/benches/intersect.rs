@@ -1,0 +1,84 @@
+//! Label-intersection kernel ablation: plain merge vs the adaptive
+//! galloping variant.
+//!
+//! The paper's §1 observation — sorted vectors close the query-time gap
+//! hash-set labels created — makes the intersection kernel *the* query
+//! path. This bench answers the follow-on design question: when do we
+//! want galloping? On the near-equal list lengths real hop labels have
+//! (measured on the DL labels of a dataset analogue), the merge wins;
+//! galloping only pays on pathologically skewed pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use hoplite_core::label::{sorted_intersect, sorted_intersect_adaptive};
+use hoplite_core::{DistributionLabeling, DlConfig};
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::random_workload;
+use hoplite_graph::gen::Rng;
+
+fn bench_real_labels(c: &mut Criterion) {
+    let spec = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "arxiv")
+        .expect("known dataset");
+    let dag = spec.generate(0.5);
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    let labeling = dl.labeling();
+    let load = random_workload(&dag, 50_000, 3);
+
+    let mut group = c.benchmark_group("intersect/real_labels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &load.pairs {
+                hits += sorted_intersect(labeling.out_label(u), labeling.in_label(v)) as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &load.pairs {
+                hits += sorted_intersect_adaptive(labeling.out_label(u), labeling.in_label(v))
+                    as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_skewed_lists(c: &mut Criterion) {
+    // Synthetic skew: one 8-element list against increasingly long
+    // lists — the regime galloping is built for.
+    let mut rng = Rng::new(1234);
+    let small: Vec<u32> = {
+        let mut v: Vec<u32> = (0..8).map(|_| rng.gen_range(1 << 20) as u32).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut group = c.benchmark_group("intersect/skewed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for log_len in [8u32, 12, 16] {
+        let len = 1usize << log_len;
+        let mut large: Vec<u32> = (0..len).map(|_| rng.gen_range(1 << 20) as u32).collect();
+        large.sort_unstable();
+        large.dedup();
+        group.bench_with_input(BenchmarkId::new("merge", len), &large, |b, large| {
+            b.iter(|| std::hint::black_box(sorted_intersect(&small, large)))
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", len), &large, |b, large| {
+            b.iter(|| std::hint::black_box(sorted_intersect_adaptive(&small, large)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_labels, bench_skewed_lists);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: label representation (§1 of the paper).
+//!
+//! The paper attributes earlier reports of slow hop-labeling queries to
+//! implementing `L_out`/`L_in` as *sets*: "employing a sorted
+//! vector/array instead of a set can significantly eliminate the query
+//! performance gap". This bench measures the same 10 000-query workload
+//! against three intersection back-ends over identical DL labels:
+//!
+//! * sorted-`Vec` merge walk (what `hoplite` ships),
+//! * `HashSet` membership probing (the historical implementation),
+//! * per-query binary search of the smaller list into the larger.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashSet;
+use std::time::Duration;
+
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::equal_workload;
+use hoplite_core::{sorted_intersect, DistributionLabeling, DlConfig};
+
+fn bench_label_repr(c: &mut Criterion) {
+    let dag = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "arxiv")
+        .expect("known dataset")
+        .generate(0.25);
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    let labeling = dl.labeling();
+    let load = equal_workload(&dag, 10_000, 3);
+    let n = dag.num_vertices() as u32;
+
+    // Hash-set mirror of the same labels.
+    let out_sets: Vec<HashSet<u32>> = (0..n)
+        .map(|v| labeling.out_label(v).iter().copied().collect())
+        .collect();
+    let in_sets: Vec<HashSet<u32>> = (0..n)
+        .map(|v| labeling.in_label(v).iter().copied().collect())
+        .collect();
+
+    let mut group = c.benchmark_group("label_repr");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(load.len() as u64));
+
+    group.bench_function("sorted_vec_merge", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &load.pairs {
+                hits += (u == v || sorted_intersect(labeling.out_label(u), labeling.in_label(v)))
+                    as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.bench_function("hash_set_probe", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &load.pairs {
+                let (a, bset) = (&out_sets[u as usize], &in_sets[v as usize]);
+                let (small, big) = if a.len() <= bset.len() {
+                    (a, bset)
+                } else {
+                    (bset, a)
+                };
+                hits += (u == v || small.iter().any(|h| big.contains(h))) as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &load.pairs {
+                let (a, bl) = (labeling.out_label(u), labeling.in_label(v));
+                let (small, big) = if a.len() <= bl.len() { (a, bl) } else { (bl, a) };
+                hits += (u == v || small.iter().any(|h| big.binary_search(h).is_ok())) as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_repr);
+criterion_main!(benches);

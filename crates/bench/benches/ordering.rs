@@ -1,0 +1,72 @@
+//! Ablation: Distribution-Labeling vertex order (§5.2).
+//!
+//! The paper selects the degree product `(|N_out|+1)·(|N_in|+1)` as the
+//! rank function. This bench compares construction time and query time
+//! (which tracks label size) across the alternative orders; the
+//! degree-product order should win or tie both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::equal_workload;
+use hoplite_core::{DistributionLabeling, DlConfig, OrderKind, ReachIndex};
+
+fn orders() -> [(&'static str, OrderKind); 5] {
+    [
+        ("deg-product", OrderKind::DegProduct),
+        ("deg-sum", OrderKind::DegSum),
+        ("random", OrderKind::Random(42)),
+        ("topological", OrderKind::Topological),
+        // §5.2's exact covering-power order (needs the TC; only viable
+        // at bench scale — which is the paper's point).
+        ("cov-size", OrderKind::CoverSize),
+    ]
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let dag = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "arxiv")
+        .expect("known dataset")
+        .generate(0.15);
+    let load = equal_workload(&dag, 5_000, 7);
+
+    let mut group = c.benchmark_group("dl_order/build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, order) in orders() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
+            b.iter(|| {
+                std::hint::black_box(DistributionLabeling::build(&dag, &DlConfig { order }))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dl_order/query");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(load.len() as u64));
+    for (name, order) in orders() {
+        let dl = DistributionLabeling::build(&dag, &DlConfig { order });
+        // Surface the label-size consequence of the order choice.
+        eprintln!(
+            "# dl_order {name}: total label entries = {}",
+            dl.labeling().total_entries()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &load, |b, load| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &load.pairs {
+                    hits += dl.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

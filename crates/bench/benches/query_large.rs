@@ -1,0 +1,67 @@
+//! Query-time benches on a large-graph analogue (Tables 5 and 6 in
+//! miniature). Only the methods that scale are included — the same set
+//! the paper reports on large graphs (the oracles, GRAIL, PW8, INT,
+//! PL, TF), plus the SCARAB variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_bench::runner::{build_method, MethodId, RunConfig};
+use hoplite_bench::large_datasets;
+use hoplite_bench::workload::{equal_workload, random_workload};
+
+fn bench_queries_large(c: &mut Criterion) {
+    let cfg = RunConfig {
+        budget_bytes: 1 << 30,
+        ..RunConfig::default()
+    };
+    let spec = large_datasets()
+        .into_iter()
+        .find(|s| s.name == "citeseer")
+        .expect("known dataset");
+    let dag = spec.generate(0.1); // ~70k vertices
+    let n_queries = 10_000usize;
+    let equal = equal_workload(&dag, n_queries, 1);
+    let random = random_workload(&dag, n_queries, 2);
+
+    let scalable = [
+        MethodId::Grail,
+        MethodId::GrailStar,
+        MethodId::Pwah8,
+        MethodId::Interval,
+        MethodId::PrunedLandmark,
+        MethodId::TfLabel,
+        MethodId::Hl,
+        MethodId::Dl,
+    ];
+
+    for (load_name, load) in [("equal", &equal), ("random", &random)] {
+        let mut group = c.benchmark_group(format!("query_large/{load_name}"));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(load.len() as u64));
+        for mid in scalable {
+            let built = build_method(mid, &dag, &cfg);
+            let Some(idx) = built.index else {
+                continue;
+            };
+            group.bench_with_input(
+                BenchmarkId::new(mid.name(), "citeseer@0.1"),
+                load,
+                |b, load| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for &(u, v) in &load.pairs {
+                            hits += idx.query(u, v) as usize;
+                        }
+                        std::hint::black_box(hits)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries_large);
+criterion_main!(benches);

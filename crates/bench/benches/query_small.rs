@@ -1,0 +1,51 @@
+//! Query-time benches on small-graph analogues (Tables 2 and 3 in
+//! miniature): every method, equal and random loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_bench::runner::{build_method, MethodId, RunConfig};
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::{equal_workload, random_workload};
+
+fn bench_queries_small(c: &mut Criterion) {
+    let cfg = RunConfig::default();
+    let spec = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "agrocyc")
+        .expect("known dataset");
+    let dag = spec.generate(0.5);
+    let n_queries = 10_000usize;
+    let equal = equal_workload(&dag, n_queries, 1);
+    let random = random_workload(&dag, n_queries, 2);
+
+    for (load_name, load) in [("equal", &equal), ("random", &random)] {
+        let mut group = c.benchmark_group(format!("query_small/{load_name}"));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(load.len() as u64));
+        for mid in MethodId::paper_columns() {
+            let built = build_method(mid, &dag, &cfg);
+            let Some(idx) = built.index else {
+                continue; // budget-failed methods have no query time
+            };
+            group.bench_with_input(
+                BenchmarkId::new(mid.name(), "agrocyc@0.5"),
+                load,
+                |b, load| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for &(u, v) in &load.pairs {
+                            hits += idx.query(u, v) as usize;
+                        }
+                        std::hint::black_box(hits)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries_small);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Multi-core query throughput of a frozen Distribution-Labeling
+//! oracle (`hoplite_core::parallel`).
+//!
+//! Not a paper table — the 2013 evaluation is single-threaded — but the
+//! serving scenario its introduction motivates: a built oracle is
+//! immutable, so query throughput should scale with reader threads.
+//! This bench pins the oracle + workload and sweeps the thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_core::parallel::par_count_reachable;
+use hoplite_core::{DistributionLabeling, DlConfig};
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::equal_workload;
+
+fn bench_parallel_throughput(c: &mut Criterion) {
+    let spec = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "arxiv")
+        .expect("known dataset");
+    let dag = spec.generate(0.5);
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    let load = equal_workload(&dag, 100_000, 7);
+
+    let mut group = c.benchmark_group("throughput/equal");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(load.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("DL", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::hint::black_box(par_count_reachable(
+                        dl.labeling(),
+                        &load.pairs,
+                        threads,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_throughput);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: query-load mix (§6.2, observation 3).
+//!
+//! "The reachability oracle approaches are slightly slower on the
+//! random query load than on the equal query load … to determine
+//! vertex u cannot reach vertex v, the query processing has to
+//! completely scan L_out(u) and L_in(v)." Sweeping the positive-query
+//! ratio from 0 % to 100 % makes that effect directly visible for DL
+//! and contrasts it with GRAIL (where *positive* queries are the
+//! expensive ones, needing a DFS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_bench::small_datasets;
+use hoplite_bench::workload::mixed_workload;
+use hoplite_baselines::Grail;
+use hoplite_core::{DistributionLabeling, DlConfig, ReachIndex};
+
+fn bench_workload_mix(c: &mut Criterion) {
+    let dag = small_datasets()
+        .into_iter()
+        .find(|s| s.name == "arxiv")
+        .expect("known dataset")
+        .generate(0.2);
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    let grail = Grail::build(&dag, 5, 11);
+
+    let mut group = c.benchmark_group("workload_mix");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    for pct in [0u32, 25, 50, 75, 100] {
+        let load = mixed_workload(&dag, 5_000, pct as f64 / 100.0, 13);
+        group.throughput(Throughput::Elements(load.len() as u64));
+        group.bench_with_input(BenchmarkId::new("DL", pct), &load, |b, load| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &load.pairs {
+                    hits += dl.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GRAIL", pct), &load, |b, load| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &load.pairs {
+                    hits += grail.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_mix);
+criterion_main!(benches);

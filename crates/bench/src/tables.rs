@@ -1,0 +1,167 @@
+//! Plain-text table rendering shaped like the paper's Tables 1–7 and
+//! the per-dataset index-size series of Figures 3–4.
+
+use crate::runner::{MethodResult, SuiteResult};
+
+/// Renders a titled table. `cells[r][c]` pairs with `row_names[r]` and
+/// `col_headers[c]`.
+pub fn render(
+    title: &str,
+    row_label: &str,
+    col_headers: &[String],
+    row_names: &[String],
+    cells: &[Vec<String>],
+) -> String {
+    assert_eq!(row_names.len(), cells.len());
+    // Widths in characters, not bytes: "—" is 3 bytes but 1 column.
+    let chars = |s: &String| s.chars().count();
+    let mut widths: Vec<usize> = Vec::with_capacity(col_headers.len() + 1);
+    widths.push(
+        row_names
+            .iter()
+            .map(chars)
+            .chain([row_label.chars().count()])
+            .max()
+            .unwrap_or(0),
+    );
+    for (c, h) in col_headers.iter().enumerate() {
+        let w = cells
+            .iter()
+            .map(|row| chars(&row[c]))
+            .chain([chars(h)])
+            .max()
+            .unwrap_or(0);
+        widths.push(w);
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    out.push_str(&format!("{:<w$}", row_label, w = widths[0]));
+    for (h, w) in col_headers.iter().zip(&widths[1..]) {
+        out.push_str(&format!("  {:>w$}", h, w = w));
+    }
+    out.push('\n');
+    for (name, row) in row_names.iter().zip(cells) {
+        out.push_str(&format!("{:<w$}", name, w = widths[0]));
+        for (cell, w) in row.iter().zip(&widths[1..]) {
+            out.push_str(&format!("  {:>w$}", cell, w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Milliseconds with one decimal, or "—" on failure.
+pub fn fmt_ms(r: &MethodResult, value: f64) -> String {
+    match &r.error {
+        Some(e) if e == "WRONG" => "WRONG".into(),
+        Some(_) => "—".into(),
+        None => format!("{value:.1}"),
+    }
+}
+
+/// Integer count in thousands (the unit of Figures 3–4), or "—".
+pub fn fmt_kints(r: &MethodResult) -> String {
+    match &r.error {
+        Some(e) if e == "WRONG" => "WRONG".into(),
+        Some(_) => "—".into(),
+        None => format!("{:.1}", r.size_integers as f64 / 1e3),
+    }
+}
+
+/// Projection selecting which measurement a table shows.
+#[derive(Copy, Clone, Debug)]
+pub enum Projection {
+    /// Equal-load query time (Tables 2 and 5).
+    EqualQuery,
+    /// Random-load query time (Tables 3 and 6).
+    RandomQuery,
+    /// Construction time (Tables 4 and 7).
+    Construction,
+    /// Index size in 1000s of integers (Figures 3 and 4).
+    IndexSize,
+}
+
+/// Renders one paper table/figure from a measured suite.
+pub fn render_suite(title: &str, suite: &SuiteResult, proj: Projection) -> String {
+    let headers: Vec<String> = suite.methods.iter().map(|m| m.name().to_string()).collect();
+    let rows: Vec<String> = suite
+        .datasets
+        .iter()
+        .map(|d| d.spec.name.to_string())
+        .collect();
+    let cells: Vec<Vec<String>> = suite
+        .datasets
+        .iter()
+        .map(|d| {
+            d.methods
+                .iter()
+                .map(|m| match proj {
+                    Projection::EqualQuery => fmt_ms(m, m.equal_ms),
+                    Projection::RandomQuery => fmt_ms(m, m.random_ms),
+                    Projection::Construction => fmt_ms(m, m.build_ms),
+                    Projection::IndexSize => fmt_kints(m),
+                })
+                .collect()
+        })
+        .collect();
+    render(title, "Dataset", &headers, &rows, &cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(
+            "T",
+            "DS",
+            &["A".into(), "LONGHEAD".into()],
+            &["row1".into(), "longer-row".into()],
+            &[
+                vec!["1.0".into(), "2.0".into()],
+                vec!["10.5".into(), "—".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[2].contains("LONGHEAD"));
+        assert!(lines[3].starts_with("row1"));
+        assert!(lines[4].starts_with("longer-row"));
+        // Header and data lines align to equal display width
+        // (character count — cells may contain multi-byte "—").
+        assert_eq!(lines[2].chars().count(), lines[4].chars().count());
+        assert_eq!(lines[3].chars().count(), lines[4].chars().count());
+    }
+
+    #[test]
+    fn formatting_of_failures() {
+        let fail = MethodResult {
+            build_ms: 1.0,
+            size_integers: 0,
+            equal_ms: f64::NAN,
+            random_ms: f64::NAN,
+            error: Some("budget".into()),
+        };
+        assert_eq!(fmt_ms(&fail, fail.equal_ms), "—");
+        assert_eq!(fmt_kints(&fail), "—");
+        let wrong = MethodResult {
+            error: Some("WRONG".into()),
+            ..fail
+        };
+        assert_eq!(fmt_ms(&wrong, 1.0), "WRONG");
+        let ok = MethodResult {
+            build_ms: 12.34,
+            size_integers: 4200,
+            equal_ms: 3.21,
+            random_ms: 1.0,
+            error: None,
+        };
+        assert_eq!(fmt_ms(&ok, ok.equal_ms), "3.2");
+        assert_eq!(fmt_kints(&ok), "4.2");
+    }
+}

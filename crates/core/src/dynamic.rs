@@ -1,0 +1,533 @@
+//! Incremental reachability on growing DAGs — the paper's first
+//! future-work item ("we will investigate the labeling on dynamic
+//! graphs", §7).
+//!
+//! Rebuilding a Distribution-Labeling from scratch on every edge
+//! insertion wastes its excellent construction speed. This module uses
+//! the standard *delta overlay* design instead:
+//!
+//! * queries against the labeled snapshot stay O(|labels|);
+//! * inserted edges accumulate in an overlay `Δ`;
+//! * a query `u → v` holds in `G ∪ Δ` iff some path alternates static
+//!   segments with Δ-edges:
+//!   `u →G a₁ →Δ b₁ →G a₂ →Δ b₂ … →G v` — checked by a BFS over the
+//!   Δ-edges, with each static segment answered by the oracle;
+//! * once `Δ` outgrows a threshold, the oracle is rebuilt (DL's
+//!   construction is fast enough that amortized cost stays low —
+//!   that is precisely the paper's headline property).
+//!
+//! Edge *deletions* use the dual trick: removing edges can only shrink
+//! reachability, so the stale oracle stays a sound *over*-approximation.
+//! A query that the (oracle + Δ) machinery answers `false` is final;
+//! a `true` with deletions pending is confirmed by one BFS on the
+//! current logical graph. Deletions are therefore O(1) to apply, and
+//! the confirmation cost is amortized away by the same
+//! threshold-triggered rebuild.
+
+use std::cell::RefCell;
+
+use hoplite_graph::digraph::GraphBuilder;
+use hoplite_graph::{Dag, GraphError, VertexId};
+
+use crate::distribution::{DistributionLabeling, DlConfig};
+use crate::oracle::ReachIndex;
+
+/// A reachability oracle over a DAG that accepts edge insertions.
+///
+/// ```
+/// use hoplite_graph::Dag;
+/// use hoplite_core::dynamic::DynamicOracle;
+///
+/// let dag = Dag::from_edges(4, &[(0, 1), (2, 3)])?;
+/// let mut oracle = DynamicOracle::new(dag);
+/// assert!(!oracle.query(0, 3));
+/// oracle.insert_edge(1, 2)?;          // answered through the overlay
+/// assert!(oracle.query(0, 3));
+/// assert!(oracle.insert_edge(3, 0).is_err());  // would close a cycle
+/// # Ok::<(), hoplite_graph::GraphError>(())
+/// ```
+pub struct DynamicOracle {
+    dag: Dag,
+    dl: DistributionLabeling,
+    cfg: DlConfig,
+    /// Edges inserted since the last rebuild.
+    delta: Vec<(VertexId, VertexId)>,
+    /// Snapshot edges logically removed since the last rebuild.
+    deleted: Vec<(VertexId, VertexId)>,
+    /// Rebuild once `delta` or `deleted` reaches this size.
+    rebuild_threshold: usize,
+    /// Per-query visited marks over delta-edge indices.
+    visited: RefCell<Vec<bool>>,
+    /// Per-query visited marks over vertices (deletion-confirm BFS).
+    vertex_visited: RefCell<Vec<bool>>,
+    rebuilds: usize,
+}
+
+impl DynamicOracle {
+    /// Default overlay size before an automatic rebuild.
+    pub const DEFAULT_REBUILD_THRESHOLD: usize = 64;
+
+    /// Builds the initial oracle over `dag`.
+    pub fn new(dag: Dag) -> Self {
+        Self::with_config(dag, DlConfig::default(), Self::DEFAULT_REBUILD_THRESHOLD)
+    }
+
+    /// Builds with a custom DL configuration and rebuild threshold.
+    pub fn with_config(dag: Dag, cfg: DlConfig, rebuild_threshold: usize) -> Self {
+        assert!(rebuild_threshold >= 1);
+        let dl = DistributionLabeling::build(&dag, &cfg);
+        DynamicOracle {
+            dag,
+            dl,
+            cfg,
+            delta: Vec::new(),
+            deleted: Vec::new(),
+            rebuild_threshold,
+            visited: RefCell::new(Vec::new()),
+            vertex_visited: RefCell::new(Vec::new()),
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.dag.num_vertices()
+    }
+
+    /// Edges waiting in the overlay.
+    pub fn pending_edges(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Snapshot edges logically deleted but not yet folded out.
+    pub fn pending_deletions(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// How many automatic/explicit rebuilds have happened.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Inserts the edge `u → v`.
+    ///
+    /// Returns [`GraphError::Cycle`] (and leaves the oracle unchanged)
+    /// if the edge would close a directed cycle, and
+    /// [`GraphError::VertexOutOfRange`] for bad endpoints. Triggers an
+    /// automatic rebuild when the overlay reaches the threshold.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.dag.num_vertices();
+        for x in [u, v] {
+            if (x as usize) >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: x as u64,
+                    num_vertices: n,
+                });
+            }
+        }
+        if u == v || self.query(v, u) {
+            return Err(GraphError::Cycle { vertex: u });
+        }
+        // Set semantics: re-inserting a live edge is a no-op, and
+        // re-inserting a logically deleted snapshot edge just clears
+        // the deletion mark.
+        if let Some(i) = self.deleted.iter().position(|&e| e == (u, v)) {
+            self.deleted.swap_remove(i);
+            return Ok(());
+        }
+        if self.delta.contains(&(u, v)) || self.dag.graph().has_edge(u, v) {
+            return Ok(());
+        }
+        self.delta.push((u, v));
+        if self.delta.len() >= self.rebuild_threshold {
+            self.rebuild();
+        }
+        Ok(())
+    }
+
+    /// Folds the overlay (insertions *and* deletions) into the snapshot
+    /// and relabels. Called automatically at the thresholds; callable
+    /// eagerly (e.g. before a query burst).
+    pub fn rebuild(&mut self) {
+        if self.delta.is_empty() && self.deleted.is_empty() {
+            return;
+        }
+        let n = self.dag.num_vertices();
+        let mut b = GraphBuilder::with_capacity(n, self.dag.num_edges() + self.delta.len());
+        for (a, c) in self.dag.graph().edges() {
+            if !self.deleted.contains(&(a, c)) {
+                b.add_edge_unchecked(a, c);
+            }
+        }
+        for &(a, c) in &self.delta {
+            b.add_edge_unchecked(a, c);
+        }
+        self.dag = Dag::new(b.build()).expect("cycle-checked insertions stay acyclic");
+        self.dl = DistributionLabeling::build(&self.dag, &self.cfg);
+        self.delta.clear();
+        self.deleted.clear();
+        self.rebuilds += 1;
+    }
+
+    /// Does `u` reach `v` in the current graph
+    /// (snapshot − deletions + overlay)?
+    pub fn query(&self, u: VertexId, v: VertexId) -> bool {
+        let optimistic = self.query_optimistic(u, v);
+        // Deletions only shrink reachability, so the stale oracle is a
+        // sound over-approximation: a `false` is final, a `true` needs
+        // one BFS on the logical graph while deletions are pending.
+        if !optimistic {
+            return false;
+        }
+        if self.deleted.is_empty() {
+            return true;
+        }
+        self.confirm_bfs(u, v)
+    }
+
+    /// `u → v` over the *optimistic* graph (snapshot + overlay,
+    /// deletions ignored).
+    fn query_optimistic(&self, u: VertexId, v: VertexId) -> bool {
+        if self.dl.query(u, v) {
+            return true;
+        }
+        if self.delta.is_empty() {
+            return false;
+        }
+        // BFS over delta edges: edge i is *entered* when some already
+        // reached point statically reaches its tail.
+        let mut visited = self.visited.borrow_mut();
+        visited.clear();
+        visited.resize(self.delta.len(), false);
+        let mut frontier: Vec<usize> = Vec::new();
+        for (i, &(a, _)) in self.delta.iter().enumerate() {
+            if self.dl.query(u, a) {
+                visited[i] = true;
+                frontier.push(i);
+            }
+        }
+        while let Some(i) = frontier.pop() {
+            let (_, b) = self.delta[i];
+            if self.dl.query(b, v) {
+                return true;
+            }
+            for (j, &(a2, _)) in self.delta.iter().enumerate() {
+                if !visited[j] && self.dl.query(b, a2) {
+                    visited[j] = true;
+                    frontier.push(j);
+                }
+            }
+        }
+        false
+    }
+
+    /// One BFS over the logical graph (snapshot edges minus `deleted`,
+    /// plus `delta`). Only runs while deletions are pending and the
+    /// optimistic answer was positive.
+    fn confirm_bfs(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut visited = self.vertex_visited.borrow_mut();
+        visited.clear();
+        visited.resize(self.dag.num_vertices(), false);
+        let mut stack = vec![u];
+        visited[u as usize] = true;
+        while let Some(x) = stack.pop() {
+            // Snapshot edges, skipping logically deleted ones (the
+            // deleted list is bounded by the rebuild threshold, so the
+            // scan is a handful of comparisons).
+            for &w in self.dag.graph().out_neighbors(x) {
+                if !visited[w as usize] && !self.deleted.contains(&(x, w)) {
+                    if w == v {
+                        return true;
+                    }
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+            for &(a, b) in &self.delta {
+                if a == x && !visited[b as usize] {
+                    if b == v {
+                        return true;
+                    }
+                    visited[b as usize] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes an edge lazily: overlay edges are dropped in place, and
+    /// snapshot edges are marked deleted in O(1) — the stale labels
+    /// stay sound because deletions only shrink reachability (see
+    /// [`Self::query`]). A rebuild folds the marks out once they reach
+    /// the threshold. Returns `false` if the edge did not exist
+    /// (neither live in the snapshot nor in the overlay).
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if let Some(i) = self.delta.iter().position(|&e| e == (u, v)) {
+            self.delta.swap_remove(i);
+            return true;
+        }
+        if !self.dag.graph().has_edge(u, v) || self.deleted.contains(&(u, v)) {
+            return false;
+        }
+        self.deleted.push((u, v));
+        if self.deleted.len() >= self.rebuild_threshold {
+            self.rebuild();
+        }
+        true
+    }
+
+    /// The current snapshot (overlay not included).
+    pub fn snapshot(&self) -> &Dag {
+        &self.dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoplite_graph::gen::Rng;
+    use hoplite_graph::{gen, traversal};
+
+    /// Reference: rebuild a plain graph with all inserted edges.
+    fn ground_truth(n: usize, edges: &[(u32, u32)], u: u32, v: u32) -> bool {
+        let g = hoplite_graph::DiGraph::from_edges(n, edges).unwrap();
+        traversal::reaches(&g, u, v)
+    }
+
+    #[test]
+    fn insertions_answered_without_rebuild() {
+        // Two chains joined live by a delta edge.
+        let dag = Dag::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
+        assert!(!o.query(0, 5));
+        o.insert_edge(2, 3).unwrap();
+        assert_eq!(o.pending_edges(), 1);
+        assert_eq!(o.rebuilds(), 0);
+        assert!(o.query(0, 5), "path through the overlay edge");
+        assert!(o.query(2, 4));
+        assert!(!o.query(5, 0));
+    }
+
+    #[test]
+    fn chains_of_delta_edges() {
+        // u ->G a ->Δ b ->G c ->Δ d ->G v with multiple hops.
+        let dag = Dag::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
+        o.insert_edge(1, 2).unwrap();
+        o.insert_edge(3, 4).unwrap();
+        o.insert_edge(5, 6).unwrap();
+        assert!(o.query(0, 7), "three delta edges chained");
+        assert!(!o.query(7, 0));
+    }
+
+    #[test]
+    fn cycle_insertions_rejected() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        assert!(matches!(
+            o.insert_edge(2, 0),
+            Err(GraphError::Cycle { .. })
+        ));
+        assert!(matches!(
+            o.insert_edge(1, 1),
+            Err(GraphError::Cycle { .. })
+        ));
+        // Overlay cycles are caught too.
+        o.insert_edge(2, 0).err().unwrap();
+        let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
+        o.insert_edge(1, 2).unwrap();
+        assert!(matches!(
+            o.insert_edge(3, 0),
+            Err(GraphError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        assert!(matches!(
+            o.insert_edge(0, 5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn automatic_rebuild_at_threshold() {
+        let dag = Dag::from_edges(10, &[]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 3);
+        o.insert_edge(0, 1).unwrap();
+        o.insert_edge(1, 2).unwrap();
+        assert_eq!(o.rebuilds(), 0);
+        o.insert_edge(2, 3).unwrap();
+        assert_eq!(o.rebuilds(), 1);
+        assert_eq!(o.pending_edges(), 0);
+        assert!(o.query(0, 3));
+        assert_eq!(o.snapshot().num_edges(), 3);
+    }
+
+    #[test]
+    fn randomized_against_ground_truth() {
+        let mut rng = Rng::new(99);
+        for seed in 0..4 {
+            let base = gen::random_dag(30, 50, seed);
+            let n = base.num_vertices();
+            let mut all_edges: Vec<(u32, u32)> = base.graph().edges().collect();
+            let mut o = DynamicOracle::with_config(base, DlConfig::default(), 7);
+            let mut inserted = 0;
+            while inserted < 20 {
+                let u = rng.gen_index(n) as u32;
+                let v = rng.gen_index(n) as u32;
+                match o.insert_edge(u, v) {
+                    Ok(()) => {
+                        all_edges.push((u, v));
+                        inserted += 1;
+                    }
+                    Err(GraphError::Cycle { .. }) => {
+                        // Ground truth must agree that v reaches u (or u == v).
+                        assert!(u == v || ground_truth(n, &all_edges, v, u));
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+                // Spot-check a handful of pairs after each operation.
+                for _ in 0..10 {
+                    let a = rng.gen_index(n) as u32;
+                    let b = rng.gen_index(n) as u32;
+                    assert_eq!(
+                        o.query(a, b),
+                        ground_truth(n, &all_edges, a, b),
+                        "seed {seed} pair ({a},{b}) after {inserted} inserts"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn removal_is_lazy_and_answers() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        assert!(o.query(0, 3));
+        assert!(o.remove_edge(1, 2));
+        assert_eq!(o.rebuilds(), 0, "deletion is applied lazily");
+        assert_eq!(o.pending_deletions(), 1);
+        assert!(!o.query(0, 3), "cut by the pending deletion");
+        assert!(o.query(0, 1));
+        assert!(o.query(2, 3));
+        assert!(!o.remove_edge(1, 2), "already gone");
+        // Removing a pending overlay edge drops it in place.
+        let before = o.rebuilds();
+        o.insert_edge(1, 2).unwrap();
+        assert!(o.query(0, 3), "re-inserted");
+        assert!(o.remove_edge(1, 2));
+        assert_eq!(o.rebuilds(), before);
+        assert!(!o.query(0, 3));
+    }
+
+    #[test]
+    fn reinserting_deleted_edge_clears_the_mark() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        assert!(o.remove_edge(0, 1));
+        assert!(!o.query(0, 2));
+        o.insert_edge(0, 1).unwrap();
+        assert_eq!(o.pending_deletions(), 0, "mark cleared, no delta entry");
+        assert_eq!(o.pending_edges(), 0);
+        assert!(o.query(0, 2));
+    }
+
+    #[test]
+    fn inserting_live_edge_is_a_noop() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        o.insert_edge(0, 1).unwrap();
+        assert_eq!(o.pending_edges(), 0);
+        // Removing it once must actually cut it.
+        assert!(o.remove_edge(0, 1));
+        assert!(!o.query(0, 2));
+    }
+
+    #[test]
+    fn deletion_threshold_triggers_rebuild() {
+        let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, i + 1)).collect();
+        let dag = Dag::from_edges(7, &edges).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 3);
+        assert!(o.remove_edge(0, 1));
+        assert!(o.remove_edge(2, 3));
+        assert_eq!(o.rebuilds(), 0);
+        assert!(o.remove_edge(4, 5));
+        assert_eq!(o.rebuilds(), 1, "third deletion folds the overlay");
+        assert_eq!(o.pending_deletions(), 0);
+        assert_eq!(o.snapshot().num_edges(), 3);
+        assert!(!o.query(0, 2));
+        assert!(o.query(1, 2));
+    }
+
+    #[test]
+    fn reverse_edge_insertable_after_deletion() {
+        // Deleting a->b makes b->a legal; the optimistic structure then
+        // holds both, which must not confuse the exact query.
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let mut o = DynamicOracle::new(dag);
+        assert!(matches!(o.insert_edge(1, 0), Err(GraphError::Cycle { .. })));
+        assert!(o.remove_edge(0, 1));
+        o.insert_edge(1, 0).unwrap();
+        assert!(o.query(1, 0));
+        assert!(!o.query(0, 1), "original direction is gone");
+        // Folding keeps the logical graph, not the optimistic one.
+        o.rebuild();
+        assert!(o.query(1, 0));
+        assert!(!o.query(0, 1));
+        assert_eq!(o.snapshot().num_edges(), 1);
+    }
+
+    #[test]
+    fn randomized_insert_delete_against_ground_truth() {
+        let mut rng = Rng::new(0xD00D);
+        for seed in 0..3 {
+            let base = gen::random_dag(24, 40, seed);
+            let n = base.num_vertices();
+            let mut edges: Vec<(u32, u32)> = base.graph().edges().collect();
+            let mut o = DynamicOracle::with_config(base, DlConfig::default(), 5);
+            for step in 0..60 {
+                let u = rng.gen_index(n) as u32;
+                let v = rng.gen_index(n) as u32;
+                if rng.gen_bool(0.35) && !edges.is_empty() {
+                    // Delete a random existing edge.
+                    let i = rng.gen_index(edges.len());
+                    let (a, b) = edges.swap_remove(i);
+                    assert!(o.remove_edge(a, b), "step {step}: ({a},{b}) exists");
+                } else {
+                    match o.insert_edge(u, v) {
+                        Ok(()) => {
+                            if !edges.contains(&(u, v)) {
+                                edges.push((u, v));
+                            }
+                        }
+                        Err(GraphError::Cycle { .. }) => {
+                            assert!(
+                                u == v || ground_truth(n, &edges, v, u),
+                                "step {step}: cycle rejection must match ground truth"
+                            );
+                        }
+                        Err(e) => panic!("unexpected {e}"),
+                    }
+                }
+                for _ in 0..8 {
+                    let a = rng.gen_index(n) as u32;
+                    let b = rng.gen_index(n) as u32;
+                    assert_eq!(
+                        o.query(a, b),
+                        ground_truth(n, &edges, a, b),
+                        "seed {seed} step {step} pair ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}

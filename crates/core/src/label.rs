@@ -1,0 +1,335 @@
+//! Hop-label storage and the sorted-list intersection query.
+//!
+//! The paper observes (§1) that earlier hop-labeling implementations
+//! lost up to an order of magnitude of query performance by storing
+//! `L_out`/`L_in` as hash sets; *sorted arrays with a merge
+//! intersection* close the gap. [`Labeling`] therefore keeps all labels
+//! in two flat CSR arrays of sorted `u32` hop ids — one cache-friendly
+//! slice lookup per side, then a linear merge.
+//!
+//! Hop ids are opaque: Distribution-Labeling stores *ranks* (its hops
+//! arrive in rank order, so lists are born sorted), while
+//! Hierarchical-Labeling stores original vertex ids. Queries only need
+//! the two sides to share a namespace.
+
+use hoplite_graph::VertexId;
+
+use crate::stats::LabelStats;
+
+/// `true` iff two ascending-sorted slices share an element.
+///
+/// This is the entire query path of a reachability oracle:
+/// `O(|L_out(u)| + |L_in(v)|)`.
+///
+/// ```
+/// use hoplite_core::sorted_intersect;
+/// assert!(sorted_intersect(&[1, 4, 9], &[2, 4]));
+/// assert!(!sorted_intersect(&[1, 4, 9], &[2, 5]));
+/// ```
+#[inline]
+pub fn sorted_intersect(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            return true;
+        }
+        // Branch-light advance: exactly one cursor moves per step.
+        i += (x < y) as usize;
+        j += (y < x) as usize;
+    }
+    false
+}
+
+/// Size-adaptive intersection: when one list is much shorter, gallop
+/// (exponential + binary search) through the longer one instead of
+/// merging — `O(s·log(L/s))` versus `O(s + L)`. The plain merge wins
+/// on the near-equal lengths hop labels usually have (see the
+/// `label_repr` bench), so [`Labeling::query`] keeps the merge; this
+/// exists for workloads with pathologically skewed lists.
+pub fn sorted_intersect_adaptive(a: &[u32], b: &[u32]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return false;
+    }
+    // Heuristic crossover: gallop only on a ~16x size imbalance.
+    if large.len() / small.len().max(1) < 16 {
+        return sorted_intersect(a, b);
+    }
+    let mut lo = 0usize;
+    for &x in small {
+        // Gallop from the last position until large[hi] >= x (or end).
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            hi = (hi + step).min(large.len());
+            step *= 2;
+        }
+        // The stop position itself may hold x: include it in the window.
+        let end = (hi + 1).min(large.len());
+        match large[lo..end].binary_search(&x) {
+            Ok(_) => return true,
+            Err(pos) => lo += pos,
+        }
+        if lo >= large.len() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Mutable per-vertex label lists used during construction.
+///
+/// Finish with [`LabelingBuilder::finish`] (lists must already be
+/// sorted, e.g. hops appended in rank order) or
+/// [`LabelingBuilder::finish_sorting`] (sorts and dedups first).
+#[derive(Clone, Debug)]
+pub struct LabelingBuilder {
+    /// `out[v]` = hops reached from `v`.
+    pub out: Vec<Vec<u32>>,
+    /// `in_[v]` = hops reaching `v`.
+    pub in_: Vec<Vec<u32>>,
+}
+
+impl LabelingBuilder {
+    /// Empty labels for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        LabelingBuilder {
+            out: vec![Vec::new(); n],
+            in_: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Freezes into a [`Labeling`], asserting (in debug builds) that
+    /// every list is strictly ascending.
+    pub fn finish(self) -> Labeling {
+        debug_assert!(self
+            .out
+            .iter()
+            .chain(self.in_.iter())
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        Labeling::from_lists(&self.out, &self.in_)
+    }
+
+    /// Sorts and dedups every list, then freezes.
+    pub fn finish_sorting(mut self) -> Labeling {
+        for l in self.out.iter_mut().chain(self.in_.iter_mut()) {
+            l.sort_unstable();
+            l.dedup();
+        }
+        Labeling::from_lists(&self.out, &self.in_)
+    }
+}
+
+/// Immutable hop labels in CSR form: the complete reachability oracle.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    out_offsets: Vec<u32>,
+    out_hops: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_hops: Vec<u32>,
+}
+
+impl Labeling {
+    fn from_lists(out: &[Vec<u32>], in_: &[Vec<u32>]) -> Self {
+        fn pack(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+            let total: usize = lists.iter().map(Vec::len).sum();
+            assert!(
+                (total as u64) < u32::MAX as u64,
+                "label entries exceed u32 offset space"
+            );
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut hops = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for l in lists {
+                hops.extend_from_slice(l);
+                offsets.push(hops.len() as u32);
+            }
+            (offsets, hops)
+        }
+        let (out_offsets, out_hops) = pack(out);
+        let (in_offsets, in_hops) = pack(in_);
+        Labeling {
+            out_offsets,
+            out_hops,
+            in_offsets,
+            in_hops,
+        }
+    }
+
+    /// Number of vertices labeled.
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// `L_out(v)`: sorted hop ids `v` reaches.
+    #[inline]
+    pub fn out_label(&self, v: VertexId) -> &[u32] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_hops[lo..hi]
+    }
+
+    /// `L_in(v)`: sorted hop ids reaching `v`.
+    #[inline]
+    pub fn in_label(&self, v: VertexId) -> &[u32] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_hops[lo..hi]
+    }
+
+    /// The oracle query: `u` reaches `v` iff the labels intersect.
+    /// Reflexive: `query(v, v)` is `true`.
+    #[inline]
+    pub fn query(&self, u: VertexId, v: VertexId) -> bool {
+        u == v || sorted_intersect(self.out_label(u), self.in_label(v))
+    }
+
+    /// Total label entries `Σ (|L_out(v)| + |L_in(v)|)` — the
+    /// paper's index-size metric (Figures 3–4 count integers).
+    pub fn total_entries(&self) -> u64 {
+        (self.out_hops.len() + self.in_hops.len()) as u64
+    }
+
+    /// Size in stored integers, including the CSR offset arrays.
+    pub fn size_in_integers(&self) -> u64 {
+        self.total_entries() + (self.out_offsets.len() + self.in_offsets.len()) as u64
+    }
+
+    /// Distribution statistics over label lengths.
+    pub fn stats(&self) -> LabelStats {
+        LabelStats::from_labeling(self)
+    }
+
+    /// Raw CSR parts `(out_offsets, out_hops, in_offsets, in_hops)` —
+    /// the persistence layer's view.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[u32], &[u32], &[u32]) {
+        (
+            &self.out_offsets,
+            &self.out_hops,
+            &self.in_offsets,
+            &self.in_hops,
+        )
+    }
+
+    /// Rebuilds from raw CSR parts. The caller (the persistence layer)
+    /// must have validated monotone offsets and sorted hop lists.
+    pub(crate) fn from_csr_unchecked(
+        out_offsets: Vec<u32>,
+        out_hops: Vec<u32>,
+        in_offsets: Vec<u32>,
+        in_hops: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        debug_assert_eq!(*out_offsets.last().unwrap_or(&0) as usize, out_hops.len());
+        debug_assert_eq!(*in_offsets.last().unwrap_or(&0) as usize, in_hops.len());
+        Labeling {
+            out_offsets,
+            out_hops,
+            in_offsets,
+            in_hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_intersect_cases() {
+        assert!(sorted_intersect(&[1, 3, 5], &[2, 3]));
+        assert!(!sorted_intersect(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!sorted_intersect(&[], &[1]));
+        assert!(!sorted_intersect(&[1], &[]));
+        assert!(sorted_intersect(&[7], &[7]));
+        assert!(sorted_intersect(&[1, 2, 3, 4, 5], &[5]));
+        assert!(sorted_intersect(&[5], &[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn adaptive_matches_merge_on_many_shapes() {
+        use hoplite_graph::gen::Rng;
+        let mut rng = Rng::new(31337);
+        for _ in 0..500 {
+            let la = rng.gen_index(40);
+            let lb = if rng.gen_bool(0.5) {
+                rng.gen_index(40)
+            } else {
+                rng.gen_index(2000) // force the galloping path
+            };
+            let mut a: Vec<u32> = (0..la).map(|_| rng.gen_range(5000) as u32).collect();
+            let mut b: Vec<u32> = (0..lb).map(|_| rng.gen_range(5000) as u32).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            assert_eq!(
+                sorted_intersect(&a, &b),
+                sorted_intersect_adaptive(&a, &b),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_gallops_past_long_prefixes() {
+        let small = [9_000u32, 9_500];
+        let large: Vec<u32> = (0..10_000).collect();
+        assert!(sorted_intersect_adaptive(&small, &large));
+        let small = [20_000u32];
+        assert!(!sorted_intersect_adaptive(&small, &large));
+        assert!(!sorted_intersect_adaptive(&[], &large));
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = LabelingBuilder::new(3);
+        b.out[0] = vec![0, 2];
+        b.in_[2] = vec![0, 1];
+        b.out[1] = vec![1];
+        b.in_[1] = vec![1];
+        let l = b.finish();
+        assert_eq!(l.out_label(0), &[0, 2]);
+        assert_eq!(l.in_label(2), &[0, 1]);
+        assert_eq!(l.out_label(2), &[] as &[u32]);
+        assert!(l.query(0, 2), "hop 0 is shared");
+        assert!(!l.query(1, 0));
+        assert!(l.query(1, 1), "reflexive");
+        assert_eq!(l.total_entries(), 6);
+    }
+
+    #[test]
+    fn finish_sorting_sorts_and_dedups() {
+        let mut b = LabelingBuilder::new(2);
+        b.out[0] = vec![5, 1, 5, 3];
+        b.in_[1] = vec![3, 3];
+        let l = b.finish_sorting();
+        assert_eq!(l.out_label(0), &[1, 3, 5]);
+        assert_eq!(l.in_label(1), &[3]);
+        assert!(l.query(0, 1));
+    }
+
+    #[test]
+    fn size_metrics() {
+        let mut b = LabelingBuilder::new(2);
+        b.out[0] = vec![1];
+        b.in_[1] = vec![1];
+        let l = b.finish();
+        assert_eq!(l.total_entries(), 2);
+        // 2 entries + two offset arrays of len 3 each.
+        assert_eq!(l.size_in_integers(), 2 + 6);
+    }
+
+    #[test]
+    fn empty_labeling() {
+        let l = LabelingBuilder::new(0).finish();
+        assert_eq!(l.num_vertices(), 0);
+        assert_eq!(l.total_entries(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The query interface shared by every reachability index in the
+//! workspace.
+
+use hoplite_graph::VertexId;
+
+/// A built reachability index over a fixed DAG.
+///
+/// Implementations exist for the paper's two oracles
+/// ([`crate::DistributionLabeling`], [`crate::HierarchicalLabeling`])
+/// and for every baseline in `hoplite-baselines`. The trait is
+/// deliberately tiny: the benchmark harness drives heterogeneous
+/// indexes through `Box<dyn ReachIndex>`.
+///
+/// Queries use *reflexive* reachability semantics (`query(v, v)` is
+/// always `true`), matching the paper's query workloads.
+///
+/// Implementations may keep interior-mutable scratch space (e.g. the
+/// visited set of a pruned DFS), so they are required to be `Send` but
+/// not `Sync`; parallel callers give each worker its own index.
+pub trait ReachIndex: Send {
+    /// Short display name matching the paper's table headers
+    /// (e.g. `"DL"`, `"GRAIL"`).
+    fn name(&self) -> &'static str;
+
+    /// Does `u` reach `v`?
+    fn query(&self, u: VertexId, v: VertexId) -> bool;
+
+    /// Index size in the unit the paper's Figures 3–4 report: the
+    /// number of 32-bit integers the index stores.
+    fn size_in_integers(&self) -> u64;
+
+    /// Approximate heap footprint in bytes. Defaults to
+    /// `4 · size_in_integers()`.
+    fn memory_bytes(&self) -> u64 {
+        self.size_in_integers() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Trivial;
+    impl ReachIndex for Trivial {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn query(&self, u: VertexId, v: VertexId) -> bool {
+            u == v
+        }
+        fn size_in_integers(&self) -> u64 {
+            3
+        }
+    }
+
+    #[test]
+    fn default_memory_is_four_bytes_per_integer() {
+        let t = Trivial;
+        assert_eq!(t.memory_bytes(), 12);
+        assert!(t.query(1, 1));
+        assert!(!t.query(1, 2));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn ReachIndex> = Box::new(Trivial);
+        assert_eq!(b.name(), "trivial");
+    }
+}

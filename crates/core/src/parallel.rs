@@ -1,0 +1,222 @@
+//! Parallel batch-query evaluation over a frozen [`Labeling`].
+//!
+//! A built oracle is immutable, so concurrent readers need no
+//! synchronization at all: [`Labeling`] is `Sync`, and the query is two
+//! slice lookups plus a merge. This module fans a batch of queries out
+//! over scoped OS threads (`std::thread::scope`, keeping the runtime
+//! crates dependency-free per `DESIGN.md` §8) with static chunking —
+//! every query costs `O(|L_out| + |L_in|)`, so chunks of equal count
+//! balance well without work stealing.
+//!
+//! This serves the serving-side story the paper's introduction
+//! motivates (reachability as a high-QPS primitive inside social
+//! network / ontology / web services): once Distribution-Labeling has
+//! built its small labels, query throughput scales with cores. The
+//! `throughput` Criterion bench measures the scaling curve.
+//!
+//! ```
+//! use hoplite_graph::{gen, Dag};
+//! use hoplite_core::{DistributionLabeling, DlConfig};
+//! use hoplite_core::parallel::par_query_batch;
+//!
+//! let dag = gen::random_dag(200, 600, 7);
+//! let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+//! let pairs = vec![(0, 10), (5, 199), (42, 42)];
+//! let answers = par_query_batch(dl.labeling(), &pairs, 2);
+//! assert_eq!(answers.len(), pairs.len());
+//! assert!(answers[2], "reflexive");
+//! ```
+
+use hoplite_graph::VertexId;
+
+use crate::label::Labeling;
+
+/// Answers every `(u, v)` pair in `pairs` using `threads` worker
+/// threads, preserving order.
+///
+/// `threads` is clamped to `1..=pairs.len()`; passing `0` or `1` runs
+/// inline on the caller's thread (no spawn cost for small batches).
+pub fn par_query_batch(
+    labeling: &Labeling,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> Vec<bool> {
+    let mut answers = vec![false; pairs.len()];
+    run_chunked(labeling, pairs, &mut answers, threads);
+    answers
+}
+
+/// [`par_query_batch`] that only counts positive answers — the
+/// aggregate most workload drivers want, without materializing the
+/// answer vector.
+pub fn par_count_reachable(
+    labeling: &Labeling,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> u64 {
+    let threads = effective_threads(threads, pairs.len());
+    if threads <= 1 {
+        return pairs
+            .iter()
+            .filter(|&&(u, v)| labeling.query(u, v))
+            .count() as u64;
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || part.iter().filter(|&&(u, v)| labeling.query(u, v)).count() as u64)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("query worker panicked")).sum()
+    })
+}
+
+/// Wall-clock throughput measurement of a query batch at a given
+/// thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputReport {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Positive (reachable) answers.
+    pub positive: u64,
+    /// Total wall-clock time for the batch.
+    pub elapsed: std::time::Duration,
+}
+
+impl ThroughputReport {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs the batch at each requested thread count and reports the
+/// scaling curve. The `examples/` and the `throughput` bench print
+/// these directly.
+pub fn measure_scaling(
+    labeling: &Labeling,
+    pairs: &[(VertexId, VertexId)],
+    thread_counts: &[usize],
+) -> Vec<ThroughputReport> {
+    thread_counts
+        .iter()
+        .map(|&t| {
+            let start = std::time::Instant::now();
+            let positive = par_count_reachable(labeling, pairs, t);
+            ThroughputReport {
+                threads: effective_threads(t, pairs.len()),
+                queries: pairs.len(),
+                positive,
+                elapsed: start.elapsed(),
+            }
+        })
+        .collect()
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    requested.max(1).min(work_items.max(1))
+}
+
+fn run_chunked(
+    labeling: &Labeling,
+    pairs: &[(VertexId, VertexId)],
+    answers: &mut [bool],
+    threads: usize,
+) {
+    debug_assert_eq!(pairs.len(), answers.len());
+    let threads = effective_threads(threads, pairs.len());
+    if threads <= 1 {
+        for (slot, &(u, v)) in answers.iter_mut().zip(pairs) {
+            *slot = labeling.query(u, v);
+        }
+        return;
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (part, out) in pairs.chunks(chunk).zip(answers.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (slot, &(u, v)) in out.iter_mut().zip(part) {
+                    *slot = labeling.query(u, v);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistributionLabeling, DlConfig};
+    use hoplite_graph::gen;
+
+    fn fixture() -> (Labeling, Vec<(VertexId, VertexId)>) {
+        let dag = gen::power_law_dag(300, 900, 21);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut rng = gen::Rng::new(99);
+        let pairs: Vec<_> = (0..1000)
+            .map(|_| (rng.gen_range(300) as u32, rng.gen_range(300) as u32))
+            .collect();
+        (dl.labeling().clone(), pairs)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_every_width() {
+        let (labeling, pairs) = fixture();
+        let seq = par_query_batch(&labeling, &pairs, 1);
+        for threads in [2, 3, 4, 7, 16, 1000] {
+            assert_eq!(
+                par_query_batch(&labeling, &pairs, threads),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_batch_sum() {
+        let (labeling, pairs) = fixture();
+        let batch = par_query_batch(&labeling, &pairs, 4);
+        let expected = batch.iter().filter(|&&b| b).count() as u64;
+        for threads in [1, 2, 5, 8] {
+            assert_eq!(par_count_reachable(&labeling, &pairs, threads), expected);
+        }
+    }
+
+    #[test]
+    fn zero_threads_and_empty_batches_are_safe() {
+        let (labeling, pairs) = fixture();
+        assert_eq!(
+            par_query_batch(&labeling, &pairs, 0),
+            par_query_batch(&labeling, &pairs, 1)
+        );
+        assert!(par_query_batch(&labeling, &[], 8).is_empty());
+        assert_eq!(par_count_reachable(&labeling, &[], 8), 0);
+    }
+
+    #[test]
+    fn scaling_report_is_consistent() {
+        let (labeling, pairs) = fixture();
+        let reports = measure_scaling(&labeling, &pairs, &[1, 2, 4]);
+        assert_eq!(reports.len(), 3);
+        let positives: Vec<u64> = reports.iter().map(|r| r.positive).collect();
+        assert!(positives.windows(2).all(|w| w[0] == w[1]), "same answers at every width");
+        for r in &reports {
+            assert_eq!(r.queries, pairs.len());
+            assert!(r.qps() > 0.0);
+        }
+        assert_eq!(reports[0].threads, 1);
+        assert_eq!(reports[2].threads, 4);
+    }
+
+    #[test]
+    fn more_threads_than_queries_clamps() {
+        let (labeling, _) = fixture();
+        let pairs = [(0u32, 1u32), (1, 0)];
+        let r = measure_scaling(&labeling, &pairs, &[64]);
+        assert_eq!(r[0].threads, 2, "clamped to batch size");
+    }
+}

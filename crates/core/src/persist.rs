@@ -1,0 +1,443 @@
+//! Binary persistence for built oracles.
+//!
+//! The paper's headline is cheap construction, but a production user
+//! still wants to build once and ship the index to query-serving
+//! replicas. The format is a small, versioned little-endian layout:
+//!
+//! ```text
+//! magic   4 bytes  "HOPL"
+//! version u32      1
+//! kind    u8       1 = bare Labeling, 2 = DistributionLabeling,
+//!                  3 = HierarchicalLabeling
+//! n       u64      vertex count
+//! ...              kind-specific payload (CSR arrays, order table,
+//!                  level sizes)
+//! ```
+//!
+//! Readers validate structure (monotone offsets, strictly sorted hop
+//! lists) so a corrupted file fails loudly instead of answering
+//! queries wrong.
+//!
+//! ```
+//! use hoplite_graph::Dag;
+//! use hoplite_core::{DistributionLabeling, DlConfig, ReachIndex};
+//!
+//! let dag = Dag::from_edges(3, &[(0, 1), (1, 2)])?;
+//! let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+//!
+//! let mut bytes = Vec::new();
+//! dl.save(&mut bytes)?;
+//! let restored = DistributionLabeling::load(std::io::Cursor::new(&bytes)).unwrap();
+//! assert!(restored.query(0, 2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use hoplite_graph::VertexId;
+
+use crate::distribution::DistributionLabeling;
+use crate::hierarchical::HierarchicalLabeling;
+use crate::label::Labeling;
+
+const MAGIC: &[u8; 4] = b"HOPL";
+const VERSION: u32 = 1;
+const KIND_LABELING: u8 = 1;
+const KIND_DL: u8 = 2;
+const KIND_HL: u8 = 3;
+
+/// Errors returned by the readers.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the payload.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "persist format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------
+
+fn write_u32<W: Write>(w: &mut W, x: u32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, x: u64) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u32_slice<W: Write>(w: &mut W, xs: &[u32]) -> std::io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        write_u32(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u32>, PersistError> {
+    let len = read_u64(r)?;
+    if len > cap_hint {
+        return Err(PersistError::Format(format!(
+            "array of {len} entries exceeds plausible bound {cap_hint}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Rejects files with bytes past the expected payload — trailing
+/// garbage means the file was not produced by this writer (or the
+/// caller mixed up formats), and silently ignoring it would mask
+/// corruption.
+fn expect_eof<R: Read>(r: &mut R) -> Result<(), PersistError> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(PersistError::Format(
+            "trailing bytes after payload".into(),
+        )),
+    }
+}
+
+fn write_header<W: Write>(w: &mut W, kind: u8, n: u64) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    w.write_all(&[kind])?;
+    write_u64(w, n)
+}
+
+fn read_header<R: Read>(r: &mut R, want_kind: u8) -> Result<u64, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic (not a hoplite index)".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (reader supports {VERSION})"
+        )));
+    }
+    let kind = read_u8(r)?;
+    if kind != want_kind {
+        return Err(PersistError::Format(format!(
+            "wrong payload kind {kind} (expected {want_kind})"
+        )));
+    }
+    read_u64(r)
+}
+
+// ---------------------------------------------------------------------
+// Labeling
+// ---------------------------------------------------------------------
+
+fn write_labeling_body<W: Write>(l: &Labeling, w: &mut W) -> std::io::Result<()> {
+    let (oo, oh, io_, ih) = l.csr_parts();
+    write_u32_slice(w, oo)?;
+    write_u32_slice(w, oh)?;
+    write_u32_slice(w, io_)?;
+    write_u32_slice(w, ih)
+}
+
+fn read_labeling_body<R: Read>(r: &mut R, n: u64) -> Result<Labeling, PersistError> {
+    let offsets_bound = n + 1;
+    let hops_bound = u32::MAX as u64;
+    let oo = read_u32_vec(r, offsets_bound)?;
+    let oh = read_u32_vec(r, hops_bound)?;
+    let io_ = read_u32_vec(r, offsets_bound)?;
+    let ih = read_u32_vec(r, hops_bound)?;
+    validate_csr(&oo, &oh, n, "out")?;
+    validate_csr(&io_, &ih, n, "in")?;
+    Ok(Labeling::from_csr_unchecked(oo, oh, io_, ih))
+}
+
+fn validate_csr(offsets: &[u32], hops: &[u32], n: u64, side: &str) -> Result<(), PersistError> {
+    if offsets.len() as u64 != n + 1 {
+        return Err(PersistError::Format(format!(
+            "{side}: offsets length {} != n+1 = {}",
+            offsets.len(),
+            n + 1
+        )));
+    }
+    if offsets.first() != Some(&0) {
+        return Err(PersistError::Format(format!("{side}: offsets[0] != 0")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Format(format!(
+            "{side}: offsets not monotone"
+        )));
+    }
+    if *offsets.last().expect("nonempty") as usize != hops.len() {
+        return Err(PersistError::Format(format!(
+            "{side}: final offset {} != hop count {}",
+            offsets.last().expect("nonempty"),
+            hops.len()
+        )));
+    }
+    for w in offsets.windows(2) {
+        let list = &hops[w[0] as usize..w[1] as usize];
+        if list.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(PersistError::Format(format!(
+                "{side}: hop list not strictly sorted"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Writes a bare [`Labeling`].
+pub fn write_labeling<W: Write>(l: &Labeling, mut w: W) -> std::io::Result<()> {
+    write_header(&mut w, KIND_LABELING, l.num_vertices() as u64)?;
+    write_labeling_body(l, &mut w)
+}
+
+/// Reads a bare [`Labeling`], validating structure.
+pub fn read_labeling<R: Read>(mut r: R) -> Result<Labeling, PersistError> {
+    let n = read_header(&mut r, KIND_LABELING)?;
+    let l = read_labeling_body(&mut r, n)?;
+    expect_eof(&mut r)?;
+    Ok(l)
+}
+
+// ---------------------------------------------------------------------
+// DistributionLabeling / HierarchicalLabeling
+// ---------------------------------------------------------------------
+
+impl DistributionLabeling {
+    /// Serializes the oracle (labels + rank order).
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        write_header(&mut w, KIND_DL, self.labeling().num_vertices() as u64)?;
+        write_labeling_body(self.labeling(), &mut w)?;
+        write_u32_slice(&mut w, self.order())
+    }
+
+    /// Deserializes an oracle written by [`Self::save`].
+    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        let n = read_header(&mut r, KIND_DL)?;
+        let labeling = read_labeling_body(&mut r, n)?;
+        let order: Vec<VertexId> = read_u32_vec(&mut r, n)?;
+        if order.len() as u64 != n {
+            return Err(PersistError::Format(format!(
+                "order table length {} != n = {n}",
+                order.len()
+            )));
+        }
+        let mut seen = vec![false; n as usize];
+        for &v in &order {
+            if (v as u64) >= n || std::mem::replace(&mut seen[v as usize], true) {
+                return Err(PersistError::Format(
+                    "order table is not a permutation".into(),
+                ));
+            }
+        }
+        expect_eof(&mut r)?;
+        Ok(DistributionLabeling::from_parts(labeling, order))
+    }
+}
+
+impl HierarchicalLabeling {
+    /// Serializes the oracle (labels + decomposition level sizes).
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        write_header(&mut w, KIND_HL, self.labeling().num_vertices() as u64)?;
+        write_labeling_body(self.labeling(), &mut w)?;
+        let sizes: Vec<u32> = self.level_sizes().iter().map(|&s| s as u32).collect();
+        write_u32_slice(&mut w, &sizes)
+    }
+
+    /// Deserializes an oracle written by [`Self::save`].
+    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        let n = read_header(&mut r, KIND_HL)?;
+        let labeling = read_labeling_body(&mut r, n)?;
+        let sizes = read_u32_vec(&mut r, 1 << 20)?;
+        expect_eof(&mut r)?;
+        Ok(HierarchicalLabeling::from_parts(
+            labeling,
+            sizes.into_iter().map(|s| s as usize).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DlConfig;
+    use crate::hierarchical::HlConfig;
+    use crate::oracle::ReachIndex;
+    use hoplite_graph::gen;
+    use std::io::Cursor;
+
+    #[test]
+    fn labeling_roundtrip() {
+        let dag = gen::random_dag(50, 140, 1);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        write_labeling(dl.labeling(), &mut buf).unwrap();
+        let l2 = read_labeling(Cursor::new(&buf)).unwrap();
+        for v in 0..50u32 {
+            assert_eq!(dl.labeling().out_label(v), l2.out_label(v));
+            assert_eq!(dl.labeling().in_label(v), l2.in_label(v));
+        }
+    }
+
+    #[test]
+    fn dl_roundtrip_preserves_queries() {
+        let dag = gen::power_law_dag(60, 180, 2);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        let dl2 = DistributionLabeling::load(Cursor::new(&buf)).unwrap();
+        for u in 0..60u32 {
+            for v in 0..60u32 {
+                assert_eq!(dl.query(u, v), dl2.query(u, v));
+            }
+        }
+        assert_eq!(dl.order(), dl2.order());
+    }
+
+    #[test]
+    fn hl_roundtrip_preserves_queries() {
+        let dag = gen::random_dag(60, 180, 3);
+        let hl = HierarchicalLabeling::build(
+            &dag,
+            &HlConfig {
+                core_size_limit: 8,
+                ..HlConfig::default()
+            },
+        );
+        let mut buf = Vec::new();
+        hl.save(&mut buf).unwrap();
+        let hl2 = HierarchicalLabeling::load(Cursor::new(&buf)).unwrap();
+        for u in 0..60u32 {
+            for v in 0..60u32 {
+                assert_eq!(hl.query(u, v), hl2.query(u, v));
+            }
+        }
+        assert_eq!(hl.level_sizes(), hl2.level_sizes());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_labeling(Cursor::new(b"NOPE\x01\x00\x00\x00")).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let dag = gen::random_dag(10, 20, 4);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap(); // kind = DL
+        let err = read_labeling(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dag = gen::random_dag(20, 50, 5);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(DistributionLabeling::load(Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn corrupted_offsets_rejected() {
+        let dag = gen::random_dag(20, 50, 6);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        write_labeling(dl.labeling(), &mut buf).unwrap();
+        // Corrupt a byte inside the first offsets array (after the
+        // 17-byte header and the 8-byte array length).
+        buf[17 + 8 + 6] ^= 0xFF;
+        assert!(read_labeling(Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn corrupted_order_rejected() {
+        let dag = gen::random_dag(20, 50, 7);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        // Duplicate the first order entry over the second (last 20*4
+        // bytes are the order table).
+        let tail = buf.len() - 20 * 4;
+        let (a, b) = (buf[tail], buf[tail + 1]);
+        buf[tail + 4] = a;
+        buf[tail + 5] = b;
+        buf[tail + 6] = buf[tail + 2];
+        buf[tail + 7] = buf[tail + 3];
+        let err = DistributionLabeling::load(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("permutation"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let dag = gen::random_dag(15, 30, 8);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        buf.push(0);
+        let err = DistributionLabeling::load(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn empty_labeling_roundtrips() {
+        let dag = hoplite_graph::Dag::from_edges(0, &[]).unwrap();
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        let dl2 = DistributionLabeling::load(Cursor::new(&buf)).unwrap();
+        assert_eq!(dl2.labeling().num_vertices(), 0);
+    }
+}

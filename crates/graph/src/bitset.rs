@@ -1,0 +1,204 @@
+//! Packed fixed-size bitset over `u64` words.
+//!
+//! Used for transitive-closure rows ([`crate::tc`]), the PWAH-8 baseline
+//! (which compresses these words), and visited sets where epoch stamping
+//! is not applicable.
+
+/// A fixed-capacity bitset packed into 64-bit words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedBitset {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl FixedBitset {
+    /// A bitset able to hold bits `0..nbits`, all initially zero.
+    pub fn new(nbits: usize) -> Self {
+        FixedBitset {
+            words: vec![0u64; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// `true` if the capacity is zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets every bit that is set in `other` (`self |= other`).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &FixedBitset) {
+        assert_eq!(self.nbits, other.nbits, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `true` iff `self` and `other` share at least one set bit.
+    pub fn intersects(&self, other: &FixedBitset) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The underlying words (low bit of word 0 is bit 0). Trailing bits
+    /// beyond `len()` are zero.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a bitset from raw words; bits past `nbits` must be zero.
+    pub fn from_words(words: Vec<u64>, nbits: usize) -> Self {
+        assert_eq!(words.len(), nbits.div_ceil(64));
+        debug_assert!(nbits % 64 == 0 || words.is_empty() || {
+            let last = words[words.len() - 1];
+            last >> (nbits % 64) == 0
+        });
+        FixedBitset { words, nbits }
+    }
+
+    /// Heap bytes used.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over set-bit indices of a [`FixedBitset`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = FixedBitset::new(130);
+        assert!(!b.contains(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        b.unset(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn ones_iterates_ascending() {
+        let mut b = FixedBitset::new(200);
+        for &i in &[3usize, 64, 65, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![3, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = FixedBitset::new(100);
+        let mut b = FixedBitset::new(100);
+        a.set(1);
+        b.set(99);
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(99));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = FixedBitset::new(70);
+        a.set(69);
+        a.clear();
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(a.len(), 70);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = FixedBitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.ones().count(), 0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut a = FixedBitset::new(128);
+        a.set(5);
+        a.set(100);
+        let b = FixedBitset::from_words(a.as_words().to_vec(), 128);
+        assert_eq!(a, b);
+    }
+}

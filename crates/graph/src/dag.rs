@@ -1,0 +1,208 @@
+//! Validated directed acyclic graphs with a cached topological order.
+
+use crate::digraph::DiGraph;
+use crate::error::{GraphError, Result};
+use crate::scc;
+use crate::VertexId;
+
+/// A [`DiGraph`] proven acyclic at construction, carrying a topological
+/// order and each vertex's position in it.
+///
+/// All reachability indexes in the workspace take a `&Dag`; arbitrary
+/// digraphs are first condensed with [`Dag::condense`].
+#[derive(Clone, Debug)]
+pub struct Dag {
+    g: DiGraph,
+    topo: Vec<VertexId>,
+    pos: Vec<u32>,
+}
+
+impl Dag {
+    /// Validates that `g` is acyclic (Kahn's algorithm) and caches its
+    /// topological order.
+    ///
+    /// Returns [`GraphError::Cycle`] naming a vertex on a cycle if not.
+    pub fn new(g: DiGraph) -> Result<Self> {
+        let n = g.num_vertices();
+        let mut indeg: Vec<u32> = (0..n as VertexId).map(|v| g.in_degree(v) as u32).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<VertexId> =
+            (0..n as VertexId).filter(|&v| indeg[v as usize] == 0).collect();
+        while let Some(v) = queue.pop_front() {
+            topo.push(v);
+            for &w in g.out_neighbors(v) {
+                indeg[w as usize] -= 1;
+                if indeg[w as usize] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        if topo.len() != n {
+            let vertex = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a vertex with residual in-degree")
+                as VertexId;
+            return Err(GraphError::Cycle { vertex });
+        }
+        let mut pos = vec![0u32; n];
+        for (i, &v) in topo.iter().enumerate() {
+            pos[v as usize] = i as u32;
+        }
+        Ok(Dag { g, topo, pos })
+    }
+
+    /// Builds and validates a DAG directly from an edge list.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self> {
+        Dag::new(DiGraph::from_edges(n, edges)?)
+    }
+
+    /// Condenses an arbitrary digraph into its component DAG.
+    ///
+    /// Convenience re-export of [`scc::condense`].
+    pub fn condense(g: &DiGraph) -> scc::Condensation {
+        scc::condense(g)
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.g
+    }
+
+    /// Vertices in topological order (sources first).
+    #[inline]
+    pub fn topo_order(&self) -> &[VertexId] {
+        &self.topo
+    }
+
+    /// Position of `v` in [`Self::topo_order`]. If `u` reaches `v` then
+    /// `topo_pos(u) < topo_pos(v)`; the converse does not hold.
+    #[inline]
+    pub fn topo_pos(&self, v: VertexId) -> u32 {
+        self.pos[v as usize]
+    }
+
+    /// Number of vertices (forwarded).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    /// Number of edges (forwarded).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    /// Successors of `v` (forwarded).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.g.out_neighbors(v)
+    }
+
+    /// Predecessors of `v` (forwarded).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.g.in_neighbors(v)
+    }
+
+    /// Out-degree of `v` (forwarded).
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.g.out_degree(v)
+    }
+
+    /// In-degree of `v` (forwarded).
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.g.in_degree(v)
+    }
+
+    /// Longest-path depth of every vertex: roots are 0, otherwise
+    /// `1 + max(depth of predecessors)`. Useful for layered statistics
+    /// and the layered dataset generators.
+    pub fn longest_path_levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.num_vertices()];
+        for &v in &self.topo {
+            for &w in self.g.out_neighbors(v) {
+                level[w as usize] = level[w as usize].max(level[v as usize] + 1);
+            }
+        }
+        level
+    }
+
+    /// Height of the DAG: number of vertices on the longest path
+    /// (0 for an empty graph).
+    pub fn height(&self) -> u32 {
+        self.longest_path_levels()
+            .iter()
+            .max()
+            .map_or(0, |&h| h + 1)
+    }
+
+    /// Consumes the DAG, returning the underlying graph.
+    pub fn into_graph(self) -> DiGraph {
+        self.g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_dag_gets_topo_order() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let pos = |v| dag.topo_pos(v);
+        for (u, v) in dag.graph().edges() {
+            assert!(pos(u) < pos(v));
+        }
+        assert_eq!(dag.topo_order().len(), 4);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        match Dag::new(g) {
+            Err(GraphError::Cycle { vertex }) => assert!(vertex < 3),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_vertex_cycle_rejected() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        assert!(Dag::new(g).is_err());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let dag = Dag::from_edges(0, &[]).unwrap();
+        assert_eq!(dag.num_vertices(), 0);
+        assert_eq!(dag.height(), 0);
+        let dag = Dag::from_edges(3, &[]).unwrap();
+        assert_eq!(dag.topo_order().len(), 3);
+        assert_eq!(dag.height(), 1);
+    }
+
+    #[test]
+    fn levels_and_height() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4
+        let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let lv = dag.longest_path_levels();
+        assert_eq!(lv[0], 0);
+        assert_eq!(lv[1], 1);
+        assert_eq!(lv[2], 1);
+        assert_eq!(lv[3], 2);
+        assert_eq!(lv[4], 3);
+        assert_eq!(dag.height(), 4);
+    }
+
+    #[test]
+    fn diamond_levels_take_longest_path() {
+        // 0 -> 3 directly and 0 -> 1 -> 2 -> 3: depth(3) = 3.
+        let dag = Dag::from_edges(4, &[(0, 3), (0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(dag.longest_path_levels()[3], 3);
+    }
+}

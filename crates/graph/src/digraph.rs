@@ -1,0 +1,336 @@
+//! Compact CSR directed graph with forward and reverse adjacency.
+//!
+//! Every index in the workspace iterates neighbor lists in hot loops, so
+//! the representation is two packed CSR arrays (one per direction) with
+//! `u32` vertex ids and offsets. Neighbor lists are sorted, which makes
+//! iteration deterministic and `has_edge` a binary search.
+
+use crate::error::{GraphError, Result};
+use crate::VertexId;
+
+/// Immutable directed graph in CSR form.
+///
+/// Construct with [`GraphBuilder`] or [`DiGraph::from_edges`]. Parallel
+/// edges and self-loops are removed during construction; neighbor lists
+/// are sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiGraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<VertexId>,
+}
+
+impl DiGraph {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// Duplicate edges and self-loops are dropped. Returns an error if an
+    /// endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Successors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// Predecessors of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// `true` iff the edge `u -> v` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges `(u, v)` in ascending `(u, v)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// All vertices with in-degree 0.
+    pub fn roots(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).filter(move |&v| self.in_degree(v) == 0)
+    }
+
+    /// All vertices with out-degree 0.
+    pub fn leaves(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).filter(move |&v| self.out_degree(v) == 0)
+    }
+
+    /// The graph with every edge reversed. O(1) — the two CSR halves are
+    /// swapped.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_targets.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_targets: self.out_targets.clone(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.out_offsets.len()
+            + self.out_targets.len()
+            + self.in_offsets.len()
+            + self.in_targets.len())
+    }
+}
+
+/// Incremental builder for [`DiGraph`].
+///
+/// Collects edges, then packs both CSR directions in `build`. Self-loops
+/// are silently dropped (the reachability literature condenses SCCs
+/// first, after which self-loops are meaningless); duplicates are
+/// deduplicated.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` vertices and no edges yet.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (n as u64) < VertexId::MAX as u64,
+            "hoplite graphs are limited to u32::MAX - 1 vertices"
+        );
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-reserves capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the edge `u -> v`. Self-loops are accepted here and dropped
+    /// at `build` time. Errors if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        if (u as usize) >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u as u64,
+                num_vertices: self.n,
+            });
+        }
+        if (v as usize) >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: self.n,
+            });
+        }
+        self.edges.push((u, v));
+        Ok(())
+    }
+
+    /// Adds an edge that is known to be in range.
+    ///
+    /// # Panics
+    /// Panics in debug builds if an endpoint is out of range.
+    pub fn add_edge_unchecked(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Packs the accumulated edges into a [`DiGraph`].
+    pub fn build(mut self) -> DiGraph {
+        // Drop self-loops, then sort + dedup for canonical CSR layout.
+        self.edges.retain(|&(u, v)| u != v);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let m = self.edges.len();
+        assert!(
+            (m as u64) < u32::MAX as u64,
+            "hoplite graphs are limited to u32::MAX - 1 edges"
+        );
+
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+
+        let mut out_targets = vec![0 as VertexId; m];
+        let mut in_targets = vec![0 as VertexId; m];
+        // Edges are sorted by (u, v): forward lists fill in order.
+        let mut cursor = out_offsets.clone();
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[u as usize];
+            out_targets[*c as usize] = v;
+            *c += 1;
+        }
+        let mut cursor = in_offsets.clone();
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v as usize];
+            in_targets[*c as usize] = u;
+            *c += 1;
+        }
+        // Reverse lists came out in (u, v) edge order grouped by v, i.e.
+        // already ascending in u because the edge list was sorted.
+        debug_assert!((0..n).all(|v| {
+            let lo = in_offsets[v] as usize;
+            let hi = in_offsets[v + 1] as usize;
+            in_targets[lo..hi].windows(2).all(|w| w[0] <= w[1])
+        }));
+
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn has_edge_checks_direction() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_removed() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_an_error() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            b.add_edge(5, 0),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn edges_iterates_in_order() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond().reversed();
+        assert_eq!(g.out_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(1), &[3]);
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let g = diamond();
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.leaves().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.roots().count(), 5);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = DiGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = DiGraph::from_edges(5, &[(0, 4), (0, 2), (0, 3), (0, 1), (2, 4), (1, 4)]).unwrap();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.in_neighbors(4), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Convenience alias used across `hoplite-graph`.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced by graph construction, validation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The input graph contains a directed cycle; `vertex` lies on one.
+    ///
+    /// Returned by [`crate::Dag::new`] when handed a cyclic graph.
+    /// Callers holding a cyclic graph should condense it first with
+    /// [`crate::scc::condense`].
+    Cycle {
+        /// A vertex known to participate in a cycle.
+        vertex: crate::VertexId,
+    },
+    /// An edge endpoint is outside `0..n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: u64,
+        /// The number of vertices the graph was declared with.
+        num_vertices: usize,
+    },
+    /// Underlying I/O failure while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A graph file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A requested materialization would exceed the configured memory
+    /// budget (e.g. full transitive closure of a huge graph).
+    BudgetExceeded {
+        /// What was being built.
+        what: &'static str,
+        /// Estimated bytes required.
+        required_bytes: u64,
+        /// Allowed bytes.
+        budget_bytes: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle { vertex } => {
+                write!(f, "graph is not acyclic: vertex {vertex} lies on a cycle")
+            }
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::Io(e) => write!(f, "graph i/o error: {e}"),
+            GraphError::Parse { line, msg } => {
+                write!(f, "parse error at line {line}: {msg}")
+            }
+            GraphError::BudgetExceeded {
+                what,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "{what} needs ~{required_bytes} bytes, over the {budget_bytes}-byte budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let c = GraphError::Cycle { vertex: 7 };
+        assert!(c.to_string().contains("vertex 7"));
+        let r = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        assert!(r.to_string().contains("10"));
+        assert!(r.to_string().contains('5'));
+        let p = GraphError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        let b = GraphError::BudgetExceeded {
+            what: "transitive closure",
+            required_bytes: 1024,
+            budget_bytes: 512,
+        };
+        assert!(b.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,227 @@
+//! Graph file I/O.
+//!
+//! Two formats are supported:
+//!
+//! * **Edge list** — one `u v` pair per line; `#`-prefixed comment lines
+//!   and blank lines are skipped. The vertex count is
+//!   `max endpoint + 1` unless a `# vertices: N` header is present.
+//! * **`.gra`** — the adjacency format used by the GRAIL / SCARAB
+//!   dataset releases the paper evaluates on: a line with the vertex
+//!   count, then one line per vertex `v: s1 s2 … #`.
+
+use std::io::{BufRead, Write};
+
+use crate::digraph::{DiGraph, GraphBuilder};
+use crate::error::{GraphError, Result};
+
+/// Reads an edge list from `r`.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<DiGraph> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_v: u64 = 0;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Optional "# vertices: N" header.
+            let rest = rest.trim();
+            if let Some(num) = rest.strip_prefix("vertices:") {
+                declared_n =
+                    Some(num.trim().parse::<usize>().map_err(|e| GraphError::Parse {
+                        line: idx + 1,
+                        msg: format!("bad vertex count: {e}"),
+                    })?);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, idx: usize| -> Result<u32> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                msg: "expected two endpoints".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse {
+                line: idx + 1,
+                msg: format!("bad vertex id: {e}"),
+            })
+        };
+        let u = parse(it.next(), idx)?;
+        let v = parse(it.next(), idx)?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                msg: "trailing tokens after edge".into(),
+            });
+        }
+        max_v = max_v.max(u as u64).max(v as u64);
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as an edge list with a `# vertices:` header (so isolated
+/// trailing vertices survive a round-trip).
+pub fn write_edge_list<W: Write>(g: &DiGraph, mut w: W) -> Result<()> {
+    writeln!(w, "# vertices: {}", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads the `.gra` adjacency format (`n`, then `v: s1 s2 … #` lines).
+/// A leading `graph_for_greach` banner line is tolerated.
+pub fn read_gra<R: BufRead>(r: R) -> Result<DiGraph> {
+    let mut lines = r.lines().enumerate();
+    let mut n: Option<usize> = None;
+    // Find the vertex-count line, skipping banner/comments.
+    for (idx, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("graph_for_greach") {
+            continue;
+        }
+        n = Some(t.parse::<usize>().map_err(|e| GraphError::Parse {
+            line: idx + 1,
+            msg: format!("bad vertex count: {e}"),
+        })?);
+        break;
+    }
+    let n = n.ok_or(GraphError::Parse {
+        line: 0,
+        msg: "missing vertex count".into(),
+    })?;
+    let mut b = GraphBuilder::new(n);
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let (head, rest) = t.split_once(':').ok_or_else(|| GraphError::Parse {
+            line: idx + 1,
+            msg: "expected `v: successors #`".into(),
+        })?;
+        let v = head.trim().parse::<u32>().map_err(|e| GraphError::Parse {
+            line: idx + 1,
+            msg: format!("bad vertex id: {e}"),
+        })?;
+        for tok in rest.split_whitespace() {
+            if tok == "#" {
+                break;
+            }
+            let w = tok.parse::<u32>().map_err(|e| GraphError::Parse {
+                line: idx + 1,
+                msg: format!("bad successor id: {e}"),
+            })?;
+            b.add_edge(v, w)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` in `.gra` format.
+pub fn write_gra<W: Write>(g: &DiGraph, mut w: W) -> Result<()> {
+    writeln!(w, "graph_for_greach")?;
+    writeln!(w, "{}", g.num_vertices())?;
+    for v in 0..g.num_vertices() as u32 {
+        write!(w, "{v}:")?;
+        for s in g.out_neighbors(v) {
+            write!(w, " {s}")?;
+        }
+        writeln!(w, " #")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = diamond();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_blanks() {
+        let text = "# a comment\n\n0 1\n  1 2  \n# another\n2 3\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_vertices_header_preserves_isolated() {
+        let text = "# vertices: 10\n0 1\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn edge_list_parse_errors() {
+        assert!(matches!(
+            read_edge_list(Cursor::new("0\n")),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list(Cursor::new("0 x\n")),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list(Cursor::new("0 1 2\n")),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn gra_roundtrip() {
+        let g = diamond();
+        let mut buf = Vec::new();
+        write_gra(&g, &mut buf).unwrap();
+        let g2 = read_gra(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn gra_parses_reference_shape() {
+        let text = "graph_for_greach\n3\n0: 1 2 #\n1: #\n2: 1 #\n";
+        let g = read_gra(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn gra_missing_count_is_error() {
+        assert!(read_gra(Cursor::new("graph_for_greach\n")).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

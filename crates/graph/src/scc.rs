@@ -1,0 +1,243 @@
+//! Strongly connected components and graph condensation.
+//!
+//! Reachability indexing starts by coalescing every SCC into a single
+//! vertex (§2 of the paper): within an SCC everything trivially reaches
+//! everything, and the condensation is a DAG that is usually much
+//! smaller than the input. The implementation is Tarjan's algorithm in
+//! iterative form so multi-million-vertex graphs cannot overflow the
+//! call stack.
+
+use crate::dag::Dag;
+use crate::digraph::{DiGraph, GraphBuilder};
+use crate::{VertexId, INVALID_VERTEX};
+
+/// The result of condensing a digraph: the component DAG plus the
+/// vertex-to-component mapping.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// The condensation DAG. Component ids are topologically ordered:
+    /// every edge `(c1, c2)` satisfies `c1 < c2`.
+    pub dag: Dag,
+    /// `comp_of[v]` is the component containing original vertex `v`.
+    pub comp_of: Vec<VertexId>,
+    /// Number of original vertices per component.
+    pub comp_sizes: Vec<u32>,
+}
+
+impl Condensation {
+    /// Answers reachability on the *original* graph through the
+    /// condensation: `u` reaches `v` iff they share a component or
+    /// `comp(u)` reaches `comp(v)` in the DAG (checked by the caller's
+    /// index; this helper only handles the same-component case).
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.comp_of[u as usize] == self.comp_of[v as usize]
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.comp_sizes.len()
+    }
+}
+
+/// Computes the strongly connected components of `g`.
+///
+/// Returns `(num_components, comp_of)` where component ids are assigned
+/// in **topological order of the condensation**: for every edge
+/// `u -> v` crossing components, `comp_of[u] < comp_of[v]`.
+pub fn strongly_connected_components(g: &DiGraph) -> (usize, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut index = vec![INVALID_VERTEX; n]; // discovery index per vertex
+    let mut lowlink = vec![0 as VertexId; n];
+    let mut on_stack = vec![false; n];
+    let mut comp_of = vec![INVALID_VERTEX; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    // Explicit DFS call stack: (vertex, next out-neighbor offset).
+    let mut call: Vec<(VertexId, u32)> = Vec::new();
+    let mut next_index: VertexId = 0;
+    let mut next_comp: VertexId = 0;
+
+    for start in 0..n as VertexId {
+        if index[start as usize] != INVALID_VERTEX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut ni)) = call.last_mut() {
+            let succs = g.out_neighbors(v);
+            if (*ni as usize) < succs.len() {
+                let w = succs[*ni as usize];
+                *ni += 1;
+                if index[w as usize] == INVALID_VERTEX {
+                    // Tree edge: recurse.
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    // Back/cross edge within the current DFS stack.
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is finished: propagate lowlink and pop SCC roots.
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is an SCC root; pop its component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order; flip so that
+    // edges go from smaller to larger component id.
+    let num_comps = next_comp as usize;
+    for c in comp_of.iter_mut() {
+        *c = next_comp - 1 - *c;
+    }
+    (num_comps, comp_of)
+}
+
+/// Condenses `g` into its component DAG.
+///
+/// ```
+/// use hoplite_graph::{scc, DiGraph};
+///
+/// // 0 -> 1 -> 2 -> 0 is a cycle; 2 -> 3 leaves it.
+/// let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])?;
+/// let cond = scc::condense(&g);
+/// assert_eq!(cond.num_components(), 2);
+/// assert!(cond.same_component(0, 2));
+/// assert!(!cond.same_component(0, 3));
+/// # Ok::<(), hoplite_graph::GraphError>(())
+/// ```
+pub fn condense(g: &DiGraph) -> Condensation {
+    let (num_comps, comp_of) = strongly_connected_components(g);
+    let mut comp_sizes = vec![0u32; num_comps];
+    for &c in &comp_of {
+        comp_sizes[c as usize] += 1;
+    }
+    let mut b = GraphBuilder::with_capacity(num_comps, g.num_edges() / 2);
+    for (u, v) in g.edges() {
+        let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+        if cu != cv {
+            b.add_edge_unchecked(cu, cv);
+        }
+    }
+    let dag_graph = b.build();
+    debug_assert!(dag_graph.edges().all(|(u, v)| u < v));
+    let dag = Dag::new(dag_graph).expect("condensation must be acyclic");
+    Condensation {
+        dag,
+        comp_of,
+        comp_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let (nc, comp) = strongly_connected_components(&g);
+        assert_eq!(nc, 4);
+        // Topological: comp ids respect edge direction.
+        for (u, v) in g.edges() {
+            assert!(comp[u as usize] < comp[v as usize]);
+        }
+    }
+
+    #[test]
+    fn simple_cycle_collapses() {
+        // 0 -> 1 -> 2 -> 0 cycle plus tail 2 -> 3
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let c = condense(&g);
+        assert_eq!(c.num_components(), 2);
+        assert!(c.same_component(0, 1));
+        assert!(c.same_component(1, 2));
+        assert!(!c.same_component(2, 3));
+        assert_eq!(c.dag.graph().num_edges(), 1);
+        let cyc = c.comp_of[0];
+        assert_eq!(c.comp_sizes[cyc as usize], 3);
+    }
+
+    #[test]
+    fn two_cycles_in_sequence() {
+        // (0 <-> 1) -> (2 <-> 3), condensation is a single edge.
+        let g =
+            DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]).unwrap();
+        let c = condense(&g);
+        assert_eq!(c.num_components(), 2);
+        let (a, b) = (c.comp_of[0], c.comp_of[2]);
+        assert!(a < b, "edge direction must give topological comp ids");
+        assert!(c.dag.graph().has_edge(a, b));
+    }
+
+    #[test]
+    fn parallel_cross_edges_are_merged() {
+        // Two SCCs with two crossing edges produce one condensation edge.
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)],
+        )
+        .unwrap();
+        let c = condense(&g);
+        assert_eq!(c.dag.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn disconnected_vertices() {
+        let g = DiGraph::empty(3);
+        let c = condense(&g);
+        assert_eq!(c.num_components(), 3);
+        assert_eq!(c.dag.graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn whole_graph_one_scc() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let c = condense(&g);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.comp_sizes[0], 3);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-vertex path exercises the iterative DFS.
+        let n = 200_000;
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let (nc, _) = strongly_connected_components(&g);
+        assert_eq!(nc, n);
+    }
+
+    #[test]
+    fn long_cycle_collapses_iteratively() {
+        let n = 100_000u32;
+        let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = DiGraph::from_edges(n as usize, &edges).unwrap();
+        let c = condense(&g);
+        assert_eq!(c.num_components(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Descriptive statistics of a graph / DAG.
+//!
+//! Used by the benchmark harness (Table 1 reporting), the examples,
+//! and anyone deciding which index fits a dataset: reachability-index
+//! behaviour is driven by exactly these quantities (sparsity, degree
+//! skew, depth, closure density).
+
+use crate::dag::Dag;
+use crate::digraph::DiGraph;
+use crate::gen::Rng;
+use crate::traversal::{Direction, TraversalScratch};
+use crate::VertexId;
+
+/// Summary statistics for a directed graph.
+///
+/// ```
+/// use hoplite_graph::{stats::GraphStats, DiGraph};
+///
+/// let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])?;
+/// let s = GraphStats::compute(&g);
+/// assert_eq!(s.num_roots, 1);
+/// assert_eq!(s.max_out_degree, 2);
+/// # Ok::<(), hoplite_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Mean out-degree (= mean in-degree).
+    pub avg_degree: f64,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Vertices with in-degree 0.
+    pub num_roots: usize,
+    /// Vertices with out-degree 0.
+    pub num_leaves: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics in one pass.
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut roots = 0usize;
+        let mut leaves = 0usize;
+        for v in 0..n as VertexId {
+            let (o, i) = (g.out_degree(v), g.in_degree(v));
+            max_out = max_out.max(o);
+            max_in = max_in.max(i);
+            roots += (i == 0) as usize;
+            leaves += (o == 0) as usize;
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            num_roots: roots,
+            num_leaves: leaves,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg-deg={:.2} max-out={} max-in={} roots={} leaves={}",
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.num_roots,
+            self.num_leaves
+        )
+    }
+}
+
+/// Estimates the transitive-closure density of a DAG — the expected
+/// fraction of ordered pairs `(u, v)` with `u → v` — by running
+/// forward BFS from `samples` uniformly chosen vertices. Closure
+/// density is the single best predictor of whether compression-family
+/// indexes (INT/PT/PW8/KR) will fit in memory.
+pub fn estimate_closure_density(dag: &Dag, samples: usize, seed: u64) -> f64 {
+    let n = dag.num_vertices();
+    if n < 2 || samples == 0 {
+        return 0.0;
+    }
+    let g = dag.graph();
+    let mut rng = Rng::new(seed);
+    let mut scratch = TraversalScratch::new(n);
+    let mut out: Vec<VertexId> = Vec::new();
+    let mut reachable_total: u64 = 0;
+    for _ in 0..samples {
+        let v = rng.gen_index(n) as VertexId;
+        out.clear();
+        crate::traversal::collect_reachable(g, v, Direction::Forward, &mut scratch, &mut out);
+        reachable_total += (out.len() - 1) as u64; // exclude v itself
+    }
+    (reachable_total as f64 / samples as f64) / (n as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::tc::TransitiveClosure;
+
+    #[test]
+    fn stats_on_diamond() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.num_roots, 1);
+        assert_eq!(s.num_leaves, 1);
+        assert!((s.avg_degree - 1.0).abs() < 1e-9);
+        assert!(s.to_string().contains("n=4"));
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let s = GraphStats::compute(&DiGraph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn density_estimate_tracks_exact_value() {
+        let dag = gen::random_dag(120, 420, 5);
+        let tc = TransitiveClosure::build(&dag);
+        let exact =
+            tc.num_pairs() as f64 / (120.0 * 119.0);
+        // Sampling every vertex once makes the estimate exact up to
+        // duplicate draws.
+        let est = estimate_closure_density(&dag, 2000, 9);
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimate {est:.4} vs exact {exact:.4}"
+        );
+    }
+
+    #[test]
+    fn density_degenerate_inputs() {
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        assert_eq!(estimate_closure_density(&dag, 10, 1), 0.0);
+        let dag = Dag::from_edges(5, &[]).unwrap();
+        assert_eq!(estimate_closure_density(&dag, 10, 1), 0.0);
+        let dag = gen::grid_dag(3, 3);
+        assert_eq!(estimate_closure_density(&dag, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn path_graph_density_is_half() {
+        // On a path, Σ reachable = n(n-1)/2 → density 0.5.
+        let n = 200;
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let dag = Dag::from_edges(n, &edges).unwrap();
+        let est = estimate_closure_density(&dag, 3000, 2);
+        assert!((est - 0.5).abs() < 0.03, "estimate {est}");
+    }
+}

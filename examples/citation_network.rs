@@ -1,0 +1,79 @@
+//! Citation-network scenario — the motivating workload of the paper's
+//! introduction: "does paper A (transitively) cite paper B?".
+//!
+//! Generates a synthetic preferential-attachment citation DAG, builds
+//! the paper's Distribution-Labeling oracle alongside
+//! Hierarchical-Labeling, GRAIL, and index-free bidirectional BFS, and
+//! compares construction time, index size, and ancestry-query latency.
+//!
+//! ```sh
+//! cargo run --release --example citation_network
+//! ```
+
+use std::time::Instant;
+
+use hoplite::baselines::{BidirOnline, Grail};
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig};
+use hoplite::graph::gen;
+use hoplite::ReachIndex;
+use hoplite_bench::workload::equal_workload;
+
+fn main() {
+    let n = 50_000;
+    let m = 200_000;
+    println!("generating citation DAG: {n} papers, ~{m} citations ...");
+    let dag = gen::power_law_dag(n, m, 2013);
+    println!(
+        "generated {} vertices, {} edges\n",
+        dag.num_vertices(),
+        dag.num_edges()
+    );
+
+    // 20k "does A cite B transitively?" queries, half positive.
+    let load = equal_workload(&dag, 20_000, 7);
+
+    let mut report: Vec<(String, f64, u64, f64)> = Vec::new();
+    let mut run = |name: &str, idx: Box<dyn ReachIndex>, build_ms: f64| {
+        let t = Instant::now();
+        let mut cited = 0usize;
+        for &(u, v) in &load.pairs {
+            cited += idx.query(u, v) as usize;
+        }
+        let query_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            cited,
+            load.expected.iter().filter(|&&e| e).count(),
+            "{name} disagreed with ground truth"
+        );
+        report.push((name.to_string(), build_ms, idx.size_in_integers(), query_ms));
+    };
+
+    let t = Instant::now();
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    run("DL (this paper)", Box::new(dl), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let hl = HierarchicalLabeling::build(&dag, &HlConfig::default());
+    run("HL (this paper)", Box::new(hl), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let gl = Grail::build(&dag, 5, 99);
+    run("GRAIL", Box::new(gl), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let bfs = BidirOnline::build(&dag);
+    run("BiBFS (no index)", Box::new(bfs), t.elapsed().as_secs_f64() * 1e3);
+
+    println!(
+        "{:<18} {:>12} {:>14} {:>16}",
+        "method", "build (ms)", "index (ints)", "20k queries (ms)"
+    );
+    for (name, build, size, query) in &report {
+        println!("{name:<18} {build:>12.1} {size:>14} {query:>16.1}");
+    }
+    println!(
+        "\npositive queries: {} / {}",
+        load.expected.iter().filter(|&&e| e).count(),
+        load.len()
+    );
+}

@@ -1,0 +1,115 @@
+//! `dataset_tool` — load a graph file, condense it, build a chosen
+//! index, and answer reachability queries. The downstream-user CLI.
+//!
+//! ```sh
+//! # edge-list or .gra input; queries as "u v" lines on stdin
+//! cargo run --release --example dataset_tool -- graph.txt dl < queries.txt
+//!
+//! # or benchmark a synthetic graph when no file is at hand:
+//! cargo run --release --example dataset_tool -- @synthetic dl
+//! ```
+//!
+//! Supported index names: `dl`, `hl`, `grail`, `int`, `pt`, `pw8`,
+//! `bfs`.
+
+use std::io::{BufRead, BufReader};
+
+use hoplite::baselines::{BfsOnline, Grail, IntervalIndex, PathTree, Pwah8};
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig};
+use hoplite::graph::{gen, io, scc, Dag, DiGraph};
+use hoplite::ReachIndex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: dataset_tool <graph-file|@synthetic> <dl|hl|grail|int|pt|pw8|bfs>");
+        std::process::exit(2);
+    }
+
+    // --- Load. ---------------------------------------------------------
+    let g: DiGraph = if args[0] == "@synthetic" {
+        gen::power_law_dag(100_000, 400_000, 7).into_graph()
+    } else {
+        let f = std::fs::File::open(&args[0]).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", args[0]);
+            std::process::exit(1);
+        });
+        let reader = BufReader::new(f);
+        let loaded = if args[0].ends_with(".gra") {
+            io::read_gra(reader)
+        } else {
+            io::read_edge_list(reader)
+        };
+        loaded.unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", args[0]);
+            std::process::exit(1);
+        })
+    };
+    println!(
+        "loaded: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // --- Condense. -------------------------------------------------------
+    let cond = scc::condense(&g);
+    let dag: &Dag = &cond.dag;
+    println!(
+        "condensed: {} components, {} edges",
+        dag.num_vertices(),
+        dag.num_edges()
+    );
+
+    // --- Build. ----------------------------------------------------------
+    let budget = 4u64 << 30;
+    let t = std::time::Instant::now();
+    let idx: Box<dyn ReachIndex> = match args[1].as_str() {
+        "dl" => Box::new(DistributionLabeling::build(dag, &DlConfig::default())),
+        "hl" => Box::new(HierarchicalLabeling::build(dag, &HlConfig::default())),
+        "grail" => Box::new(Grail::build(dag, 5, 1)),
+        "int" => Box::new(IntervalIndex::build(dag, budget).unwrap_or_else(die)),
+        "pt" => Box::new(PathTree::build(dag, budget).unwrap_or_else(die)),
+        "pw8" => Box::new(Pwah8::build(dag, budget).unwrap_or_else(die)),
+        "bfs" => Box::new(BfsOnline::build(dag)),
+        other => {
+            eprintln!("unknown index {other}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "built {} in {:.1} ms ({} integers)",
+        idx.name(),
+        t.elapsed().as_secs_f64() * 1e3,
+        idx.size_in_integers()
+    );
+
+    // --- Queries from stdin (original vertex ids). -----------------------
+    println!("reading queries (u v per line) from stdin ...");
+    let stdin = std::io::stdin();
+    let mut answered = 0usize;
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin readable");
+        let mut it = line.split_whitespace();
+        let (Some(u), Some(v)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(u), Ok(v)) = (u.parse::<u32>(), v.parse::<u32>()) else {
+            eprintln!("skipping malformed line: {line}");
+            continue;
+        };
+        if (u as usize) >= g.num_vertices() || (v as usize) >= g.num_vertices() {
+            eprintln!("skipping out-of-range pair ({u},{v})");
+            continue;
+        }
+        let (cu, cv) = (cond.comp_of[u as usize], cond.comp_of[v as usize]);
+        let ans = cu == cv || idx.query(cu, cv);
+        println!("{u} -> {v}: {ans}");
+        answered += 1;
+    }
+    println!("answered {answered} queries");
+}
+
+fn die<T>(e: hoplite::GraphError) -> T {
+    eprintln!("index construction failed: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,132 @@
+//! Replays the paper's two running examples.
+//!
+//! * **Figure 1** (Hierarchical-Labeling): a DAG is decomposed into a
+//!   backbone hierarchy `G0 ⊃ G1 ⊃ G2`; labels flow from the core
+//!   down. The paper's exact 40-vertex drawing is not recoverable from
+//!   the text, so a structurally matching DAG is used and the same
+//!   statistics are narrated (per-level vertex sets, labels of a
+//!   sample vertex).
+//! * **Figure 2** (Distribution-Labeling): the exact cover structure
+//!   of the paper's walkthrough *is* recoverable — hops 13, 7, 25 with
+//!   `7 → 13`, `TC⁻¹(13) = TC⁻¹(7) ∪ {11}`, `X = {13, 7}`, `Y = ∅` —
+//!   and is rebuilt and verified step by step (Lemma 2 / Theorem 2).
+//!
+//! ```sh
+//! cargo run --example paper_figures
+//! ```
+
+use hoplite::core::hierarchy::{Hierarchy, HierarchyConfig};
+use hoplite::core::{DistributionLabeling, HierarchicalLabeling, HlConfig};
+use hoplite::graph::{gen, Dag};
+use hoplite::ReachIndex;
+
+fn main() {
+    figure1();
+    figure2();
+}
+
+/// Figure 1: hierarchical decomposition and level-wise labeling.
+fn figure1() {
+    println!("=== Figure 1: Hierarchical-Labeling running example ===\n");
+    // A 40-vertex DAG in the spirit of the paper's drawing.
+    let dag = gen::random_dag(40, 90, 1);
+    let hier = Hierarchy::build(
+        &dag,
+        &HierarchyConfig {
+            eps: 2,
+            core_size_limit: 4,
+            max_levels: 4,
+        },
+    );
+    for (i, level) in hier.levels.iter().enumerate() {
+        let mut members: Vec<u32> = level.to_orig.clone();
+        members.sort_unstable();
+        let shown: Vec<String> = members.iter().take(12).map(u32::to_string).collect();
+        let suffix = if members.len() > 12 { ", ..." } else { "" };
+        println!(
+            "V{i} ({} vertices): {{{}{suffix}}}",
+            members.len(),
+            shown.join(", ")
+        );
+    }
+
+    let hl = HierarchicalLabeling::build(
+        &dag,
+        &HlConfig {
+            eps: 2,
+            core_size_limit: 4,
+            max_levels: 4,
+            ..HlConfig::default()
+        },
+    );
+    // Narrate the labels of a level-0 vertex, like the paper does for
+    // vertex 14 of its drawing.
+    let v = (0..40u32)
+        .find(|&v| hier.level_of[v as usize] == 0 && dag.out_degree(v) > 0)
+        .expect("some vertex is labeled at level 0");
+    println!(
+        "\nsample level-0 vertex {v}: Lout = {:?}, Lin = {:?}",
+        hl.labeling().out_label(v),
+        hl.labeling().in_label(v)
+    );
+    println!("(labels verified complete against BFS in tests/paper_figures.rs)\n");
+}
+
+/// Figure 2: the Cov(13) → Cov({13,7}) → Cov({13,7,25}) walkthrough.
+fn figure2() {
+    println!("=== Figure 2: Distribution-Labeling running example ===\n");
+    let (dag, order) = figure2_graph();
+    let names = |l: &[u32]| -> Vec<u32> { l.iter().map(|&r| order[r as usize]).collect() };
+
+    let dl = DistributionLabeling::build_with_order(&dag, order.clone());
+    println!("processing order (by rank): {order:?}\n");
+    for v in [13u32, 7, 25, 11, 1, 2] {
+        println!(
+            "vertex {v:>2}: Lout = {:?}  Lin = {:?}",
+            names(dl.labeling().out_label(v)),
+            names(dl.labeling().in_label(v)),
+        );
+    }
+
+    // The paper's claims, verified live. The walkthrough stops after
+    // hops 13, 7, 25; later iterations add each vertex's own self-hop,
+    // so restrict to the walkthrough hops:
+    // "For all u in TC^-1(7), Lout(u) = {7, 13}"
+    for u in [1u32, 2, 7] {
+        let mut l: Vec<u32> = names(dl.labeling().out_label(u))
+            .into_iter()
+            .filter(|h| [13, 7, 25].contains(h))
+            .collect();
+        l.sort_unstable();
+        assert_eq!(l, vec![7, 13], "Lemma 2 labeling for ancestor {u}");
+    }
+    // Vertex 11 reaches 13 but not 7: Lout(11) = {13, 11?...} — it
+    // gets hop 13 (rank 0) and later itself.
+    let l11 = names(dl.labeling().out_label(11));
+    assert!(l11.contains(&13) && !l11.contains(&7));
+    println!("\nLemma 2 / Theorem 2 structure verified. ✔");
+    let _ = dl.query(1, 25);
+}
+
+/// A graph consistent with every constraint the paper states about its
+/// Figure 2: `7 → 13`, `TC⁻¹(13) = TC⁻¹(7) ∪ {11}`, `TC(13) ⊂ TC(7)`,
+/// both 13 and 7 reach 25 (`X = {13, 7}`), and 25 reaches nothing
+/// previously processed (`Y = ∅`).
+fn figure2_graph() -> (Dag, Vec<u32>) {
+    // Vertices: 1, 2 (ancestors of 7), 7, 11, 13, 25, 30 (descendant
+    // of 13), 31 (descendant of 7 only). Ids up to 31 for familiarity.
+    let edges = [
+        (1u32, 7u32),
+        (2, 7),
+        (7, 13),
+        (7, 31),
+        (11, 13),
+        (13, 30),
+        (13, 25),
+    ];
+    let dag = Dag::from_edges(32, &edges).expect("acyclic");
+    // Rank order: 13 first, then 7, then 25, then everything else.
+    let mut order = vec![13u32, 7, 25];
+    order.extend((0..32u32).filter(|v| ![13, 7, 25].contains(v)));
+    (dag, order)
+}

@@ -1,0 +1,62 @@
+//! Multi-core query serving with a frozen Distribution-Labeling
+//! oracle.
+//!
+//! The intro's motivating workloads (social-network analysis, ontology
+//! reasoning, web-graph services) are read-heavy: build once, answer
+//! millions of reachability probes. A built oracle is immutable, so a
+//! serving tier just shares it across threads — this example builds a
+//! web-style DAG, replays a 400 k-query batch at increasing thread
+//! counts, and prints the scaling curve.
+//!
+//! ```text
+//! cargo run --release --example parallel_service
+//! ```
+
+use hoplite::core::parallel::{measure_scaling, par_query_batch};
+use hoplite::core::{DistributionLabeling, DlConfig};
+use hoplite::graph::gen::{self, Rng};
+
+fn main() {
+    // A skewed, web-like DAG: 60 k vertices, 180 k edges.
+    let dag = gen::power_law_dag(60_000, 180_000, 42);
+    println!(
+        "graph: {} vertices, {} edges",
+        dag.num_vertices(),
+        dag.num_edges()
+    );
+
+    let t = std::time::Instant::now();
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    println!(
+        "DL build: {:.0} ms, {} label entries ({:.2} per vertex)",
+        t.elapsed().as_secs_f64() * 1e3,
+        dl.labeling().total_entries(),
+        dl.labeling().total_entries() as f64 / dag.num_vertices() as f64
+    );
+
+    // A 400 k uniform-random batch — the worst case for the oracle
+    // (mostly negative queries scan both labels fully, §6.2 obs. 3).
+    let mut rng = Rng::new(7);
+    let n = dag.num_vertices();
+    let pairs: Vec<(u32, u32)> = (0..400_000)
+        .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+        .collect();
+
+    println!("\n{:>8} {:>12} {:>12} {:>9}", "threads", "elapsed ms", "Mqueries/s", "speedup");
+    let reports = measure_scaling(dl.labeling(), &pairs, &[1, 2, 4, 8]);
+    let base = reports[0].qps();
+    for r in &reports {
+        println!(
+            "{:>8} {:>12.1} {:>12.2} {:>8.2}x",
+            r.threads,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.qps() / 1e6,
+            r.qps() / base
+        );
+    }
+
+    // The batch API preserves order, so positional post-processing is
+    // safe — e.g. joining answers back to request ids.
+    let answers = par_query_batch(dl.labeling(), &pairs[..8], 4);
+    println!("\nfirst 8 answers: {answers:?}");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a reachability oracle over an arbitrary directed
+//! graph (cycles included) and answer queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hoplite::{DiGraph, Oracle};
+
+fn main() {
+    // A small service-dependency graph. Services 0,1,2 form a retry
+    // cycle (an SCC); 5 is an independent entry point.
+    //
+    //        ┌──────────┐
+    //        ▼          │
+    //   0 -> 1 -> 2 ────┘
+    //             │
+    //             ▼
+    //   5 ──────> 3 -> 4
+    let g = DiGraph::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
+    )
+    .expect("edges in range");
+
+    // One call: SCC condensation + Distribution-Labeling (VLDB 2013).
+    let oracle = Oracle::new(&g);
+
+    println!(
+        "graph: {} vertices, {} edges, {} strongly connected components",
+        g.num_vertices(),
+        g.num_edges(),
+        oracle.num_components()
+    );
+    println!("index: {} hop-label entries\n", oracle.label_entries());
+
+    for (u, v) in [(0, 4), (1, 0), (5, 4), (4, 0), (3, 5)] {
+        println!(
+            "reaches({u}, {v}) = {}",
+            oracle.reaches(u, v)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! # hoplite
+//!
+//! A fast, compact, scalable **reachability oracle** for directed
+//! graphs — a production-oriented implementation of *“Simple, Fast,
+//! and Scalable Reachability Oracle”* (Ruoming Jin & Guan Wang,
+//! PVLDB 2013), together with every baseline index its evaluation
+//! compares against.
+//!
+//! ## The 30-second version
+//!
+//! ```
+//! use hoplite::{DiGraph, Oracle};
+//!
+//! // Any directed graph — cycles welcome (they are condensed away).
+//! let g = DiGraph::from_edges(6, &[
+//!     (0, 1), (1, 2), (2, 0),  // a strongly connected component
+//!     (2, 3), (3, 4), (5, 3),
+//! ]).unwrap();
+//!
+//! let oracle = Oracle::new(&g);
+//! assert!(oracle.reaches(0, 4));   // through the SCC and onwards
+//! assert!(oracle.reaches(1, 0));   // inside the SCC
+//! assert!(!oracle.reaches(4, 5));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`hoplite_graph`] (re-exported as [`graph`]) — CSR digraphs, SCC
+//!   condensation, DAG utilities, traversals, transitive closure,
+//!   synthetic generators, graph I/O.
+//! * [`hoplite_core`] (re-exported as [`core`]) — the paper's
+//!   contribution: [`DistributionLabeling`] (Algorithm 2) and
+//!   [`HierarchicalLabeling`] (Algorithm 1) plus reachability
+//!   backbones and hierarchical DAG decomposition.
+//! * [`hoplite_baselines`] (re-exported as [`baselines`]) — GRAIL,
+//!   Path-Tree, Interval, PWAH-8, K-Reach, set-cover 2-HOP, TF-label,
+//!   Pruned Landmark, SCARAB, online search, full TC.
+//! * [`hoplite_bench`] (re-exported as [`bench`](crate::bench)) — dataset analogues,
+//!   query workloads, and the harness regenerating the paper's
+//!   Tables 1–7 and Figures 3–4 (`cargo run -p hoplite-bench --bin
+//!   paper -- all`).
+//!
+//! The examples under `examples/` walk through realistic scenarios:
+//! `quickstart`, `citation_network`, `ontology`, `paper_figures`, and
+//! the `dataset_tool` CLI.
+
+pub use hoplite_baselines as baselines;
+pub use hoplite_bench as bench;
+pub use hoplite_core as core;
+pub use hoplite_graph as graph;
+
+pub use hoplite_core::{
+    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, Labeling, OrderKind,
+    ReachIndex,
+};
+pub use hoplite_graph::{Dag, DiGraph, GraphBuilder, GraphError, VertexId};
+
+use hoplite_graph::scc::Condensation;
+
+/// The batteries-included reachability oracle.
+///
+/// Wraps the full pipeline a downstream user wants: SCC condensation
+/// of an arbitrary digraph, Distribution-Labeling of the condensation
+/// (the paper's recommended algorithm), and queries in terms of the
+/// *original* vertex ids.
+pub struct Oracle {
+    cond: Condensation,
+    dl: DistributionLabeling,
+}
+
+impl Oracle {
+    /// Builds an oracle over any directed graph (cyclic or not) using
+    /// Distribution-Labeling with the paper's default configuration.
+    pub fn new(g: &DiGraph) -> Self {
+        Self::with_config(g, &DlConfig::default())
+    }
+
+    /// Builds with a custom Distribution-Labeling configuration.
+    pub fn with_config(g: &DiGraph, cfg: &DlConfig) -> Self {
+        let cond = Dag::condense(g);
+        let dl = DistributionLabeling::build(&cond.dag, cfg);
+        Oracle { cond, dl }
+    }
+
+    /// Does `u` reach `v` in the original graph? Reflexive.
+    pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        let (cu, cv) = (
+            self.cond.comp_of[u as usize],
+            self.cond.comp_of[v as usize],
+        );
+        cu == cv || self.dl.query(cu, cv)
+    }
+
+    /// Answers a batch of `(u, v)` pairs (original vertex ids) using
+    /// `threads` worker threads, preserving order. The labels are
+    /// immutable, so this needs no synchronization; see
+    /// [`hoplite_core::parallel`].
+    pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
+        let mapped: Vec<(VertexId, VertexId)> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                (
+                    self.cond.comp_of[u as usize],
+                    self.cond.comp_of[v as usize],
+                )
+            })
+            .collect();
+        // Same-component pairs map to (c, c), which the reflexive
+        // labeling query answers `true`.
+        hoplite_core::parallel::par_query_batch(self.dl.labeling(), &mapped, threads)
+    }
+
+    /// Number of strongly connected components of the input.
+    pub fn num_components(&self) -> usize {
+        self.cond.num_components()
+    }
+
+    /// Total hop-label entries of the underlying oracle (the paper's
+    /// index-size metric).
+    pub fn label_entries(&self) -> u64 {
+        self.dl.labeling().total_entries()
+    }
+
+    /// The condensation, for callers that need component structure.
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    /// The underlying Distribution-Labeling oracle over the
+    /// condensation DAG.
+    pub fn inner(&self) -> &DistributionLabeling {
+        &self.dl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_handles_cycles() {
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
+        )
+        .unwrap();
+        let o = Oracle::new(&g);
+        assert_eq!(o.num_components(), 4);
+        assert!(o.reaches(0, 4));
+        assert!(o.reaches(1, 0), "within the SCC");
+        assert!(o.reaches(5, 4));
+        assert!(!o.reaches(4, 0));
+        assert!(!o.reaches(3, 5));
+        assert!(o.reaches(2, 2));
+    }
+
+    #[test]
+    fn batch_matches_single_queries_through_sccs() {
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
+        )
+        .unwrap();
+        let o = Oracle::new(&g);
+        let pairs: Vec<(u32, u32)> = (0..6)
+            .flat_map(|u| (0..6).map(move |v| (u, v)))
+            .collect();
+        for threads in [1, 4] {
+            let batch = o.reaches_batch(&pairs, threads);
+            for (&(u, v), &got) in pairs.iter().zip(&batch) {
+                assert_eq!(got, o.reaches(u, v), "({u},{v}) at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_on_plain_dag_matches_bfs() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let o = Oracle::new(&g);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                assert_eq!(o.reaches(u, v), hoplite_graph::traversal::reaches(&g, u, v));
+            }
+        }
+        assert!(o.label_entries() > 0);
+    }
+}

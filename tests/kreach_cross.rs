@@ -1,0 +1,97 @@
+//! Cross-validation of the paper's second future-work item (§7,
+//! "more general reachability computation, such as k-reach"):
+//! two independent exact implementations — Pruned Landmark distance
+//! labels and the K-Reach cover distance matrix — must agree on every
+//! distance and every `within_k` answer, on every generator family.
+
+use proptest::prelude::*;
+
+use hoplite::baselines::{KReachBounded, PrunedLandmark};
+use hoplite::graph::{gen, Dag};
+
+fn assert_agree(dag: &Dag) {
+    let pl = PrunedLandmark::build(dag);
+    let kr = KReachBounded::build(dag, u64::MAX).unwrap();
+    let n = dag.num_vertices() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            let (dp, dk) = (pl.distance(u, v), kr.distance(u, v));
+            assert_eq!(dp, dk, "distance disagreement at ({u},{v})");
+            for k in [0u32, 1, 2, 3, 5, 100] {
+                assert_eq!(
+                    pl.within_k(u, v, k),
+                    kr.within_k(u, v, k),
+                    "within_{k} disagreement at ({u},{v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pl_and_kreach_agree_on_every_family() {
+    for seed in 0..3 {
+        assert_agree(&gen::random_dag(60, 170, seed));
+        assert_agree(&gen::power_law_dag(60, 170, seed));
+        assert_agree(&gen::tree_plus_dag(60, 20, seed));
+        assert_agree(&gen::layered_dag(60, 6, 150, seed));
+    }
+    assert_agree(&gen::grid_dag(6, 8));
+}
+
+#[test]
+fn k_zero_is_identity() {
+    let dag = gen::random_dag(40, 120, 9);
+    let pl = PrunedLandmark::build(&dag);
+    let kr = KReachBounded::build(&dag, u64::MAX).unwrap();
+    for u in 0..40u32 {
+        for v in 0..40u32 {
+            assert_eq!(pl.within_k(u, v, 0), u == v);
+            assert_eq!(kr.within_k(u, v, 0), u == v);
+        }
+    }
+}
+
+#[test]
+fn k_one_is_edge_or_identity() {
+    let dag = gen::power_law_dag(40, 120, 11);
+    let kr = KReachBounded::build(&dag, u64::MAX).unwrap();
+    for u in 0..40u32 {
+        for v in 0..40u32 {
+            assert_eq!(
+                kr.within_k(u, v, 1),
+                u == v || dag.graph().has_edge(u, v),
+                "({u},{v})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary forward-oriented DAGs: the two k-reach oracles agree
+    /// with each other on arbitrary (u, v, k).
+    #[test]
+    fn kreach_oracles_agree(
+        n in 2u32..32,
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 0..100),
+        k in 0u32..12,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        let dag = Dag::from_edges(n as usize, &edges).expect("forward edges are acyclic");
+        let pl = PrunedLandmark::build(&dag);
+        let kr = KReachBounded::build(&dag, u64::MAX).unwrap();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(pl.distance(u, v), kr.distance(u, v), "({},{})", u, v);
+                prop_assert_eq!(pl.within_k(u, v, k), kr.within_k(u, v, k));
+            }
+        }
+    }
+}

