@@ -75,7 +75,10 @@ impl DualLabeling {
                 }
             }
         }
-        debug_assert!(visited.iter().all(|&b| b), "DAG vertices all sit under a root");
+        debug_assert!(
+            visited.iter().all(|&b| b),
+            "DAG vertices all sit under a root"
+        );
 
         // Pre-order numbering over the recorded tree children (a second
         // pass so link discovery above could use `visited` freely).
@@ -145,9 +148,9 @@ impl DualLabeling {
             let mut row = FixedBitset::new(t);
             row.set(i);
             let (lo, hi) = subtree_range(head[i]);
-            for j in lo..hi {
+            for (j, row_j) in rows.iter().enumerate().take(hi).skip(lo) {
                 debug_assert_ne!(i, j, "a link tail cannot sit under its own head");
-                row.union_with(&rows[j]);
+                row.union_with(row_j);
             }
             rows[i] = row;
         }
@@ -226,9 +229,7 @@ impl ReachIndex for DualLabeling {
             return false;
         }
         let reach = self.range_or(lo, hi);
-        reach
-            .ones()
-            .any(|j| self.tree_reaches(self.head[j], v))
+        reach.ones().any(|j| self.tree_reaches(self.head[j], v))
     }
 
     fn size_in_integers(&self) -> u64 {
@@ -325,11 +326,7 @@ mod tests {
     fn link_chain_crosses_subtrees() {
         // Tree: 0→{1,2}; extra edges 1→2 (link) and a deeper hop:
         // 0→1→3 tree, link 3→4 where 4 hangs under 2.
-        let dag = Dag::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 2), (3, 4)],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 2), (3, 4)]).unwrap();
         let idx = DualLabeling::build(&dag, u64::MAX).unwrap();
         assert!(idx.query(1, 4), "1 →link 2 → 4 or 1 → 3 →link 4");
         assert!(idx.query(3, 4), "single link");

@@ -60,7 +60,15 @@ impl IntervalIndex {
             if visited[root as usize] || g.in_degree(root) != 0 {
                 continue;
             }
-            visit_dfs(g, root, &mut visited, &mut post, &mut tlow, &mut counter, &mut stack);
+            visit_dfs(
+                g,
+                root,
+                &mut visited,
+                &mut post,
+                &mut tlow,
+                &mut counter,
+                &mut stack,
+            );
         }
         debug_assert_eq!(counter as usize, n);
 

@@ -242,8 +242,7 @@ impl KReachBounded {
                         if cw != INVALID_VERTEX {
                             // Saturate below the MAX sentinel; paths of
                             // 65534+ edges are beyond any workload here.
-                            dist[a * s + cw as usize] =
-                                (dx + 1).min(u16::MAX as u32 - 1) as u16;
+                            dist[a * s + cw as usize] = (dx + 1).min(u16::MAX as u32 - 1) as u16;
                         }
                     }
                 }
@@ -277,7 +276,11 @@ impl KReachBounded {
         if u == v {
             return Some(0);
         }
-        let mut best = if self.g.has_edge(u, v) { 1u32 } else { u32::MAX };
+        let mut best = if self.g.has_edge(u, v) {
+            1u32
+        } else {
+            u32::MAX
+        };
         let (cu, cv) = (self.cover_id[u as usize], self.cover_id[v as usize]);
         let a_self = [u];
         let entries: &[VertexId] = if cu != INVALID_VERTEX {

@@ -48,8 +48,7 @@ impl PrunedLandmark {
             while let Some((u, d)) = queue.pop_front() {
                 // Prune iff existing labels already certify
                 // dist(u, vi) ≤ d.
-                if distance_between(&out[u as usize], &in_[vi as usize])
-                    .is_some_and(|cur| cur <= d)
+                if distance_between(&out[u as usize], &in_[vi as usize]).is_some_and(|cur| cur <= d)
                 {
                     continue;
                 }
@@ -66,8 +65,7 @@ impl PrunedLandmark {
             visited.insert(vi);
             queue.push_back((vi, 0));
             while let Some((w, d)) = queue.pop_front() {
-                if distance_between(&out[vi as usize], &in_[w as usize])
-                    .is_some_and(|cur| cur <= d)
+                if distance_between(&out[vi as usize], &in_[w as usize]).is_some_and(|cur| cur <= d)
                 {
                     continue;
                 }

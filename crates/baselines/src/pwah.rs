@@ -71,20 +71,32 @@ impl PwahVec {
         for &p in positions {
             let b = p / BLOCK_BITS;
             if started && b != block {
-                enc.push_seg(Seg { pattern: bits, count: 1 });
+                enc.push_seg(Seg {
+                    pattern: bits,
+                    count: 1,
+                });
                 if b > block + 1 {
-                    enc.push_seg(Seg { pattern: 0, count: b - block - 1 });
+                    enc.push_seg(Seg {
+                        pattern: 0,
+                        count: b - block - 1,
+                    });
                 }
                 bits = 0;
             } else if !started && b > 0 {
-                enc.push_seg(Seg { pattern: 0, count: b });
+                enc.push_seg(Seg {
+                    pattern: 0,
+                    count: b,
+                });
             }
             started = true;
             block = b;
             bits |= 1 << (p % BLOCK_BITS);
         }
         if started {
-            enc.push_seg(Seg { pattern: bits, count: 1 });
+            enc.push_seg(Seg {
+                pattern: bits,
+                count: 1,
+            });
         }
         enc.finish()
     }
@@ -407,8 +419,7 @@ impl ReachIndex for Pwah8 {
     }
 
     fn size_in_integers(&self) -> u64 {
-        self.bit_of.len() as u64
-            + self.rows.iter().map(|r| r.size_in_integers()).sum::<u64>()
+        self.bit_of.len() as u64 + self.rows.iter().map(|r| r.size_in_integers()).sum::<u64>()
     }
 }
 
@@ -460,11 +471,7 @@ mod tests {
             let vb = PwahVec::from_sorted_positions(&b);
             let vo = PwahVec::or(&va, &vb);
             for p in 0..310u32 {
-                assert_eq!(
-                    vo.contains(p),
-                    a.contains(&p) || b.contains(&p),
-                    "bit {p}"
-                );
+                assert_eq!(vo.contains(p), a.contains(&p) || b.contains(&p), "bit {p}");
             }
         }
     }

@@ -197,8 +197,7 @@ mod tests {
     fn scarab_grail_correct() {
         for seed in 0..5 {
             let dag = gen::random_dag(60, 170, seed);
-            let idx =
-                Scarab::build(&dag, 2, "GRAIL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
+            let idx = Scarab::build(&dag, 2, "GRAIL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
             assert_matches_bfs(&dag, &idx);
         }
     }
@@ -207,8 +206,7 @@ mod tests {
     fn scarab_pathtree_correct() {
         for seed in 0..5 {
             let dag = gen::power_law_dag(60, 170, seed);
-            let idx =
-                Scarab::build(&dag, 2, "PT*", |bb| PathTree::build(bb, u64::MAX)).unwrap();
+            let idx = Scarab::build(&dag, 2, "PT*", |bb| PathTree::build(bb, u64::MAX)).unwrap();
             assert_matches_bfs(&dag, &idx);
         }
     }
@@ -217,8 +215,7 @@ mod tests {
     fn scarab_eps1_and_eps3_correct() {
         let dag = gen::random_dag(50, 140, 7);
         for eps in [1, 3] {
-            let idx =
-                Scarab::build(&dag, eps, "GRAIL*", |bb| Ok(Grail::build(bb, 3, 1))).unwrap();
+            let idx = Scarab::build(&dag, eps, "GRAIL*", |bb| Ok(Grail::build(bb, 3, 1))).unwrap();
             assert_matches_bfs(&dag, &idx);
         }
     }
@@ -246,8 +243,7 @@ mod tests {
     fn tree_like_graphs() {
         for seed in 0..3 {
             let dag = gen::tree_plus_dag(70, 20, seed);
-            let idx =
-                Scarab::build(&dag, 2, "GRAIL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
+            let idx = Scarab::build(&dag, 2, "GRAIL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
             assert_matches_bfs(&dag, &idx);
         }
     }

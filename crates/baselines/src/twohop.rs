@@ -101,8 +101,7 @@ impl TwoHop {
             (rev[w as usize].count_ones() + fwd[w as usize].count_ones()) as f64
         };
         for w in 0..n as VertexId {
-            let benefit =
-                rev[w as usize].count_ones() as f64 * fwd[w as usize].count_ones() as f64;
+            let benefit = rev[w as usize].count_ones() as f64 * fwd[w as usize].count_ones() as f64;
             if benefit > 0.0 {
                 heap.push((Prio(benefit / cost(w)), w));
             }

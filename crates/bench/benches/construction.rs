@@ -29,18 +29,14 @@ fn bench_construction(c: &mut Criterion) {
         // Scaled down so the slow baselines (2HOP) stay benchable.
         let dag = spec.generate(0.12);
         for mid in MethodId::paper_columns() {
-            group.bench_with_input(
-                BenchmarkId::new(mid.name(), name),
-                &dag,
-                |b, dag| {
-                    b.iter(|| {
-                        let o = build_method(mid, dag, &cfg);
-                        // Budget failures are valid outcomes for the
-                        // heavyweight baselines on the dense analogue.
-                        std::hint::black_box(o.build_ms)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mid.name(), name), &dag, |b, dag| {
+                b.iter(|| {
+                    let o = build_method(mid, dag, &cfg);
+                    // Budget failures are valid outcomes for the
+                    // heavyweight baselines on the dense analogue.
+                    std::hint::black_box(o.build_ms)
+                })
+            });
         }
     }
     group.finish();

@@ -11,10 +11,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use hoplite_core::label::{sorted_intersect, sorted_intersect_adaptive};
-use hoplite_core::{DistributionLabeling, DlConfig};
 use hoplite_bench::small_datasets;
 use hoplite_bench::workload::random_workload;
+use hoplite_core::label::{sorted_intersect, sorted_intersect_adaptive};
+use hoplite_core::{DistributionLabeling, DlConfig};
 use hoplite_graph::gen::Rng;
 
 fn bench_real_labels(c: &mut Criterion) {
@@ -43,8 +43,8 @@ fn bench_real_labels(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for &(u, v) in &load.pairs {
-                hits += sorted_intersect_adaptive(labeling.out_label(u), labeling.in_label(v))
-                    as usize;
+                hits +=
+                    sorted_intersect_adaptive(labeling.out_label(u), labeling.in_label(v)) as usize;
             }
             std::hint::black_box(hits)
         })

@@ -74,7 +74,11 @@ fn bench_label_repr(c: &mut Criterion) {
             let mut hits = 0usize;
             for &(u, v) in &load.pairs {
                 let (a, bl) = (labeling.out_label(u), labeling.in_label(v));
-                let (small, big) = if a.len() <= bl.len() { (a, bl) } else { (bl, a) };
+                let (small, big) = if a.len() <= bl.len() {
+                    (a, bl)
+                } else {
+                    (bl, a)
+                };
                 hits += (u == v || small.iter().any(|h| big.binary_search(h).is_ok())) as usize;
             }
             std::hint::black_box(hits)

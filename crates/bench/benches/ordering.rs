@@ -37,9 +37,7 @@ fn bench_ordering(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (name, order) in orders() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
-            b.iter(|| {
-                std::hint::black_box(DistributionLabeling::build(&dag, &DlConfig { order }))
-            })
+            b.iter(|| std::hint::black_box(DistributionLabeling::build(&dag, &DlConfig { order })))
         });
     }
     group.finish();

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
-use hoplite_bench::runner::{build_method, MethodId, RunConfig};
 use hoplite_bench::large_datasets;
+use hoplite_bench::runner::{build_method, MethodId, RunConfig};
 use hoplite_bench::workload::{equal_workload, random_workload};
 
 fn bench_queries_large(c: &mut Criterion) {

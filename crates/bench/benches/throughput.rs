@@ -9,10 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
-use hoplite_core::parallel::par_count_reachable;
-use hoplite_core::{DistributionLabeling, DlConfig};
 use hoplite_bench::small_datasets;
 use hoplite_bench::workload::equal_workload;
+use hoplite_core::parallel::par_count_reachable;
+use hoplite_core::{DistributionLabeling, DlConfig};
 
 fn bench_parallel_throughput(c: &mut Criterion) {
     let spec = small_datasets()
@@ -33,11 +33,7 @@ fn bench_parallel_throughput(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    std::hint::black_box(par_count_reachable(
-                        dl.labeling(),
-                        &load.pairs,
-                        threads,
-                    ))
+                    std::hint::black_box(par_count_reachable(dl.labeling(), &load.pairs, threads))
                 })
             },
         );

@@ -11,9 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
+use hoplite_baselines::Grail;
 use hoplite_bench::small_datasets;
 use hoplite_bench::workload::mixed_workload;
-use hoplite_baselines::Grail;
 use hoplite_core::{DistributionLabeling, DlConfig, ReachIndex};
 
 fn bench_workload_mix(c: &mut Criterion) {

@@ -39,12 +39,45 @@ use hoplite_bench::runner::{run_suite, MethodId, RunConfig};
 use hoplite_bench::tables::{render, render_suite, Projection};
 use hoplite_bench::{large_datasets, small_datasets, DatasetSpec};
 
+const USAGE: &str = "\
+paper — regenerate the VLDB 2013 reachability-oracle evaluation
+
+usage: paper <command> [--scale-small=F] [--scale-large=F] [--queries=N]
+                       [--budget-mb=N] [--time-cap-s=N] [--seed=N]
+
+commands:
+  table1   dataset statistics (Table 1)
+  table2   query time, equal load, small graphs (Table 2)
+  table3   query time, random load, small graphs (Table 3)
+  table4   construction time, small graphs (Table 4)
+  table5   query time, equal load, large graphs (Table 5)
+  table6   query time, random load, large graphs (Table 6)
+  table7   construction time, large graphs (Table 7)
+  fig3     index size, small graphs (Figure 3)
+  fig4     index size, large graphs (Figure 4)
+  small    tables 2-4 + figure 3 from one measured suite
+  large    tables 5-7 + figure 4 from one measured suite
+  all      everything above
+
+  backbone      hierarchy shrinkage per level (§4.1)
+  verify        validate every method against ground truth
+  smoke         fast non-timed sanity check (one dataset, one method)
+  ablation      DL order / HL eps / core-labeler tables
+  extras        small suite incl. DUAL + CHAIN (§2.1 references)
+  throughput    multi-core DL query scaling
+  scarab-depth  recursive SCARAB study (§2.3's open option)
+  help          this text";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: paper <table1|table2|...|table7|fig3|fig4|small|large|all> [flags]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let mut cfg = RunConfig::default();
     for a in &args[1..] {
         let Some((key, val)) = a.split_once('=') else {
@@ -85,6 +118,7 @@ fn main() {
         "large" => large_suite(&cfg, &small_all),
         "backbone" => backbone_stats(&cfg),
         "verify" => verify(&cfg),
+        "smoke" => smoke(&cfg),
         "ablation" => ablation(&cfg),
         "extras" => extras(&cfg),
         "throughput" => throughput(&cfg),
@@ -288,7 +322,12 @@ fn ablation(cfg: &RunConfig) {
             cells.push(vec![
                 format!("{build_ms:.1}"),
                 format!("{:.1}", hl.labeling().total_entries() as f64 / 1e3),
-                if hl.core_formula3_used() { "yes" } else { "no (fallback)" }.into(),
+                if hl.core_formula3_used() {
+                    "yes"
+                } else {
+                    "no (fallback)"
+                }
+                .into(),
             ]);
         }
     }
@@ -348,7 +387,10 @@ fn scarab_depth(cfg: &RunConfig) {
     let picks = ["agrocyc", "arxiv", "p2p"];
     let mut rows = Vec::new();
     let mut cells = Vec::new();
-    for spec in small_datasets().into_iter().filter(|s| picks.contains(&s.name)) {
+    for spec in small_datasets()
+        .into_iter()
+        .filter(|s| picks.contains(&s.name))
+    {
         let dag = spec.generate(cfg.scale_small);
         let load = equal_workload(&dag, cfg.queries.min(20_000), cfg.seed);
         let mut measure = |label: &str, verts: usize, build: &dyn Fn() -> Box<dyn ReachIndex>| {
@@ -378,9 +420,7 @@ fn scarab_depth(cfg: &RunConfig) {
         let d1_size = d1.backbone_size();
         drop(d1);
         measure("depth1", d1_size, &|| {
-            Box::new(
-                Scarab::build(&dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap(),
-            )
+            Box::new(Scarab::build(&dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap())
         });
         let d2 = Scarab::build(&dag, 2, "GL**", |bb| {
             Scarab::build(bb, 2, "GL*", |bb2| Ok(Grail::build(bb2, 5, seed)))
@@ -420,7 +460,10 @@ fn throughput(cfg: &RunConfig) {
     let mut rows = Vec::new();
     let mut cells = Vec::new();
     let widths = [1usize, 2, 4, 8];
-    for spec in small_datasets().into_iter().filter(|s| picks.contains(&s.name)) {
+    for spec in small_datasets()
+        .into_iter()
+        .filter(|s| picks.contains(&s.name))
+    {
         let dag = spec.generate(cfg.scale_small);
         let dl = DistributionLabeling::build(&dag, &DlConfig::default());
         let load = equal_workload(&dag, cfg.queries.max(100_000), cfg.seed);
@@ -476,6 +519,35 @@ fn verify(cfg: &RunConfig) {
     println!(
         "verify: {checked} method/dataset builds validated against ground truth \
          ({skipped} skipped on budget), 0 mismatches"
+    );
+}
+
+/// Fast non-timed sanity check for CI: one tiny dataset, the paper's
+/// recommended method, validated against workload ground truth. Proves
+/// the harness still launches end to end in well under a second.
+fn smoke(cfg: &RunConfig) {
+    use hoplite_bench::runner::{build_method, validate};
+    use hoplite_bench::workload::random_workload;
+    let spec = small_datasets()
+        .into_iter()
+        .next()
+        .expect("at least one small dataset");
+    let dag = spec.generate(cfg.scale_small.min(0.05));
+    let workload = random_workload(&dag, 500, cfg.seed);
+    let outcome = build_method(MethodId::Dl, &dag, cfg);
+    let idx = outcome
+        .index
+        .unwrap_or_else(|| panic!("DL build failed: {:?}", outcome.error));
+    if !validate(idx.as_ref(), &workload) {
+        eprintln!("FAIL: smoke validation mismatch on {}", spec.name);
+        std::process::exit(1);
+    }
+    println!(
+        "smoke ok: {} ({} vertices, {} edges), DL validated on {} queries",
+        spec.name,
+        dag.num_vertices(),
+        dag.num_edges(),
+        workload.len()
     );
 }
 

@@ -10,14 +10,12 @@
 
 use std::time::{Duration, Instant};
 
+use hoplite_baselines::twohop::TwoHopConfig;
 use hoplite_baselines::{
     ChainIndex, DualLabeling, Grail, IntervalIndex, KReach, PathTree, PrunedLandmark, Pwah8,
     Scarab, TfLabel, TwoHop,
 };
-use hoplite_baselines::twohop::TwoHopConfig;
-use hoplite_core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex,
-};
+use hoplite_core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
 use hoplite_graph::{Dag, GraphError};
 
 use crate::datasets::DatasetSpec;
@@ -164,26 +162,18 @@ pub fn build_method(id: MethodId, dag: &Dag, cfg: &RunConfig) -> BuildOutcome {
     let start = Instant::now();
     let built: Result<Box<dyn ReachIndex>, GraphError> = match id {
         MethodId::Grail => Ok(Box::new(Grail::build(dag, 5, cfg.seed))),
-        MethodId::GrailStar => {
-            Scarab::build(dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, cfg.seed)))
-                .map(|s| Box::new(s) as Box<dyn ReachIndex>)
-        }
-        MethodId::PathTree => {
-            PathTree::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
-                .map(|i| Box::new(i) as Box<dyn ReachIndex>)
-        }
+        MethodId::GrailStar => Scarab::build(dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, cfg.seed)))
+            .map(|s| Box::new(s) as Box<dyn ReachIndex>),
+        MethodId::PathTree => PathTree::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
+            .map(|i| Box::new(i) as Box<dyn ReachIndex>),
         MethodId::PathTreeStar => Scarab::build(dag, 2, "PT*", |bb| {
             PathTree::build_limited(bb, cfg.budget_bytes, Some(cfg.time_budget))
         })
         .map(|s| Box::new(s) as Box<dyn ReachIndex>),
-        MethodId::KReach => {
-            KReach::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
-                .map(|i| Box::new(i) as Box<dyn ReachIndex>)
-        }
-        MethodId::Pwah8 => {
-            Pwah8::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
-                .map(|i| Box::new(i) as Box<dyn ReachIndex>)
-        }
+        MethodId::KReach => KReach::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
+            .map(|i| Box::new(i) as Box<dyn ReachIndex>),
+        MethodId::Pwah8 => Pwah8::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
+            .map(|i| Box::new(i) as Box<dyn ReachIndex>),
         MethodId::Interval => {
             IntervalIndex::build_limited(dag, cfg.budget_bytes, Some(cfg.time_budget))
                 .map(|i| Box::new(i) as Box<dyn ReachIndex>)
@@ -206,10 +196,12 @@ pub fn build_method(id: MethodId, dag: &Dag, cfg: &RunConfig) -> BuildOutcome {
             dag,
             &DlConfig::default(),
         ))),
-        MethodId::Dual => DualLabeling::build(dag, cfg.budget_bytes)
-            .map(|i| Box::new(i) as Box<dyn ReachIndex>),
-        MethodId::Chain => ChainIndex::build(dag, cfg.budget_bytes)
-            .map(|i| Box::new(i) as Box<dyn ReachIndex>),
+        MethodId::Dual => {
+            DualLabeling::build(dag, cfg.budget_bytes).map(|i| Box::new(i) as Box<dyn ReachIndex>)
+        }
+        MethodId::Chain => {
+            ChainIndex::build(dag, cfg.budget_bytes).map(|i| Box::new(i) as Box<dyn ReachIndex>)
+        }
     };
     let build_ms = start.elapsed().as_secs_f64() * 1e3;
     match built {

@@ -165,10 +165,8 @@ impl Backbone {
                             continue;
                         }
                         if in_backbone[w as usize] {
-                            builder.add_edge_unchecked(
-                                cu as VertexId,
-                                parent_to_backbone[w as usize],
-                            );
+                            builder
+                                .add_edge_unchecked(cu as VertexId, parent_to_backbone[w as usize]);
                             // do not expand past a backbone vertex
                         } else {
                             queue.push_back(w);

@@ -328,23 +328,14 @@ mod tests {
     fn cycle_insertions_rejected() {
         let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut o = DynamicOracle::new(dag);
-        assert!(matches!(
-            o.insert_edge(2, 0),
-            Err(GraphError::Cycle { .. })
-        ));
-        assert!(matches!(
-            o.insert_edge(1, 1),
-            Err(GraphError::Cycle { .. })
-        ));
+        assert!(matches!(o.insert_edge(2, 0), Err(GraphError::Cycle { .. })));
+        assert!(matches!(o.insert_edge(1, 1), Err(GraphError::Cycle { .. })));
         // Overlay cycles are caught too.
         o.insert_edge(2, 0).err().unwrap();
         let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
         o.insert_edge(1, 2).unwrap();
-        assert!(matches!(
-            o.insert_edge(3, 0),
-            Err(GraphError::Cycle { .. })
-        ));
+        assert!(matches!(o.insert_edge(3, 0), Err(GraphError::Cycle { .. })));
     }
 
     #[test]

@@ -122,8 +122,10 @@ impl HierarchicalLabeling {
                 for dir in [Direction::Forward, Direction::Reverse] {
                     nbhd.clear();
                     traversal::bounded_neighborhood(g, c, half, dir, &mut scratch, &mut nbhd);
-                    let mut hops: Vec<u32> =
-                        nbhd.iter().map(|&(x, _)| core.to_orig[x as usize]).collect();
+                    let mut hops: Vec<u32> = nbhd
+                        .iter()
+                        .map(|&(x, _)| core.to_orig[x as usize])
+                        .collect();
                     hops.sort_unstable();
                     match dir {
                         Direction::Forward => b.out[orig] = hops,
@@ -133,7 +135,12 @@ impl HierarchicalLabeling {
             }
         } else {
             // DL on the core, ranks translated to original ids.
-            let dl = DistributionLabeling::build(&core.dag, &DlConfig { order: cfg.core_order });
+            let dl = DistributionLabeling::build(
+                &core.dag,
+                &DlConfig {
+                    order: cfg.core_order,
+                },
+            );
             for c in 0..core.dag.num_vertices() as VertexId {
                 let orig = core.to_orig[c as usize] as usize;
                 let translate = |ranks: &[u32]| -> Vec<u32> {
@@ -312,10 +319,7 @@ mod tests {
         for eps in 1..=3 {
             for seed in 0..4 {
                 let dag = gen::random_dag(50, 140, seed);
-                let cfg = HlConfig {
-                    eps,
-                    ..small_cfg()
-                };
+                let cfg = HlConfig { eps, ..small_cfg() };
                 let hl = HierarchicalLabeling::build(&dag, &cfg);
                 assert_matches_bfs(&dag, &hl);
             }
@@ -370,18 +374,17 @@ mod tests {
         // A 2-level diamond mesh: every reachable pair within 2 steps,
         // so with a large core limit the whole graph is the core and
         // Formula 3 applies directly.
-        let dag = Dag::from_edges(
-            6,
-            &[(0, 2), (0, 3), (1, 2), (1, 3), (2, 4), (3, 5)],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (2, 4), (3, 5)]).unwrap();
         let cfg = HlConfig {
             core_labeler: CoreLabeler::EpsilonNeighborhood,
             core_size_limit: 100,
             ..HlConfig::default()
         };
         let hl = HierarchicalLabeling::build(&dag, &cfg);
-        assert!(hl.core_formula3_used(), "diameter 2 core must use Formula 3");
+        assert!(
+            hl.core_formula3_used(),
+            "diameter 2 core must use Formula 3"
+        );
         assert_matches_bfs(&dag, &hl);
     }
 
@@ -449,8 +452,7 @@ mod tests {
         let complete = |out: &[Vec<u32>], in_: &[Vec<u32>]| {
             (0..n as u32).all(|u| {
                 (0..n as u32).all(|v| {
-                    (u == v || sorted_intersect(&out[u as usize], &in_[v as usize]))
-                        == (u <= v)
+                    (u == v || sorted_intersect(&out[u as usize], &in_[v as usize])) == (u <= v)
                 })
             })
         };

@@ -49,9 +49,8 @@ impl OrderKind {
         match self {
             OrderKind::DegProduct => {
                 let mut v: Vec<VertexId> = (0..n as VertexId).collect();
-                let key = |x: &VertexId| {
-                    (dag.out_degree(*x) as u64 + 1) * (dag.in_degree(*x) as u64 + 1)
-                };
+                let key =
+                    |x: &VertexId| (dag.out_degree(*x) as u64 + 1) * (dag.in_degree(*x) as u64 + 1);
                 v.sort_by(|a, b| key(b).cmp(&key(a)).then(a.cmp(b)));
                 v
             }
@@ -74,9 +73,9 @@ impl OrderKind {
                 // reverse by transposing counts over rows.
                 let mut fwd = vec![0u64; n];
                 let mut rev = vec![0u64; n];
-                for u in 0..n {
+                for (u, fwd_u) in fwd.iter_mut().enumerate() {
                     for v in tc.row(u as VertexId).ones() {
-                        fwd[u] += 1;
+                        *fwd_u += 1;
                         rev[v] += 1;
                     }
                 }

@@ -56,10 +56,7 @@ pub fn par_count_reachable(
 ) -> u64 {
     let threads = effective_threads(threads, pairs.len());
     if threads <= 1 {
-        return pairs
-            .iter()
-            .filter(|&&(u, v)| labeling.query(u, v))
-            .count() as u64;
+        return pairs.iter().filter(|&&(u, v)| labeling.query(u, v)).count() as u64;
     }
     let chunk = pairs.len().div_ceil(threads);
     std::thread::scope(|s| {
@@ -69,7 +66,10 @@ pub fn par_count_reachable(
                 s.spawn(move || part.iter().filter(|&&(u, v)| labeling.query(u, v)).count() as u64)
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("query worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker panicked"))
+            .sum()
     })
 }
 
@@ -203,7 +203,10 @@ mod tests {
         let reports = measure_scaling(&labeling, &pairs, &[1, 2, 4]);
         assert_eq!(reports.len(), 3);
         let positives: Vec<u64> = reports.iter().map(|r| r.positive).collect();
-        assert!(positives.windows(2).all(|w| w[0] == w[1]), "same answers at every width");
+        assert!(
+            positives.windows(2).all(|w| w[0] == w[1]),
+            "same answers at every width"
+        );
         for r in &reports {
             assert_eq!(r.queries, pairs.len());
             assert!(r.qps() > 0.0);

@@ -142,9 +142,7 @@ fn expect_eof<R: Read>(r: &mut R) -> Result<(), PersistError> {
     let mut probe = [0u8; 1];
     match r.read(&mut probe)? {
         0 => Ok(()),
-        _ => Err(PersistError::Format(
-            "trailing bytes after payload".into(),
-        )),
+        _ => Err(PersistError::Format("trailing bytes after payload".into())),
     }
 }
 
@@ -159,7 +157,9 @@ fn read_header<R: Read>(r: &mut R, want_kind: u8) -> Result<u64, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(PersistError::Format("bad magic (not a hoplite index)".into()));
+        return Err(PersistError::Format(
+            "bad magic (not a hoplite index)".into(),
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {

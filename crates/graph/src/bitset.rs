@@ -66,10 +66,7 @@ impl FixedBitset {
 
     /// `true` iff `self` and `other` share at least one set bit.
     pub fn intersects(&self, other: &FixedBitset) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of set bits.
@@ -100,10 +97,12 @@ impl FixedBitset {
     /// Builds a bitset from raw words; bits past `nbits` must be zero.
     pub fn from_words(words: Vec<u64>, nbits: usize) -> Self {
         assert_eq!(words.len(), nbits.div_ceil(64));
-        debug_assert!(nbits % 64 == 0 || words.is_empty() || {
-            let last = words[words.len() - 1];
-            last >> (nbits % 64) == 0
-        });
+        debug_assert!(
+            nbits % 64 == 0 || words.is_empty() || {
+                let last = words[words.len() - 1];
+                last >> (nbits % 64) == 0
+            }
+        );
         FixedBitset { words, nbits }
     }
 

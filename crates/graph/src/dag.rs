@@ -26,8 +26,9 @@ impl Dag {
         let n = g.num_vertices();
         let mut indeg: Vec<u32> = (0..n as VertexId).map(|v| g.in_degree(v) as u32).collect();
         let mut topo = Vec::with_capacity(n);
-        let mut queue: std::collections::VecDeque<VertexId> =
-            (0..n as VertexId).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: std::collections::VecDeque<VertexId> = (0..n as VertexId)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
         while let Some(v) = queue.pop_front() {
             topo.push(v);
             for &w in g.out_neighbors(v) {

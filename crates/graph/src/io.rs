@@ -29,11 +29,10 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<DiGraph> {
             // Optional "# vertices: N" header.
             let rest = rest.trim();
             if let Some(num) = rest.strip_prefix("vertices:") {
-                declared_n =
-                    Some(num.trim().parse::<usize>().map_err(|e| GraphError::Parse {
-                        line: idx + 1,
-                        msg: format!("bad vertex count: {e}"),
-                    })?);
+                declared_n = Some(num.trim().parse::<usize>().map_err(|e| GraphError::Parse {
+                    line: idx + 1,
+                    msg: format!("bad vertex count: {e}"),
+                })?);
             }
             continue;
         }

@@ -88,8 +88,7 @@ pub fn strongly_connected_components(g: &DiGraph) -> (usize, Vec<VertexId>) {
                 // v is finished: propagate lowlink and pop SCC roots.
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root; pop its component.
@@ -184,8 +183,7 @@ mod tests {
     #[test]
     fn two_cycles_in_sequence() {
         // (0 <-> 1) -> (2 <-> 3), condensation is a single edge.
-        let g =
-            DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]).unwrap();
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]).unwrap();
         let c = condense(&g);
         assert_eq!(c.num_components(), 2);
         let (a, b) = (c.comp_of[0], c.comp_of[2]);
@@ -196,11 +194,7 @@ mod tests {
     #[test]
     fn parallel_cross_edges_are_merged() {
         // Two SCCs with two crossing edges produce one condensation edge.
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)]).unwrap();
         let c = condense(&g);
         assert_eq!(c.dag.graph().num_edges(), 1);
     }

@@ -142,8 +142,7 @@ mod tests {
     fn density_estimate_tracks_exact_value() {
         let dag = gen::random_dag(120, 420, 5);
         let tc = TransitiveClosure::build(&dag);
-        let exact =
-            tc.num_pairs() as f64 / (120.0 * 119.0);
+        let exact = tc.num_pairs() as f64 / (120.0 * 119.0);
         // Sampling every vertex once makes the estimate exact up to
         // duplicate draws.
         let est = estimate_closure_density(&dag, 2000, 9);

@@ -133,12 +133,7 @@ pub fn reaches(g: &DiGraph, u: VertexId, v: VertexId) -> bool {
 }
 
 /// Reachability check reusing caller-provided scratch space.
-pub fn reaches_with(
-    g: &DiGraph,
-    u: VertexId,
-    v: VertexId,
-    scratch: &mut TraversalScratch,
-) -> bool {
+pub fn reaches_with(g: &DiGraph, u: VertexId, v: VertexId, scratch: &mut TraversalScratch) -> bool {
     if u == v {
         return true;
     }

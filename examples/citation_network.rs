@@ -50,11 +50,19 @@ fn main() {
 
     let t = Instant::now();
     let dl = DistributionLabeling::build(&dag, &DlConfig::default());
-    run("DL (this paper)", Box::new(dl), t.elapsed().as_secs_f64() * 1e3);
+    run(
+        "DL (this paper)",
+        Box::new(dl),
+        t.elapsed().as_secs_f64() * 1e3,
+    );
 
     let t = Instant::now();
     let hl = HierarchicalLabeling::build(&dag, &HlConfig::default());
-    run("HL (this paper)", Box::new(hl), t.elapsed().as_secs_f64() * 1e3);
+    run(
+        "HL (this paper)",
+        Box::new(hl),
+        t.elapsed().as_secs_f64() * 1e3,
+    );
 
     let t = Instant::now();
     let gl = Grail::build(&dag, 5, 99);
@@ -62,7 +70,11 @@ fn main() {
 
     let t = Instant::now();
     let bfs = BidirOnline::build(&dag);
-    run("BiBFS (no index)", Box::new(bfs), t.elapsed().as_secs_f64() * 1e3);
+    run(
+        "BiBFS (no index)",
+        Box::new(bfs),
+        t.elapsed().as_secs_f64() * 1e3,
+    );
 
     println!(
         "{:<18} {:>12} {:>14} {:>16}",

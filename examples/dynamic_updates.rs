@@ -100,9 +100,8 @@ fn main() {
     let bytes = std::fs::metadata(&path).expect("file exists").len();
     println!("\nsaved final index to {} ({bytes} bytes)", path.display());
 
-    let loaded =
-        DistributionLabeling::load(std::fs::File::open(&path).expect("file readable"))
-            .expect("index deserializes");
+    let loaded = DistributionLabeling::load(std::fs::File::open(&path).expect("file readable"))
+        .expect("index deserializes");
     println!(
         "reloaded: {} label entries — queries match: {}",
         loaded.labeling().total_entries(),

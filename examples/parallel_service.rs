@@ -42,7 +42,10 @@ fn main() {
         .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
         .collect();
 
-    println!("\n{:>8} {:>12} {:>12} {:>9}", "threads", "elapsed ms", "Mqueries/s", "speedup");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>9}",
+        "threads", "elapsed ms", "Mqueries/s", "speedup"
+    );
     let reports = measure_scaling(dl.labeling(), &pairs, &[1, 2, 4, 8]);
     let base = reports[0].qps();
     for r in &reports {

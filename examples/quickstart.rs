@@ -17,11 +17,8 @@ fn main() {
     //             │
     //             ▼
     //   5 ──────> 3 -> 4
-    let g = DiGraph::from_edges(
-        6,
-        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
-    )
-    .expect("edges in range");
+    let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)])
+        .expect("edges in range");
 
     // One call: SCC condensation + Distribution-Labeling (VLDB 2013).
     let oracle = Oracle::new(&g);
@@ -35,9 +32,6 @@ fn main() {
     println!("index: {} hop-label entries\n", oracle.label_entries());
 
     for (u, v) in [(0, 4), (1, 0), (5, 4), (4, 0), (3, 5)] {
-        println!(
-            "reaches({u}, {v}) = {}",
-            oracle.reaches(u, v)
-        );
+        println!("reaches({u}, {v}) = {}", oracle.reaches(u, v));
     }
 }

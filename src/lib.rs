@@ -50,8 +50,7 @@ pub use hoplite_core as core;
 pub use hoplite_graph as graph;
 
 pub use hoplite_core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, Labeling, OrderKind,
-    ReachIndex,
+    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, Labeling, OrderKind, ReachIndex,
 };
 pub use hoplite_graph::{Dag, DiGraph, GraphBuilder, GraphError, VertexId};
 
@@ -84,10 +83,7 @@ impl Oracle {
 
     /// Does `u` reach `v` in the original graph? Reflexive.
     pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
-        let (cu, cv) = (
-            self.cond.comp_of[u as usize],
-            self.cond.comp_of[v as usize],
-        );
+        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
         cu == cv || self.dl.query(cu, cv)
     }
 
@@ -98,12 +94,7 @@ impl Oracle {
     pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
         let mapped: Vec<(VertexId, VertexId)> = pairs
             .iter()
-            .map(|&(u, v)| {
-                (
-                    self.cond.comp_of[u as usize],
-                    self.cond.comp_of[v as usize],
-                )
-            })
+            .map(|&(u, v)| (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]))
             .collect();
         // Same-component pairs map to (c, c), which the reflexive
         // labeling query answers `true`.
@@ -139,11 +130,7 @@ mod tests {
 
     #[test]
     fn oracle_handles_cycles() {
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)]).unwrap();
         let o = Oracle::new(&g);
         assert_eq!(o.num_components(), 4);
         assert!(o.reaches(0, 4));
@@ -156,15 +143,9 @@ mod tests {
 
     #[test]
     fn batch_matches_single_queries_through_sccs() {
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)]).unwrap();
         let o = Oracle::new(&g);
-        let pairs: Vec<(u32, u32)> = (0..6)
-            .flat_map(|u| (0..6).map(move |v| (u, v)))
-            .collect();
+        let pairs: Vec<(u32, u32)> = (0..6).flat_map(|u| (0..6).map(move |v| (u, v))).collect();
         for threads in [1, 4] {
             let batch = o.reaches_batch(&pairs, threads);
             for (&(u, v), &got) in pairs.iter().zip(&batch) {

@@ -10,9 +10,7 @@ use hoplite::baselines::{
     ChainIndex, DualLabeling, FullTc, Grail, IntervalIndex, KReach, PathTree, PrunedLandmark,
     Pwah8, Scarab, TfLabel, TwoHop,
 };
-use hoplite::core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex,
-};
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
 use hoplite::graph::{gen, Dag};
 use hoplite_bench::workload::{equal_workload, random_workload};
 
@@ -23,12 +21,7 @@ fn validate(idx: &dyn ReachIndex, dag: &Dag, queries: usize, seed: u64) {
         random_workload(dag, queries, seed ^ 0xA5A5),
     ] {
         for (&(u, v), &truth) in w.pairs.iter().zip(&w.expected) {
-            assert_eq!(
-                idx.query(u, v),
-                truth,
-                "{} wrong at ({u},{v})",
-                idx.name()
-            );
+            assert_eq!(idx.query(u, v), truth, "{} wrong at ({u},{v})", idx.name());
         }
     }
 }
@@ -64,12 +57,7 @@ fn oracles_validate_at_scale() {
 #[test]
 fn tc_compression_family_validates_at_scale() {
     for (_family, dag) in families(1500, 50) {
-        validate(
-            &IntervalIndex::build(&dag, u64::MAX).unwrap(),
-            &dag,
-            800,
-            9,
-        );
+        validate(&IntervalIndex::build(&dag, u64::MAX).unwrap(), &dag, 800, 9);
         validate(&PathTree::build(&dag, u64::MAX).unwrap(), &dag, 800, 9);
         validate(&Pwah8::build(&dag, u64::MAX).unwrap(), &dag, 800, 9);
         validate(&ChainIndex::build(&dag, u64::MAX).unwrap(), &dag, 800, 9);
@@ -163,8 +151,7 @@ fn recursive_scarab_is_correct_and_shrinks_twice() {
     // level must shrink the vertex set.
     for seed in [0u64, 1, 2] {
         let dag = gen::random_dag(900, 2700, seed);
-        let depth1 =
-            Scarab::build(&dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
+        let depth1 = Scarab::build(&dag, 2, "GL*", |bb| Ok(Grail::build(bb, 5, seed))).unwrap();
         let depth2 = Scarab::build(&dag, 2, "GL**", |bb| {
             Scarab::build(bb, 2, "GL*", |bb2| Ok(Grail::build(bb2, 5, seed)))
         })

@@ -2,14 +2,12 @@
 //! with the materialized transitive closure on every vertex pair, for
 //! every generator family.
 
+use hoplite::baselines::twohop::TwoHopConfig;
 use hoplite::baselines::{
     BfsOnline, BidirOnline, ChainIndex, DfsOnline, DualLabeling, FullTc, Grail, IntervalIndex,
     KReach, PathTree, PrunedLandmark, Pwah8, Scarab, TfLabel, TwoHop,
 };
-use hoplite::baselines::twohop::TwoHopConfig;
-use hoplite::core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex,
-};
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
 use hoplite::graph::{gen, Dag, TransitiveClosure};
 
 /// Builds one of every index over `dag`.

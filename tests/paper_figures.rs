@@ -129,11 +129,7 @@ fn figure1_hierarchy_and_labeling_invariants() {
         for b in 0..l1.dag.num_vertices() as u32 {
             assert_eq!(
                 traversal::reaches(l1.dag.graph(), a, b),
-                traversal::reaches(
-                    dag.graph(),
-                    l1.to_orig[a as usize],
-                    l1.to_orig[b as usize]
-                )
+                traversal::reaches(dag.graph(), l1.to_orig[a as usize], l1.to_orig[b as usize])
             );
         }
     }

@@ -83,7 +83,11 @@ fn harness_runs_every_method_on_one_small_analogue() {
             .index
             .unwrap_or_else(|| panic!("{} failed: {:?}", mid.name(), outcome.error));
         assert!(validate(idx.as_ref(), &equal), "{} equal load", mid.name());
-        assert!(validate(idx.as_ref(), &random), "{} random load", mid.name());
+        assert!(
+            validate(idx.as_ref(), &random),
+            "{} random load",
+            mid.name()
+        );
         assert!(!idx.name().is_empty());
     }
 }
@@ -102,7 +106,12 @@ fn harness_reproduces_paper_feasibility_boundary() {
         budget_bytes: 4 << 20, // 4 MiB per index
         ..RunConfig::default()
     };
-    let must_survive = [MethodId::Grail, MethodId::Hl, MethodId::Dl, MethodId::TfLabel];
+    let must_survive = [
+        MethodId::Grail,
+        MethodId::Hl,
+        MethodId::Dl,
+        MethodId::TfLabel,
+    ];
     for mid in must_survive {
         let o = build_method(mid, &dag, &cfg);
         assert!(
@@ -129,10 +138,7 @@ fn oracle_label_metrics_exposed() {
     let oracle = Oracle::new(&g);
     assert!(oracle.label_entries() > 0);
     assert!(oracle.num_components() > 1);
-    assert_eq!(
-        oracle.condensation().comp_of.len(),
-        g.num_vertices()
-    );
+    assert_eq!(oracle.condensation().comp_of.len(), g.num_vertices());
     // The inner DL oracle is reachable for power users.
     assert!(oracle.inner().labeling().total_entries() == oracle.label_entries());
 }

@@ -8,7 +8,9 @@
 
 use proptest::prelude::*;
 
-use hoplite::baselines::{ChainIndex, DualLabeling, Grail, IntervalIndex, KReach, PathTree, Pwah8, TfLabel};
+use hoplite::baselines::{
+    ChainIndex, DualLabeling, Grail, IntervalIndex, KReach, PathTree, Pwah8, TfLabel,
+};
 use hoplite::core::{
     sorted_intersect, DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, OrderKind,
     ReachIndex,
@@ -36,7 +38,10 @@ fn arb_digraph(max_n: u32, max_m: usize) -> impl Strategy<Value = DiGraph> {
         proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
             DiGraph::from_edges(
                 n as usize,
-                &pairs.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>(),
+                &pairs
+                    .into_iter()
+                    .filter(|&(a, b)| a != b)
+                    .collect::<Vec<_>>(),
             )
             .expect("in range")
         })

@@ -1,0 +1,85 @@
+//! Workspace smoke test: the batteries-included [`hoplite::Oracle`]
+//! facade, end to end, on random *cyclic* digraphs.
+//!
+//! This is the one test a fresh checkout should be able to point at to
+//! know the whole stack works: SCC condensation (`hoplite-graph`),
+//! Distribution-Labeling construction and queries (`hoplite-core`), the
+//! parallel batch path (`hoplite-core::parallel`), all driven through
+//! the root facade exactly the way the README quickstart does. Ground
+//! truth is plain BFS over the original graph
+//! ([`hoplite::graph::traversal::reaches`]).
+
+use hoplite::graph::gen::Rng;
+use hoplite::graph::traversal;
+use hoplite::{DiGraph, Oracle, ReachIndex, VertexId};
+
+/// A random digraph with `n` vertices and up to `m` edges, cycles and
+/// duplicate edges very much included.
+fn random_cyclic_digraph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let mut rng = Rng::new(seed);
+    let edges: Vec<(VertexId, VertexId)> = (0..m)
+        .filter_map(|_| {
+            let u = rng.gen_index(n) as VertexId;
+            let v = rng.gen_index(n) as VertexId;
+            (u != v).then_some((u, v))
+        })
+        .collect();
+    DiGraph::from_edges(n, &edges).expect("edges are in range")
+}
+
+#[test]
+fn oracle_matches_bfs_on_random_cyclic_digraphs() {
+    for (seed, n, m) in [
+        (1u64, 24usize, 40usize),
+        (2, 32, 96),
+        (3, 48, 160),
+        (4, 16, 64),
+    ] {
+        let g = random_cyclic_digraph(n, m, seed);
+        let oracle = Oracle::new(&g);
+        assert!(oracle.num_components() <= n);
+        for u in 0..n as VertexId {
+            for v in 0..n as VertexId {
+                assert_eq!(
+                    oracle.reaches(u, v),
+                    traversal::reaches(&g, u, v),
+                    "seed {seed}: ({u},{v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_path_matches_singles_and_bfs() {
+    let g = random_cyclic_digraph(40, 130, 7);
+    let oracle = Oracle::new(&g);
+    let mut rng = Rng::new(99);
+    let pairs: Vec<(VertexId, VertexId)> = (0..2000)
+        .map(|_| (rng.gen_index(40) as VertexId, rng.gen_index(40) as VertexId))
+        .collect();
+    for threads in [1, 2, 8] {
+        let batch = oracle.reaches_batch(&pairs, threads);
+        assert_eq!(batch.len(), pairs.len());
+        for (&(u, v), &got) in pairs.iter().zip(&batch) {
+            assert_eq!(
+                got,
+                traversal::reaches(&g, u, v),
+                "({u},{v}) at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_reports_nonempty_index_stats() {
+    let g = random_cyclic_digraph(30, 70, 11);
+    let oracle = Oracle::new(&g);
+    assert!(oracle.label_entries() > 0, "labels were built");
+    assert_eq!(
+        oracle.condensation().num_components(),
+        oracle.num_components()
+    );
+    // The inner DL oracle answers condensation-level queries reflexively.
+    assert!(oracle.inner().query(0, 0));
+}

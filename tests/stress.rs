@@ -4,9 +4,7 @@
 //! larger sizes with sampled verification.
 
 use hoplite::baselines::{Grail, IntervalIndex, PathTree, Pwah8};
-use hoplite::core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex,
-};
+use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
 use hoplite::graph::gen::Rng;
 use hoplite::graph::{traversal, Dag, DiGraph};
 use hoplite::Oracle;

@@ -1,0 +1,69 @@
+//! String generation from a small regex subset.
+//!
+//! Supported pattern shape: a sequence of atoms, where an atom is a
+//! literal character or a character class `[...]` (literal members and
+//! `a-z` style ranges), optionally followed by a `{lo,hi}` repetition.
+//! This covers the patterns used by this workspace's property tests;
+//! anything else panics loudly so an unsupported pattern is an obvious
+//! test-authoring error rather than silent misgeneration.
+
+use crate::test_runner::TestRng;
+
+pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet: Vec<char> = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => members.push(chars.next().expect("escape at end")),
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = match chars.next() {
+                                    Some(']') | None => {
+                                        panic!("unterminated range in class: {pattern}")
+                                    }
+                                    Some(h) => h,
+                                };
+                                members.extend(lo..=hi);
+                            } else {
+                                members.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated character class: {pattern}"),
+                    }
+                }
+                members
+            }
+            '\\' => vec![chars.next().expect("escape at end")],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex construct {c:?} in {pattern}")
+            }
+            lit => vec![lit],
+        };
+        assert!(!alphabet.is_empty(), "empty character class in {pattern}");
+
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("expected {{lo,hi}} repetition in {pattern}"));
+            (
+                lo.trim().parse::<usize>().expect("repetition lower bound"),
+                hi.trim().parse::<usize>().expect("repetition upper bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..len {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
