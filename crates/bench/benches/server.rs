@@ -1,0 +1,65 @@
+//! Wire-level serving throughput (`hoplite-server`).
+//!
+//! The `throughput` bench measures the in-process batch path; this one
+//! measures the same frozen oracle served over TCP loopback — framing,
+//! decode, registry lookup, batch fan-out, reply encode — so the
+//! serving-tier overhead over `par_query_batch` is visible. Single
+//! REACH round-trips bound per-query latency; BATCH frames amortize
+//! it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hoplite_core::Oracle;
+use hoplite_graph::gen::{self, Rng};
+use hoplite_server::{Client, Registry, Server, ServerConfig};
+
+fn bench_wire_throughput(c: &mut Criterion) {
+    let dag = gen::power_law_dag(20_000, 60_000, 42);
+    let n = dag.num_vertices();
+    let oracle = Oracle::new(&dag.into_graph());
+
+    let registry = Arc::new(Registry::new());
+    registry.insert_frozen("bench", oracle).unwrap();
+    let server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut rng = Rng::new(7);
+    let pairs: Vec<(u32, u32)> = (0..4096)
+        .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+        .collect();
+
+    let mut group = c.benchmark_group("server/wire");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("reach_single", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(client.reach("bench", u, v).unwrap())
+        })
+    });
+
+    for batch in [64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reach_batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    std::hint::black_box(client.reach_batch("bench", &pairs[..batch]).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_wire_throughput);
+criterion_main!(benches);

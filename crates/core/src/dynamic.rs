@@ -109,6 +109,12 @@ impl DynamicOracle {
         self.rebuilds
     }
 
+    /// Hop-label entries of the labeled snapshot (overlay excluded) —
+    /// the paper's index-size metric, surfaced for serving-side stats.
+    pub fn label_entries(&self) -> u64 {
+        self.dl.labeling().total_entries()
+    }
+
     /// Inserts the edge `u → v`.
     ///
     /// Returns [`GraphError::Cycle`] (and leaves the oracle unchanged)

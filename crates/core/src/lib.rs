@@ -52,7 +52,7 @@ pub use dynamic::DynamicOracle;
 pub use hierarchical::{CoreLabeler, HierarchicalLabeling, HlConfig};
 pub use hierarchy::Hierarchy;
 pub use label::{sorted_intersect, Labeling, LabelingBuilder};
-pub use oracle::ReachIndex;
+pub use oracle::{Oracle, ReachIndex};
 pub use order::OrderKind;
 pub use parallel::{par_count_reachable, par_query_batch, ThroughputReport};
 pub use persist::PersistError;

@@ -1,7 +1,11 @@
 //! The query interface shared by every reachability index in the
-//! workspace.
+//! workspace, and the batteries-included [`Oracle`] over arbitrary
+//! (cyclic) digraphs.
 
-use hoplite_graph::VertexId;
+use hoplite_graph::scc::Condensation;
+use hoplite_graph::{Dag, DiGraph, VertexId};
+
+use crate::distribution::{DistributionLabeling, DlConfig};
 
 /// A built reachability index over a fixed DAG.
 ///
@@ -33,6 +37,108 @@ pub trait ReachIndex: Send {
     /// `4 · size_in_integers()`.
     fn memory_bytes(&self) -> u64 {
         self.size_in_integers() * 4
+    }
+}
+
+/// The batteries-included reachability oracle.
+///
+/// Wraps the full pipeline a downstream user wants: SCC condensation
+/// of an arbitrary digraph, Distribution-Labeling of the condensation
+/// (the paper's recommended algorithm), and queries in terms of the
+/// *original* vertex ids.
+///
+/// ```
+/// use hoplite_graph::DiGraph;
+/// use hoplite_core::Oracle;
+///
+/// // Any directed graph — cycles welcome (they are condensed away).
+/// let g = DiGraph::from_edges(6, &[
+///     (0, 1), (1, 2), (2, 0),  // a strongly connected component
+///     (2, 3), (3, 4), (5, 3),
+/// ]).unwrap();
+///
+/// let oracle = Oracle::new(&g);
+/// assert!(oracle.reaches(0, 4));   // through the SCC and onwards
+/// assert!(oracle.reaches(1, 0));   // inside the SCC
+/// assert!(!oracle.reaches(4, 5));
+/// ```
+///
+/// A built oracle can be shipped to query-serving replicas with
+/// [`Oracle::save`]/[`Oracle::load`] (see [`crate::persist`]) and
+/// served over the network by `hoplite-server`.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    cond: Condensation,
+    dl: DistributionLabeling,
+}
+
+impl Oracle {
+    /// Builds an oracle over any directed graph (cyclic or not) using
+    /// Distribution-Labeling with the paper's default configuration.
+    pub fn new(g: &DiGraph) -> Self {
+        Self::with_config(g, &DlConfig::default())
+    }
+
+    /// Builds with a custom Distribution-Labeling configuration.
+    pub fn with_config(g: &DiGraph, cfg: &DlConfig) -> Self {
+        let cond = Dag::condense(g);
+        let dl = DistributionLabeling::build(&cond.dag, cfg);
+        Oracle { cond, dl }
+    }
+
+    /// Reassembles an oracle from a deserialized condensation and
+    /// labeling. The caller ([`crate::persist`]) has validated that the
+    /// labeling covers exactly the condensation's components.
+    pub(crate) fn from_parts(cond: Condensation, dl: DistributionLabeling) -> Self {
+        debug_assert_eq!(cond.num_components(), dl.labeling().num_vertices());
+        Oracle { cond, dl }
+    }
+
+    /// Does `u` reach `v` in the original graph? Reflexive.
+    pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
+        cu == cv || self.dl.query(cu, cv)
+    }
+
+    /// Answers a batch of `(u, v)` pairs (original vertex ids) using
+    /// `threads` worker threads, preserving order. The labels are
+    /// immutable, so this needs no synchronization; see
+    /// [`crate::parallel`].
+    pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
+        let mapped: Vec<(VertexId, VertexId)> = pairs
+            .iter()
+            .map(|&(u, v)| (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]))
+            .collect();
+        // Same-component pairs map to (c, c), which the reflexive
+        // labeling query answers `true`.
+        crate::parallel::par_query_batch(self.dl.labeling(), &mapped, threads)
+    }
+
+    /// Number of vertices of the original graph.
+    pub fn num_vertices(&self) -> usize {
+        self.cond.comp_of.len()
+    }
+
+    /// Number of strongly connected components of the input.
+    pub fn num_components(&self) -> usize {
+        self.cond.num_components()
+    }
+
+    /// Total hop-label entries of the underlying oracle (the paper's
+    /// index-size metric).
+    pub fn label_entries(&self) -> u64 {
+        self.dl.labeling().total_entries()
+    }
+
+    /// The condensation, for callers that need component structure.
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    /// The underlying Distribution-Labeling oracle over the
+    /// condensation DAG.
+    pub fn inner(&self) -> &DistributionLabeling {
+        &self.dl
     }
 }
 

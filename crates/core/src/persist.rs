@@ -2,13 +2,17 @@
 //!
 //! The paper's headline is cheap construction, but a production user
 //! still wants to build once and ship the index to query-serving
-//! replicas. The format is a small, versioned little-endian layout:
+//! replicas — the `hoplite-server` crate is that replica: `hoplited
+//! serve --index NAME=FILE` loads an [`Oracle::save`] payload and
+//! answers it over the wire. The format is a small, versioned
+//! little-endian layout:
 //!
 //! ```text
 //! magic   4 bytes  "HOPL"
 //! version u32      1
 //! kind    u8       1 = bare Labeling, 2 = DistributionLabeling,
-//!                  3 = HierarchicalLabeling
+//!                  3 = HierarchicalLabeling,
+//!                  4 = Oracle (condensation + DistributionLabeling)
 //! n       u64      vertex count
 //! ...              kind-specific payload (CSR arrays, order table,
 //!                  level sizes)
@@ -35,17 +39,21 @@
 use std::fmt;
 use std::io::{Read, Write};
 
-use hoplite_graph::VertexId;
+use hoplite_graph::digraph::GraphBuilder;
+use hoplite_graph::scc::Condensation;
+use hoplite_graph::{Dag, VertexId};
 
 use crate::distribution::DistributionLabeling;
 use crate::hierarchical::HierarchicalLabeling;
 use crate::label::Labeling;
+use crate::oracle::Oracle;
 
 const MAGIC: &[u8; 4] = b"HOPL";
 const VERSION: u32 = 1;
 const KIND_LABELING: u8 = 1;
 const KIND_DL: u8 = 2;
 const KIND_HL: u8 = 3;
+const KIND_ORACLE: u8 = 4;
 
 /// Errors returned by the readers.
 #[derive(Debug)]
@@ -125,7 +133,10 @@ fn read_u32_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u32>, PersistEr
             "array of {len} entries exceeds plausible bound {cap_hint}"
         )));
     }
-    let mut out = Vec::with_capacity(len as usize);
+    // Pre-size from the claimed length, but never by more than 4 MiB:
+    // a corrupt length field must fail at the EOF it implies, not
+    // allocate gigabytes up front.
+    let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
     let mut buf = [0u8; 4];
     for _ in 0..len {
         r.read_exact(&mut buf)?;
@@ -173,7 +184,16 @@ fn read_header<R: Read>(r: &mut R, want_kind: u8) -> Result<u64, PersistError> {
             "wrong payload kind {kind} (expected {want_kind})"
         )));
     }
-    read_u64(r)
+    let n = read_u64(r)?;
+    // Vertex ids are u32 throughout the workspace, so a larger count
+    // can only come from corruption; rejecting it here also keeps the
+    // downstream `n + 1` arithmetic overflow-free.
+    if n > u32::MAX as u64 {
+        return Err(PersistError::Format(format!(
+            "vertex count {n} exceeds the u32 id space"
+        )));
+    }
+    Ok(n)
 }
 
 // ---------------------------------------------------------------------
@@ -189,47 +209,64 @@ fn write_labeling_body<W: Write>(l: &Labeling, w: &mut W) -> std::io::Result<()>
 }
 
 fn read_labeling_body<R: Read>(r: &mut R, n: u64) -> Result<Labeling, PersistError> {
-    let offsets_bound = n + 1;
-    let hops_bound = u32::MAX as u64;
-    let oo = read_u32_vec(r, offsets_bound)?;
-    let oh = read_u32_vec(r, hops_bound)?;
-    let io_ = read_u32_vec(r, offsets_bound)?;
-    let ih = read_u32_vec(r, hops_bound)?;
-    validate_csr(&oo, &oh, n, "out")?;
-    validate_csr(&io_, &ih, n, "in")?;
+    let (oo, oh) = read_csr_side(r, n, "out")?;
+    validate_sorted_lists(&oo, &oh, "out")?;
+    let (io_, ih) = read_csr_side(r, n, "in")?;
+    validate_sorted_lists(&io_, &ih, "in")?;
     Ok(Labeling::from_csr_unchecked(oo, oh, io_, ih))
 }
 
-fn validate_csr(offsets: &[u32], hops: &[u32], n: u64, side: &str) -> Result<(), PersistError> {
+/// Hop lists must be strictly sorted (the query is a sorted-merge
+/// intersection). The condensation CSR skips this check — its
+/// adjacency is re-canonicalized through [`GraphBuilder`] on load.
+fn validate_sorted_lists(offsets: &[u32], hops: &[u32], what: &str) -> Result<(), PersistError> {
+    for w in offsets.windows(2) {
+        let list = &hops[w[0] as usize..w[1] as usize];
+        if list.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(PersistError::Format(format!(
+                "{what}: hop list not strictly sorted"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one `offsets` + `entries` CSR pair, validating the offsets
+/// *before* reading the entry array so its read is bounded by the
+/// final offset rather than by a corruptible length field.
+fn read_csr_side<R: Read>(
+    r: &mut R,
+    n: u64,
+    what: &str,
+) -> Result<(Vec<u32>, Vec<u32>), PersistError> {
+    let offsets = read_u32_vec(r, n + 1)?;
+    validate_offsets(&offsets, n, what)?;
+    let bound = *offsets.last().expect("nonempty") as u64;
+    let entries = read_u32_vec(r, bound)?;
+    if entries.len() as u64 != bound {
+        return Err(PersistError::Format(format!(
+            "{what}: final offset {bound} != entry count {}",
+            entries.len()
+        )));
+    }
+    Ok((offsets, entries))
+}
+
+fn validate_offsets(offsets: &[u32], n: u64, what: &str) -> Result<(), PersistError> {
     if offsets.len() as u64 != n + 1 {
         return Err(PersistError::Format(format!(
-            "{side}: offsets length {} != n+1 = {}",
+            "{what}: offsets length {} != n+1 = {}",
             offsets.len(),
             n + 1
         )));
     }
     if offsets.first() != Some(&0) {
-        return Err(PersistError::Format(format!("{side}: offsets[0] != 0")));
+        return Err(PersistError::Format(format!("{what}: offsets[0] != 0")));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(PersistError::Format(format!(
-            "{side}: offsets not monotone"
+            "{what}: offsets not monotone"
         )));
-    }
-    if *offsets.last().expect("nonempty") as usize != hops.len() {
-        return Err(PersistError::Format(format!(
-            "{side}: final offset {} != hop count {}",
-            offsets.last().expect("nonempty"),
-            hops.len()
-        )));
-    }
-    for w in offsets.windows(2) {
-        let list = &hops[w[0] as usize..w[1] as usize];
-        if list.windows(2).any(|p| p[0] >= p[1]) {
-            return Err(PersistError::Format(format!(
-                "{side}: hop list not strictly sorted"
-            )));
-        }
     }
     Ok(())
 }
@@ -252,35 +289,134 @@ pub fn read_labeling<R: Read>(mut r: R) -> Result<Labeling, PersistError> {
 // DistributionLabeling / HierarchicalLabeling
 // ---------------------------------------------------------------------
 
+fn write_dl_body<W: Write>(dl: &DistributionLabeling, w: &mut W) -> std::io::Result<()> {
+    write_labeling_body(dl.labeling(), w)?;
+    write_u32_slice(w, dl.order())
+}
+
+fn read_dl_body<R: Read>(r: &mut R, n: u64) -> Result<DistributionLabeling, PersistError> {
+    let labeling = read_labeling_body(r, n)?;
+    let order: Vec<VertexId> = read_u32_vec(r, n)?;
+    if order.len() as u64 != n {
+        return Err(PersistError::Format(format!(
+            "order table length {} != n = {n}",
+            order.len()
+        )));
+    }
+    let mut seen = vec![false; n as usize];
+    for &v in &order {
+        if (v as u64) >= n || std::mem::replace(&mut seen[v as usize], true) {
+            return Err(PersistError::Format(
+                "order table is not a permutation".into(),
+            ));
+        }
+    }
+    Ok(DistributionLabeling::from_parts(labeling, order))
+}
+
 impl DistributionLabeling {
     /// Serializes the oracle (labels + rank order).
     pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         write_header(&mut w, KIND_DL, self.labeling().num_vertices() as u64)?;
-        write_labeling_body(self.labeling(), &mut w)?;
-        write_u32_slice(&mut w, self.order())
+        write_dl_body(self, &mut w)
     }
 
     /// Deserializes an oracle written by [`Self::save`].
     pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
         let n = read_header(&mut r, KIND_DL)?;
-        let labeling = read_labeling_body(&mut r, n)?;
-        let order: Vec<VertexId> = read_u32_vec(&mut r, n)?;
-        if order.len() as u64 != n {
+        let dl = read_dl_body(&mut r, n)?;
+        expect_eof(&mut r)?;
+        Ok(dl)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle (condensation + DistributionLabeling)
+// ---------------------------------------------------------------------
+
+impl Oracle {
+    /// Serializes the full oracle: the SCC condensation (component
+    /// mapping, component sizes, condensation-DAG edges) followed by
+    /// the Distribution-Labeling over the components. This is the
+    /// payload a query-serving replica (`hoplited --index NAME=FILE`)
+    /// loads so it can answer original-vertex-id queries on an
+    /// arbitrary cyclic digraph without rebuilding at startup.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let cond = self.condensation();
+        write_header(&mut w, KIND_ORACLE, cond.comp_of.len() as u64)?;
+        write_u32_slice(&mut w, &cond.comp_of)?;
+        write_u32_slice(&mut w, &cond.comp_sizes)?;
+        // Condensation DAG as CSR: offsets then concatenated targets.
+        let g = cond.dag.graph();
+        let c = g.num_vertices();
+        let mut offsets: Vec<u32> = Vec::with_capacity(c + 1);
+        let mut targets: Vec<u32> = Vec::with_capacity(g.num_edges());
+        offsets.push(0);
+        for v in 0..c as VertexId {
+            targets.extend_from_slice(g.out_neighbors(v));
+            offsets.push(targets.len() as u32);
+        }
+        write_u32_slice(&mut w, &offsets)?;
+        write_u32_slice(&mut w, &targets)?;
+        write_dl_body(self.inner(), &mut w)
+    }
+
+    /// Deserializes an oracle written by [`Self::save`], validating
+    /// every structural invariant (component mapping in range and
+    /// consistent with the size table, condensation edges strictly
+    /// topological `c1 < c2` — which also proves acyclicity — and the
+    /// labeling checks shared with [`DistributionLabeling::load`]).
+    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        let n = read_header(&mut r, KIND_ORACLE)?;
+        let comp_of = read_u32_vec(&mut r, n)?;
+        if comp_of.len() as u64 != n {
             return Err(PersistError::Format(format!(
-                "order table length {} != n = {n}",
-                order.len()
+                "comp_of length {} != n = {n}",
+                comp_of.len()
             )));
         }
-        let mut seen = vec![false; n as usize];
-        for &v in &order {
-            if (v as u64) >= n || std::mem::replace(&mut seen[v as usize], true) {
-                return Err(PersistError::Format(
-                    "order table is not a permutation".into(),
-                ));
+        let comp_sizes = read_u32_vec(&mut r, n)?;
+        let c = comp_sizes.len();
+        let mut counts = vec![0u32; c];
+        for &comp in &comp_of {
+            if comp as usize >= c {
+                return Err(PersistError::Format(format!(
+                    "comp_of entry {comp} out of range (components: {c})"
+                )));
+            }
+            counts[comp as usize] += 1;
+        }
+        if counts != comp_sizes {
+            return Err(PersistError::Format(
+                "comp_sizes disagrees with comp_of histogram".into(),
+            ));
+        }
+        let (offsets, targets) = read_csr_side(&mut r, c as u64, "condensation")?;
+        let mut b = GraphBuilder::with_capacity(c, targets.len());
+        for v in 0..c {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for &t in &targets[lo..hi] {
+                // Topological component ids (`tail < head`) double as
+                // the acyclicity proof, so `Dag::new` cannot fail.
+                if t as usize >= c || t <= v as u32 {
+                    return Err(PersistError::Format(format!(
+                        "condensation edge ({v}, {t}) is not topological"
+                    )));
+                }
+                b.add_edge_unchecked(v as u32, t);
             }
         }
+        let dag = Dag::new(b.build()).expect("topological edges are acyclic");
+        let dl = read_dl_body(&mut r, c as u64)?;
         expect_eof(&mut r)?;
-        Ok(DistributionLabeling::from_parts(labeling, order))
+        Ok(Oracle::from_parts(
+            Condensation {
+                dag,
+                comp_of,
+                comp_sizes,
+            },
+            dl,
+        ))
     }
 }
 
@@ -429,6 +565,150 @@ mod tests {
         buf.push(0);
         let err = DistributionLabeling::load(Cursor::new(&buf)).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    fn random_cyclic_digraph(n: usize, m: usize, seed: u64) -> hoplite_graph::DiGraph {
+        let mut rng = gen::Rng::new(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .filter_map(|_| {
+                let u = rng.gen_index(n) as u32;
+                let v = rng.gen_index(n) as u32;
+                (u != v).then_some((u, v))
+            })
+            .collect();
+        hoplite_graph::DiGraph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn oracle_roundtrip_preserves_queries_on_cyclic_digraph() {
+        let g = random_cyclic_digraph(48, 150, 41);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        let o2 = Oracle::load(Cursor::new(&buf)).unwrap();
+        assert_eq!(o.num_vertices(), o2.num_vertices());
+        assert_eq!(o.num_components(), o2.num_components());
+        assert_eq!(o.label_entries(), o2.label_entries());
+        for u in 0..48u32 {
+            for v in 0..48u32 {
+                assert_eq!(o.reaches(u, v), o2.reaches(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_roundtrip_batch_path_survives() {
+        let g = random_cyclic_digraph(30, 90, 42);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        let o2 = Oracle::load(Cursor::new(&buf)).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..30).flat_map(|u| (0..30).map(move |v| (u, v))).collect();
+        assert_eq!(o.reaches_batch(&pairs, 4), o2.reaches_batch(&pairs, 4));
+    }
+
+    #[test]
+    fn oracle_wrong_kind_rejected() {
+        let dag = gen::random_dag(10, 20, 4);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap(); // kind = DL, not Oracle
+        let err = Oracle::load(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn oracle_truncated_rejected() {
+        let g = random_cyclic_digraph(20, 60, 43);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        for keep in [10, buf.len() / 3, buf.len() / 2, buf.len() - 1] {
+            let mut cut = buf.clone();
+            cut.truncate(keep);
+            assert!(Oracle::load(Cursor::new(&cut)).is_err(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn oracle_corrupt_comp_of_rejected() {
+        let g = random_cyclic_digraph(20, 60, 44);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        // comp_of starts right after the 17-byte header and the 8-byte
+        // array length; blow the first entry out of range.
+        buf[17 + 8] = 0xFF;
+        buf[17 + 8 + 1] = 0xFF;
+        let err = Oracle::load(Cursor::new(&buf)).unwrap_err();
+        assert!(
+            err.to_string().contains("out of range") || err.to_string().contains("histogram"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oracle_trailing_bytes_rejected() {
+        let g = random_cyclic_digraph(12, 30, 45);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        buf.push(7);
+        let err = Oracle::load(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn huge_claimed_lengths_fail_without_huge_allocation() {
+        // A header claiming u32::MAX vertices followed by an array
+        // whose length field matches: the reader must hit EOF (after a
+        // bounded prefix allocation), not allocate ~16 GiB up front.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"HOPL");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(4); // kind = Oracle
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes()); // n
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes()); // comp_of len
+        assert!(matches!(
+            Oracle::load(Cursor::new(&buf)),
+            Err(PersistError::Io(_))
+        ));
+        // And a vertex count past the u32 id space is rejected outright.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"HOPL");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(4);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Oracle::load(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("u32 id space"), "{err}");
+    }
+
+    #[test]
+    fn hop_array_bounded_by_final_offset() {
+        // Offsets say 2 hops, the hop array's length field claims 3:
+        // the claimed length must be rejected against the offset bound.
+        let dag = gen::random_dag(10, 25, 9);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        write_labeling(dl.labeling(), &mut buf).unwrap();
+        // The out-hops length field sits right after the header (17)
+        // and the offsets array (8 + 11*4).
+        let pos = 17 + 8 + 11 * 4;
+        let claimed = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        buf[pos..pos + 8].copy_from_slice(&(claimed + 1).to_le_bytes());
+        let err = read_labeling(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("plausible bound"), "{err}");
+    }
+
+    #[test]
+    fn empty_oracle_roundtrips() {
+        let g = hoplite_graph::DiGraph::empty(0);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        let o2 = Oracle::load(Cursor::new(&buf)).unwrap();
+        assert_eq!(o2.num_vertices(), 0);
+        assert_eq!(o2.num_components(), 0);
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! `hoplited` — the hoplite reachability query daemon.
+//!
+//! ```text
+//! hoplited serve --listen 127.0.0.1:7411 \
+//!     --frozen web=web.el --index cit=cit.hopl --dynamic onto=onto.gra
+//! hoplited bench [--vertices N] [--edges M] [--queries Q] [--clients C] [--batch K]
+//! hoplited smoke
+//! ```
+//!
+//! * `serve` loads graphs (`--frozen`, edge-list or `.gra` via
+//!   `hoplite_graph::io`), prebuilt `HOPL` indexes (`--index`, via
+//!   `hoplite_core::persist`), and mutable DAGs (`--dynamic`), then
+//!   serves them until killed.
+//! * `bench` builds a synthetic power-law graph, serves it on an
+//!   ephemeral loopback port, replays a concurrent client workload
+//!   over the real wire protocol, and reports QPS.
+//! * `smoke` starts a server on port 0, runs PING / REACH / STATS /
+//!   LIST / dynamic mutations against it, shuts down, and exits 0 —
+//!   the CI liveness check for the serving path.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hoplite_core::{DynamicOracle, Oracle};
+use hoplite_graph::gen::{self, Rng};
+use hoplite_graph::{io as gio, Dag, DiGraph};
+use hoplite_server::{Client, Registry, Server, ServerConfig};
+
+const USAGE: &str = "\
+hoplited — hoplite reachability query daemon
+
+USAGE:
+    hoplited serve --listen ADDR [OPTIONS] [NAMESPACES]
+    hoplited bench [OPTIONS]
+    hoplited smoke
+    hoplited help
+
+SERVE:
+    --listen ADDR          bind address, e.g. 127.0.0.1:7411 (port 0 = ephemeral)
+    --workers N            connection-handler threads (default: cores)
+    --batch-threads N      fan-out width for BATCH queries (default: cores, max 8)
+    --frozen NAME=FILE     build a frozen namespace from a graph file
+                           (.gra adjacency, anything else = edge list)
+    --index NAME=FILE      load a frozen namespace from a HOPL index (Oracle::save)
+    --dynamic NAME=FILE    load a DAG file as a mutable namespace
+
+BENCH (wire-level throughput on a synthetic power-law graph):
+    --vertices N           graph size            (default 50000)
+    --edges M              edge count            (default 150000)
+    --queries Q            total queries         (default 200000)
+    --clients C            concurrent clients    (default 4)
+    --batch K              pairs per BATCH frame (default 512; 1 = single REACH)
+    --workers N            server worker threads (default: cores)
+
+SMOKE:
+    self-contained serving-path check: ephemeral server, PING, REACH,
+    BATCH, STATS, LIST, dynamic ADD/REMOVE_EDGE, graceful shutdown.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `hoplited help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("hoplited: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Splits `NAME=FILE`.
+fn split_spec(spec: &str) -> Result<(&str, &str), String> {
+    spec.split_once('=')
+        .filter(|(name, path)| !name.is_empty() && !path.is_empty())
+        .ok_or_else(|| format!("expected NAME=FILE, got {spec:?}"))
+}
+
+fn load_graph(path: &str) -> Result<DiGraph, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let graph = if path.ends_with(".gra") {
+        gio::read_gra(reader)
+    } else {
+        gio::read_edge_list(reader)
+    };
+    graph.map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn parse_num(flag: &str, value: Option<&String>) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse::<usize>()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut listen: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let registry = Arc::new(Registry::new());
+    let mut loaded = 0usize;
+
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => listen = Some(it.next().ok_or("--listen needs a value")?.clone()),
+            "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
+            "--batch-threads" => {
+                config.batch_threads = parse_num("--batch-threads", it.next()).map(|n| n.max(1))?
+            }
+            "--frozen" => {
+                let (name, path) = split_spec(it.next().ok_or("--frozen needs NAME=FILE")?)?;
+                let graph = load_graph(path)?;
+                let t = Instant::now();
+                let oracle = Oracle::new(&graph);
+                eprintln!(
+                    "[hoplited] {name}: built frozen oracle from {path} \
+                     ({} vertices, {} edges, {} label entries, {:.0} ms)",
+                    graph.num_vertices(),
+                    graph.num_edges(),
+                    oracle.label_entries(),
+                    t.elapsed().as_secs_f64() * 1e3,
+                );
+                registry
+                    .insert_frozen(name, oracle)
+                    .map_err(|e| e.to_string())?;
+                loaded += 1;
+            }
+            "--index" => {
+                let (name, path) = split_spec(it.next().ok_or("--index needs NAME=FILE")?)?;
+                let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+                let oracle = Oracle::load(BufReader::new(file))
+                    .map_err(|e| format!("load index {path}: {e}"))?;
+                eprintln!(
+                    "[hoplited] {name}: loaded prebuilt index from {path} \
+                     ({} vertices, {} components, {} label entries)",
+                    oracle.num_vertices(),
+                    oracle.num_components(),
+                    oracle.label_entries(),
+                );
+                registry
+                    .insert_frozen(name, oracle)
+                    .map_err(|e| e.to_string())?;
+                loaded += 1;
+            }
+            "--dynamic" => {
+                let (name, path) = split_spec(it.next().ok_or("--dynamic needs NAME=FILE")?)?;
+                let graph = load_graph(path)?;
+                let dag = Dag::new(graph)
+                    .map_err(|e| format!("{path}: dynamic namespaces need a DAG: {e}"))?;
+                eprintln!(
+                    "[hoplited] {name}: built dynamic oracle from {path} \
+                     ({} vertices, {} edges)",
+                    dag.num_vertices(),
+                    dag.num_edges(),
+                );
+                registry
+                    .insert_dynamic(name, DynamicOracle::new(dag))
+                    .map_err(|e| e.to_string())?;
+                loaded += 1;
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+
+    let listen = listen.ok_or("serve needs --listen ADDR")?;
+    let handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    println!("hoplited listening on {}", handle.local_addr());
+    eprintln!(
+        "[hoplited] {loaded} namespace(s), {} workers, batch fan-out {}",
+        config.workers, config.batch_threads
+    );
+    // Serve until killed; the accept/worker threads do all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut vertices = 50_000usize;
+    let mut edges = 150_000usize;
+    let mut queries = 200_000usize;
+    let mut clients = 4usize;
+    let mut batch = 512usize;
+    let mut config = ServerConfig::default();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--vertices" => vertices = parse_num("--vertices", it.next()).map(|n| n.max(2))?,
+            "--edges" => edges = parse_num("--edges", it.next())?,
+            "--queries" => queries = parse_num("--queries", it.next()).map(|n| n.max(1))?,
+            "--clients" => clients = parse_num("--clients", it.next()).map(|n| n.max(1))?,
+            "--batch" => batch = parse_num("--batch", it.next()).map(|n| n.max(1))?,
+            "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+
+    eprintln!("[bench] generating power-law DAG: {vertices} vertices, {edges} edges");
+    let dag = gen::power_law_dag(vertices, edges, 42);
+    let t = Instant::now();
+    let oracle = Oracle::new(&dag.into_graph());
+    eprintln!(
+        "[bench] oracle built in {:.0} ms ({} label entries)",
+        t.elapsed().as_secs_f64() * 1e3,
+        oracle.label_entries(),
+    );
+
+    let registry = Arc::new(Registry::new());
+    registry
+        .insert_frozen("bench", oracle)
+        .map_err(|e| e.to_string())?;
+    // Every client (plus the stats probe) holds a connection for the
+    // whole run; the worker pool must cover them all.
+    config.workers = config.workers.max(clients + 2);
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&registry), config)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    eprintln!("[bench] serving on {addr}; {clients} clients × {queries} queries, batch {batch}");
+
+    let per_client = queries / clients;
+    let start = Instant::now();
+    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rng = Rng::new(0xB0B0 + c as u64);
+                    let mut positive = 0u64;
+                    let mut sent = 0u64;
+                    while (sent as usize) < per_client {
+                        let k = batch.min(per_client - sent as usize);
+                        let pairs: Vec<(u32, u32)> = (0..k)
+                            .map(|_| {
+                                (
+                                    rng.gen_index(vertices) as u32,
+                                    rng.gen_index(vertices) as u32,
+                                )
+                            })
+                            .collect();
+                        if k == 1 {
+                            let (u, v) = pairs[0];
+                            if client.reach("bench", u, v).expect("reach") {
+                                positive += 1;
+                            }
+                        } else {
+                            let answers = client.reach_batch("bench", &pairs).expect("batch");
+                            positive += answers.iter().filter(|&&b| b).count() as u64;
+                        }
+                        sent += k as u64;
+                    }
+                    (sent, positive)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let sent: u64 = totals.iter().map(|&(s, _)| s).sum();
+    let positive: u64 = totals.iter().map(|&(_, p)| p).sum();
+    let qps = sent as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut probe = Client::connect(addr).map_err(|e| e.to_string())?;
+    let stats = probe.stats("bench").map_err(|e| e.to_string())?;
+    println!(
+        "bench: {sent} queries in {:.1} ms over {clients} clients (batch {batch}) → {:.0} queries/s \
+         ({positive} positive; server counted {} queries)",
+        elapsed.as_secs_f64() * 1e3,
+        qps,
+        stats.queries,
+    );
+    handle.shutdown();
+    Ok(())
+}
+
+fn cmd_smoke() -> Result<(), String> {
+    fn fail(what: &'static str) -> impl Fn(hoplite_server::ClientError) -> String {
+        move |e| format!("{what}: {e}")
+    }
+
+    // A cyclic digraph for the frozen namespace, a DAG for the dynamic.
+    let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)])
+        .map_err(|e| e.to_string())?;
+    let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).map_err(|e| e.to_string())?;
+
+    let registry = Arc::new(Registry::new());
+    registry
+        .insert_frozen("web", Oracle::new(&g))
+        .map_err(|e| e.to_string())?;
+    registry
+        .insert_dynamic("live", DynamicOracle::new(dag))
+        .map_err(|e| e.to_string())?;
+
+    let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    println!("smoke: serving on {addr}");
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client.ping().map_err(fail("PING"))?;
+
+    let names: Vec<String> = client
+        .list()
+        .map_err(fail("LIST"))?
+        .into_iter()
+        .map(|i| i.name)
+        .collect();
+    if names != ["live", "web"] {
+        return Err(format!("LIST returned {names:?}"));
+    }
+
+    if !client.reach("web", 0, 4).map_err(fail("REACH"))? {
+        return Err("web: 0 must reach 4".into());
+    }
+    if client.reach("web", 4, 5).map_err(fail("REACH"))? {
+        return Err("web: 4 must not reach 5".into());
+    }
+    let batch = client
+        .reach_batch("web", &[(1, 0), (3, 5)])
+        .map_err(fail("BATCH"))?;
+    if batch != [true, false] {
+        return Err(format!("BATCH returned {batch:?}"));
+    }
+
+    if client.reach("live", 0, 3).map_err(fail("REACH live"))? {
+        return Err("live: 0 must not reach 3 yet".into());
+    }
+    client.add_edge("live", 1, 2).map_err(fail("ADD_EDGE"))?;
+    if !client.reach("live", 0, 3).map_err(fail("REACH live"))? {
+        return Err("live: 0 must reach 3 after ADD_EDGE".into());
+    }
+    if !client
+        .remove_edge("live", 1, 2)
+        .map_err(fail("REMOVE_EDGE"))?
+    {
+        return Err("live: REMOVE_EDGE must report the edge existed".into());
+    }
+    if client.add_edge("web", 0, 3).is_ok() {
+        return Err("frozen namespace must reject ADD_EDGE".into());
+    }
+
+    let stats = client.stats("web").map_err(fail("STATS"))?;
+    if stats.vertices != 6 || stats.queries < 4 {
+        return Err(format!("unexpected web stats: {stats:?}"));
+    }
+
+    // A deliberately corrupt frame must get an error reply, not a hang
+    // or a dropped server.
+    {
+        use std::io::Write as _;
+        let mut raw = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let garbage = [9u8, 0x02, 0xFF];
+        raw.write_all(&(garbage.len() as u32).to_le_bytes())
+            .map_err(|e| e.to_string())?;
+        raw.write_all(&garbage).map_err(|e| e.to_string())?;
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).map_err(|e| e.to_string())?;
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        raw.read_exact(&mut payload).map_err(|e| e.to_string())?;
+        match hoplite_server::Response::decode(&payload) {
+            Ok(hoplite_server::Response::Error(_)) => {}
+            other => return Err(format!("corrupt frame produced {other:?}")),
+        }
+    }
+    client.ping().map_err(fail("PING after corrupt frame"))?;
+
+    handle.shutdown();
+    println!("smoke: OK");
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! A blocking client for the hoplite wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection;
+//! open more clients for concurrency — they are cheap, and the server
+//! multiplexes them across its thread pool).
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, NamespaceInfo, NamespaceStats, Request, Response, WireError,
+    MAX_FRAME_LEN,
+};
+
+/// Anything that can go wrong on the client side of a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The reply did not parse (or the request did not encode).
+    Wire(WireError),
+    /// The server replied with an `ERROR` frame; the message is the
+    /// server's human-readable reason.
+    Server(String),
+    /// The server replied with the wrong response type for the request.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "client wire error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply (wanted {what})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A blocking connection to a hoplite server.
+///
+/// ```no_run
+/// use hoplite_server::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7411")?;
+/// client.ping()?;
+/// if client.reach("web", 17, 4242)? {
+///     println!("17 reaches 4242");
+/// }
+/// # Ok::<(), hoplite_server::ClientError>(())
+/// ```
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a hoplite server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request.encode()?;
+        write_frame(&mut self.writer, &payload)?;
+        self.writer.flush()?;
+        let reply = read_frame(&mut self.reader, MAX_FRAME_LEN)?;
+        match Response::decode(&reply)? {
+            Response::Error(message) => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("PONG")),
+        }
+    }
+
+    /// Does `u` reach `v` in namespace `ns`?
+    pub fn reach(&mut self, ns: &str, u: u32, v: u32) -> Result<bool, ClientError> {
+        let request = Request::Reach {
+            ns: ns.to_owned(),
+            u,
+            v,
+        };
+        match self.roundtrip(&request)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(ClientError::Unexpected("BOOL")),
+        }
+    }
+
+    /// Answers every pair in order; the server fans frozen-namespace
+    /// batches out over its worker threads.
+    pub fn reach_batch(
+        &mut self,
+        ns: &str,
+        pairs: &[(u32, u32)],
+    ) -> Result<Vec<bool>, ClientError> {
+        let request = Request::Batch {
+            ns: ns.to_owned(),
+            pairs: pairs.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Bools(bs) if bs.len() == pairs.len() => Ok(bs),
+            Response::Bools(_) => Err(ClientError::Unexpected("BOOLS of matching length")),
+            _ => Err(ClientError::Unexpected("BOOLS")),
+        }
+    }
+
+    /// Inserts `u → v` into a dynamic namespace.
+    pub fn add_edge(&mut self, ns: &str, u: u32, v: u32) -> Result<(), ClientError> {
+        let request = Request::AddEdge {
+            ns: ns.to_owned(),
+            u,
+            v,
+        };
+        match self.roundtrip(&request)? {
+            Response::Bool(_) => Ok(()),
+            _ => Err(ClientError::Unexpected("BOOL")),
+        }
+    }
+
+    /// Removes `u → v` from a dynamic namespace; `Ok(false)` means the
+    /// edge did not exist.
+    pub fn remove_edge(&mut self, ns: &str, u: u32, v: u32) -> Result<bool, ClientError> {
+        let request = Request::RemoveEdge {
+            ns: ns.to_owned(),
+            u,
+            v,
+        };
+        match self.roundtrip(&request)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(ClientError::Unexpected("BOOL")),
+        }
+    }
+
+    /// Per-namespace counters.
+    pub fn stats(&mut self, ns: &str) -> Result<NamespaceStats, ClientError> {
+        let request = Request::Stats { ns: ns.to_owned() };
+        match self.roundtrip(&request)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("STATS")),
+        }
+    }
+
+    /// Every namespace the server exposes, sorted by name.
+    pub fn list(&mut self) -> Result<Vec<NamespaceInfo>, ClientError> {
+        match self.roundtrip(&Request::List)? {
+            Response::List(infos) => Ok(infos),
+            _ => Err(ClientError::Unexpected("LIST")),
+        }
+    }
+}

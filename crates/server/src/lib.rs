@@ -1,0 +1,60 @@
+//! # hoplite-server
+//!
+//! A dependency-free (std-only: `std::net` + `std::thread`) TCP query
+//! service over hoplite's reachability oracles — the serving tier the
+//! paper's introduction motivates: reachability as a high-QPS
+//! primitive inside social-network, ontology, and web services.
+//!
+//! [`hoplite_core::persist`] frames the deployment story as "build
+//! once, ship the index to query-serving replicas"; this crate *is*
+//! that replica. A [`Registry`] holds many named graphs at once —
+//! frozen [`hoplite_core::Oracle`] snapshots (loaded from `HOPL` files
+//! or built at startup) and mutable [`hoplite_core::DynamicOracle`]
+//! namespaces — and a thread-pool [`Server`] answers the length-
+//! prefixed binary protocol of [`protocol`]: `PING`, `REACH`, `BATCH`,
+//! `ADD_EDGE`, `REMOVE_EDGE`, `STATS`, `LIST`. Frozen labels are
+//! immutable, so the query fast path takes no lock; `BATCH` fans out
+//! through [`hoplite_core::parallel::par_query_batch`] exactly like
+//! the in-process batch API.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hoplite_core::Oracle;
+//! use hoplite_graph::DiGraph;
+//! use hoplite_server::{Client, Registry, Server, ServerConfig};
+//!
+//! // Build (or `Oracle::load`) an index and register it.
+//! let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+//! let registry = Arc::new(Registry::new());
+//! registry.insert_frozen("web", Oracle::new(&g)).unwrap();
+//!
+//! // Serve it on an ephemeral loopback port.
+//! let server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+//!
+//! // Query over the wire.
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! assert!(client.reach("web", 0, 3).unwrap());
+//! assert_eq!(client.reach_batch("web", &[(3, 0), (1, 0)]).unwrap(), [false, true]);
+//! server.shutdown();
+//! ```
+//!
+//! The `hoplited` binary wraps all of this as a daemon: `hoplited
+//! serve` loads graphs/indexes from files, `hoplited bench` measures
+//! wire-level QPS, `hoplited smoke` is a self-contained CI check.
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use pool::ThreadPool;
+pub use protocol::{
+    NamespaceInfo, NamespaceKind, NamespaceStats, Request, Response, WireError, MAX_BATCH_PAIRS,
+    MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
+};
+pub use registry::{NamespaceHandle, Registry, ServeError};
+pub use server::{Server, ServerConfig, ServerHandle};

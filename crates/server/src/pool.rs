@@ -1,0 +1,138 @@
+//! A small fixed-size thread pool over `std::sync::mpsc`.
+//!
+//! The server hands each accepted connection to the pool, bounding the
+//! number of concurrent connection-handler threads regardless of how
+//! many clients connect. Jobs that panic are contained
+//! (`catch_unwind`), so one poisoned connection cannot shrink the
+//! pool. Dropping the pool is a graceful shutdown: the job channel
+//! closes, workers drain what was already queued, then exit and are
+//! joined.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads consuming jobs from a shared queue.
+pub struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (clamped to at least 1), named
+    /// `{name}-{i}` for debuggability.
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job; some idle worker picks it up.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the queue lock only for the dequeue itself.
+        let job = {
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                // A panicking job must not take the worker down with it.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => break, // channel closed: pool is shutting down
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_across_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4, "test");
+        assert_eq!(pool.size(), 4);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // graceful: drains the queue, joins workers
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0, "tiny");
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = ThreadPool::new(2, "panicky");
+        for _ in 0..4 {
+            pool.execute(|| panic!("job goes boom"));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,898 @@
+//! The hoplite wire protocol: small, versioned, length-prefixed
+//! binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame   := len:u32-le  payload          (len excludes the prefix)
+//! payload := version:u8  opcode:u8  body
+//! ```
+//!
+//! Request opcodes and bodies (all integers little-endian; `name` is a
+//! `u8` length followed by that many UTF-8 bytes):
+//!
+//! | opcode | request       | body                         |
+//! |-------:|---------------|------------------------------|
+//! | `0x01` | `PING`        | —                            |
+//! | `0x02` | `REACH`       | `name u:u32 v:u32`           |
+//! | `0x03` | `BATCH`       | `name k:u32 (u:u32 v:u32)×k` |
+//! | `0x04` | `ADD_EDGE`    | `name u:u32 v:u32`           |
+//! | `0x05` | `REMOVE_EDGE` | `name u:u32 v:u32`           |
+//! | `0x06` | `STATS`       | `name`                       |
+//! | `0x07` | `LIST`        | —                            |
+//!
+//! Response opcodes: `0x81 PONG`, `0x82 BOOL (b:u8)`, `0x83 BOOLS
+//! (k:u32 + ⌈k/8⌉ LSB-first packed bytes)`, `0x86 STATS`, `0x87 LIST`,
+//! `0xEE ERROR (msg as u16-prefixed UTF-8)`.
+//!
+//! Decoding is strict: bad version, unknown opcode, short bodies,
+//! trailing bytes, oversized counts, non-zero padding bits, and
+//! non-UTF-8 names are all [`WireError`]s — never panics. The server
+//! turns them into `ERROR` replies; framing stays intact because the
+//! length prefix already delimited the bad payload.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Wire protocol version carried in every payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Hard ceiling on a frame payload; larger length prefixes are
+/// rejected before any allocation.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+/// Namespace names are `u8`-length-prefixed.
+pub const MAX_NAME_LEN: usize = 255;
+/// Ceiling on `BATCH` pair counts (8 MiB of body).
+pub const MAX_BATCH_PAIRS: u32 = 1 << 20;
+
+const OP_PING: u8 = 0x01;
+const OP_REACH: u8 = 0x02;
+const OP_BATCH: u8 = 0x03;
+const OP_ADD_EDGE: u8 = 0x04;
+const OP_REMOVE_EDGE: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_LIST: u8 = 0x07;
+
+const RE_PONG: u8 = 0x81;
+const RE_BOOL: u8 = 0x82;
+const RE_BOOLS: u8 = 0x83;
+const RE_STATS: u8 = 0x86;
+const RE_LIST: u8 = 0x87;
+const RE_ERROR: u8 = 0xEE;
+
+/// Anything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure (includes EOF mid-frame).
+    Io(io::Error),
+    /// A length prefix larger than the negotiated maximum.
+    FrameTooLarge {
+        /// Length the prefix declared.
+        len: u32,
+        /// Maximum the reader accepts.
+        max: u32,
+    },
+    /// Payload carried an unsupported protocol version.
+    Version(u8),
+    /// Payload carried an opcode this side does not know.
+    UnknownOpcode(u8),
+    /// Structurally invalid body (short, trailing bytes, bad UTF-8…).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (speaker supports {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_len` before allocating.
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, WireError> {
+    let mut hdr = [0u8; 4];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr);
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------
+// Body reader/writer primitives
+// ---------------------------------------------------------------------
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                WireError::Malformed(format!(
+                    "body truncated: wanted {n} more bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// `u8`-length-prefixed UTF-8 string (namespace names).
+    fn name(&mut self) -> Result<String, WireError> {
+        let len = self.u8()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("name is not valid UTF-8".into()))
+    }
+
+    /// `u16`-length-prefixed UTF-8 string (error messages).
+    fn text(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("text is not valid UTF-8".into()))
+    }
+
+    /// Bytes not yet consumed — used to sanity-check claimed element
+    /// counts before allocating for them.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Rejects payloads with bytes past the decoded body.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes after body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, x: u16) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) -> Result<(), WireError> {
+    if name.len() > MAX_NAME_LEN {
+        return Err(WireError::Malformed(format!(
+            "name of {} bytes exceeds the {MAX_NAME_LEN}-byte limit",
+            name.len()
+        )));
+    }
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+    Ok(())
+}
+
+fn put_text(out: &mut Vec<u8>, text: &str) {
+    // Error messages are advisory; truncate (on a char boundary) rather
+    // than fail the reply.
+    let mut end = text.len().min(u16::MAX as usize);
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(out, end as u16);
+    out.extend_from_slice(&text.as_bytes()[..end]);
+}
+
+fn pack_bools(out: &mut Vec<u8>, bools: &[bool]) {
+    put_u32(out, bools.len() as u32);
+    let mut byte = 0u8;
+    for (i, &b) in bools.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if bools.len() % 8 != 0 {
+        out.push(byte);
+    }
+}
+
+fn unpack_bools(r: &mut ByteReader<'_>) -> Result<Vec<bool>, WireError> {
+    let k = r.u32()?;
+    if k > MAX_BATCH_PAIRS {
+        return Err(WireError::Malformed(format!(
+            "answer count {k} exceeds the {MAX_BATCH_PAIRS} limit"
+        )));
+    }
+    let k = k as usize;
+    let bytes = r.take(k.div_ceil(8))?;
+    let mut out = Vec::with_capacity(k);
+    for (i, &byte) in bytes.iter().enumerate() {
+        let bits = if i == k / 8 { k % 8 } else { 8 };
+        if bits < 8 && byte >> bits != 0 {
+            return Err(WireError::Malformed("non-zero padding bits".into()));
+        }
+        for j in 0..bits {
+            out.push(byte >> j & 1 == 1);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Shared wire types
+// ---------------------------------------------------------------------
+
+/// Whether a namespace serves a frozen snapshot or accepts mutations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NamespaceKind {
+    /// An immutable [`hoplite_core::Oracle`] snapshot; queries take the
+    /// lock-free frozen-label fast path.
+    Frozen,
+    /// A [`hoplite_core::DynamicOracle`] accepting `ADD_EDGE` /
+    /// `REMOVE_EDGE`.
+    Dynamic,
+}
+
+impl NamespaceKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            NamespaceKind::Frozen => 0,
+            NamespaceKind::Dynamic => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(NamespaceKind::Frozen),
+            1 => Ok(NamespaceKind::Dynamic),
+            other => Err(WireError::Malformed(format!(
+                "unknown namespace kind {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for NamespaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamespaceKind::Frozen => write!(f, "frozen"),
+            NamespaceKind::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+/// Per-namespace counters returned by `STATS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Frozen snapshot or dynamic oracle.
+    pub kind: NamespaceKind,
+    /// Vertices addressable by queries (original graph ids).
+    pub vertices: u64,
+    /// Hop-label entries of the underlying index.
+    pub label_entries: u64,
+    /// Dynamic only: inserted edges waiting in the overlay.
+    pub pending_inserts: u64,
+    /// Dynamic only: lazily deleted edges not yet folded out.
+    pub pending_deletions: u64,
+    /// Reachability queries served (batch pairs count individually).
+    pub queries: u64,
+}
+
+/// One `LIST` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamespaceInfo {
+    /// Registry key.
+    pub name: String,
+    /// Frozen snapshot or dynamic oracle.
+    pub kind: NamespaceKind,
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Does `u` reach `v` in namespace `ns`?
+    Reach {
+        /// Namespace name.
+        ns: String,
+        /// Source vertex (original id).
+        u: u32,
+        /// Target vertex (original id).
+        v: u32,
+    },
+    /// Answer every pair, preserving order.
+    Batch {
+        /// Namespace name.
+        ns: String,
+        /// Query pairs (original ids).
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Insert an edge into a dynamic namespace.
+    AddEdge {
+        /// Namespace name.
+        ns: String,
+        /// Edge tail.
+        u: u32,
+        /// Edge head.
+        v: u32,
+    },
+    /// Remove an edge from a dynamic namespace.
+    RemoveEdge {
+        /// Namespace name.
+        ns: String,
+        /// Edge tail.
+        u: u32,
+        /// Edge head.
+        v: u32,
+    },
+    /// Per-namespace counters.
+    Stats {
+        /// Namespace name.
+        ns: String,
+    },
+    /// Enumerate namespaces.
+    List,
+}
+
+impl Request {
+    /// Encodes into a frame payload (version + opcode + body).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Ping => out.push(OP_PING),
+            Request::Reach { ns, u, v } => {
+                out.push(OP_REACH);
+                put_name(&mut out, ns)?;
+                put_u32(&mut out, *u);
+                put_u32(&mut out, *v);
+            }
+            Request::Batch { ns, pairs } => {
+                if pairs.len() as u64 > MAX_BATCH_PAIRS as u64 {
+                    return Err(WireError::Malformed(format!(
+                        "batch of {} pairs exceeds the {MAX_BATCH_PAIRS} limit",
+                        pairs.len()
+                    )));
+                }
+                out.push(OP_BATCH);
+                put_name(&mut out, ns)?;
+                put_u32(&mut out, pairs.len() as u32);
+                for &(u, v) in pairs {
+                    put_u32(&mut out, u);
+                    put_u32(&mut out, v);
+                }
+            }
+            Request::AddEdge { ns, u, v } => {
+                out.push(OP_ADD_EDGE);
+                put_name(&mut out, ns)?;
+                put_u32(&mut out, *u);
+                put_u32(&mut out, *v);
+            }
+            Request::RemoveEdge { ns, u, v } => {
+                out.push(OP_REMOVE_EDGE);
+                put_name(&mut out, ns)?;
+                put_u32(&mut out, *u);
+                put_u32(&mut out, *v);
+            }
+            Request::Stats { ns } => {
+                out.push(OP_STATS);
+                put_name(&mut out, ns)?;
+            }
+            Request::List => out.push(OP_LIST),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame payload, validating strictly.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let opcode = r.u8()?;
+        let req = match opcode {
+            OP_PING => Request::Ping,
+            OP_REACH => {
+                let ns = r.name()?;
+                Request::Reach {
+                    ns,
+                    u: r.u32()?,
+                    v: r.u32()?,
+                }
+            }
+            OP_BATCH => {
+                let ns = r.name()?;
+                let k = r.u32()?;
+                if k > MAX_BATCH_PAIRS {
+                    return Err(WireError::Malformed(format!(
+                        "batch of {k} pairs exceeds the {MAX_BATCH_PAIRS} limit"
+                    )));
+                }
+                // Each pair is 8 body bytes; a count the body cannot
+                // hold must not size an allocation.
+                if k as usize > r.remaining() / 8 {
+                    return Err(WireError::Malformed(format!(
+                        "batch count {k} exceeds the frame body"
+                    )));
+                }
+                let mut pairs = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    pairs.push((r.u32()?, r.u32()?));
+                }
+                Request::Batch { ns, pairs }
+            }
+            OP_ADD_EDGE => {
+                let ns = r.name()?;
+                Request::AddEdge {
+                    ns,
+                    u: r.u32()?,
+                    v: r.u32()?,
+                }
+            }
+            OP_REMOVE_EDGE => {
+                let ns = r.name()?;
+                Request::RemoveEdge {
+                    ns,
+                    u: r.u32()?,
+                    v: r.u32()?,
+                }
+            }
+            OP_STATS => Request::Stats { ns: r.name()? },
+            OP_LIST => Request::List,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// A decoded server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to `PING`.
+    Pong,
+    /// Reply to `REACH` / `ADD_EDGE` / `REMOVE_EDGE`.
+    Bool(bool),
+    /// Reply to `BATCH`, order-preserving.
+    Bools(Vec<bool>),
+    /// Reply to `STATS`.
+    Stats(NamespaceStats),
+    /// Reply to `LIST`.
+    List(Vec<NamespaceInfo>),
+    /// Any request can fail; the message is human-readable.
+    Error(String),
+}
+
+impl Response {
+    /// Encodes into a frame payload (version + opcode + body).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Response::Pong => out.push(RE_PONG),
+            Response::Bool(b) => {
+                out.push(RE_BOOL);
+                out.push(*b as u8);
+            }
+            Response::Bools(bs) => {
+                if bs.len() as u64 > MAX_BATCH_PAIRS as u64 {
+                    return Err(WireError::Malformed(format!(
+                        "answer batch of {} exceeds the {MAX_BATCH_PAIRS} limit",
+                        bs.len()
+                    )));
+                }
+                out.push(RE_BOOLS);
+                pack_bools(&mut out, bs);
+            }
+            Response::Stats(s) => {
+                out.push(RE_STATS);
+                out.push(s.kind.to_u8());
+                put_u64(&mut out, s.vertices);
+                put_u64(&mut out, s.label_entries);
+                put_u64(&mut out, s.pending_inserts);
+                put_u64(&mut out, s.pending_deletions);
+                put_u64(&mut out, s.queries);
+            }
+            Response::List(infos) => {
+                out.push(RE_LIST);
+                put_u32(&mut out, infos.len() as u32);
+                for info in infos {
+                    put_name(&mut out, &info.name)?;
+                    out.push(info.kind.to_u8());
+                }
+            }
+            Response::Error(msg) => {
+                out.push(RE_ERROR);
+                put_text(&mut out, msg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame payload, validating strictly.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let opcode = r.u8()?;
+        let resp = match opcode {
+            RE_PONG => Response::Pong,
+            RE_BOOL => match r.u8()? {
+                0 => Response::Bool(false),
+                1 => Response::Bool(true),
+                other => {
+                    return Err(WireError::Malformed(format!("bool byte {other}")));
+                }
+            },
+            RE_BOOLS => Response::Bools(unpack_bools(&mut r)?),
+            RE_STATS => Response::Stats(NamespaceStats {
+                kind: NamespaceKind::from_u8(r.u8()?)?,
+                vertices: r.u64()?,
+                label_entries: r.u64()?,
+                pending_inserts: r.u64()?,
+                pending_deletions: r.u64()?,
+                queries: r.u64()?,
+            }),
+            RE_LIST => {
+                let k = r.u32()?;
+                // Each entry is at least 2 body bytes (empty name +
+                // kind); a count the body cannot hold must not size an
+                // allocation.
+                if k as usize > r.remaining() / 2 {
+                    return Err(WireError::Malformed(format!(
+                        "list count {k} exceeds the frame body"
+                    )));
+                }
+                let mut infos = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    infos.push(NamespaceInfo {
+                        name: r.name()?,
+                        kind: NamespaceKind::from_u8(r.u8()?)?,
+                    });
+                }
+                Response::List(infos)
+            }
+            RE_ERROR => Response::Error(r.text()?),
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode().unwrap();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode().unwrap();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::List);
+        roundtrip_req(Request::Reach {
+            ns: "web".into(),
+            u: 0,
+            v: u32::MAX,
+        });
+        roundtrip_req(Request::Batch {
+            ns: "ønt/ology".into(),
+            pairs: vec![(1, 2), (3, 4), (0, 0)],
+        });
+        roundtrip_req(Request::Batch {
+            ns: String::new(),
+            pairs: vec![],
+        });
+        roundtrip_req(Request::AddEdge {
+            ns: "g".into(),
+            u: 7,
+            v: 9,
+        });
+        roundtrip_req(Request::RemoveEdge {
+            ns: "g".into(),
+            u: 9,
+            v: 7,
+        });
+        roundtrip_req(Request::Stats { ns: "g".into() });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Bool(true));
+        roundtrip_resp(Response::Bool(false));
+        for k in [0usize, 1, 7, 8, 9, 64, 65] {
+            let bs: Vec<bool> = (0..k).map(|i| i % 3 == 0).collect();
+            roundtrip_resp(Response::Bools(bs));
+        }
+        roundtrip_resp(Response::Stats(NamespaceStats {
+            kind: NamespaceKind::Dynamic,
+            vertices: 10,
+            label_entries: 99,
+            pending_inserts: 3,
+            pending_deletions: 1,
+            queries: u64::MAX,
+        }));
+        roundtrip_resp(Response::List(vec![
+            NamespaceInfo {
+                name: "a".into(),
+                kind: NamespaceKind::Frozen,
+            },
+            NamespaceInfo {
+                name: "b".into(),
+                kind: NamespaceKind::Dynamic,
+            },
+        ]));
+        roundtrip_resp(Response::Error("nope".into()));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = Request::Ping.encode().unwrap();
+        bytes[0] = 9;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Version(9))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Request::decode(&[PROTOCOL_VERSION, 0x55]),
+            Err(WireError::UnknownOpcode(0x55))
+        ));
+        assert!(matches!(
+            Response::decode(&[PROTOCOL_VERSION, 0x55]),
+            Err(WireError::UnknownOpcode(0x55))
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        let full = Request::Reach {
+            ns: "web".into(),
+            u: 1,
+            v: 2,
+        }
+        .encode()
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Ping.encode().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batch_count_must_match_body() {
+        let mut bytes = vec![PROTOCOL_VERSION, 0x03];
+        bytes.push(1);
+        bytes.push(b'g');
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // claims 5 pairs
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // supplies half of one
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_count_rejected_before_allocation() {
+        let mut bytes = vec![PROTOCOL_VERSION, 0x03];
+        bytes.push(1);
+        bytes.push(b'g');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn counts_larger_than_the_body_never_size_allocations() {
+        // BATCH claiming 1M pairs with an empty body.
+        let mut bytes = vec![PROTOCOL_VERSION, 0x03, 1, b'g'];
+        bytes.extend_from_slice(&MAX_BATCH_PAIRS.to_le_bytes());
+        match Request::decode(&bytes) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("exceeds the frame body"), "{m}"),
+            other => panic!("got {other:?}"),
+        }
+        // LIST reply claiming 8M entries with an empty body.
+        let mut bytes = vec![PROTOCOL_VERSION, RE_LIST];
+        bytes.extend_from_slice(&(8u32 << 20).to_le_bytes());
+        match Response::decode(&bytes) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("exceeds the frame body"), "{m}"),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_name_rejected() {
+        let mut bytes = vec![PROTOCOL_VERSION, 0x06];
+        bytes.push(2);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn nonzero_padding_bits_rejected() {
+        let mut bytes = vec![PROTOCOL_VERSION, RE_BOOLS];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.push(0b1111_1111); // only 3 low bits may be set
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn long_error_messages_truncate_on_char_boundary() {
+        let msg = "é".repeat(40_000); // 80 000 bytes of two-byte chars
+        let resp = Response::Error(msg);
+        let bytes = resp.encode().unwrap();
+        match Response::decode(&bytes).unwrap() {
+            Response::Error(m) => {
+                assert!(m.len() <= u16::MAX as usize);
+                assert!(m.chars().all(|c| c == 'é'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_limit() {
+        let payload = Request::Ping.encode().unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cur = std::io::Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap(), payload);
+
+        let mut big = Vec::new();
+        big.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut cur = std::io::Cursor::new(&big);
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME_LEN),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn name_length_limit_enforced_on_encode() {
+        let req = Request::Stats {
+            ns: "x".repeat(MAX_NAME_LEN + 1),
+        };
+        assert!(req.encode().is_err());
+    }
+
+    #[test]
+    fn fuzz_random_payloads_never_panic() {
+        // Seeded LCG; decoding arbitrary garbage must return Err or a
+        // valid message — never panic.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let len = (next() % 64) as usize;
+            let mut payload = Vec::with_capacity(len);
+            for _ in 0..len {
+                payload.push(next() as u8);
+            }
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The multi-namespace oracle registry.
+//!
+//! A serving process holds many named graphs at once — one per tenant,
+//! dataset, or snapshot generation. Each namespace is either a
+//! **frozen** [`Oracle`] snapshot (the common case: built offline,
+//! shipped via [`hoplite_core::persist`], served read-only) or a
+//! **dynamic** [`DynamicOracle`] that additionally accepts
+//! `ADD_EDGE` / `REMOVE_EDGE`.
+//!
+//! Lookups take a short [`RwLock`] read to clone an [`Arc`] handle;
+//! from there the frozen fast path touches no lock at all — the labels
+//! are immutable, so any number of connection threads answer queries
+//! concurrently (`hoplite_core::parallel` relies on the same
+//! property). Dynamic namespaces serialize through a per-namespace
+//! [`Mutex`], so a mutable tenant never stalls a frozen one.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use hoplite_core::{DynamicOracle, Oracle};
+use hoplite_graph::GraphError;
+
+use crate::protocol::{NamespaceInfo, NamespaceKind, NamespaceStats, MAX_NAME_LEN};
+
+/// Why a request against the registry could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No namespace registered under this name.
+    UnknownNamespace(String),
+    /// A vertex id at or past the namespace's vertex count.
+    VertexOutOfRange {
+        /// The offending id.
+        vertex: u32,
+        /// The namespace's vertex count.
+        vertices: usize,
+    },
+    /// Mutation attempted on a frozen namespace.
+    FrozenNamespace(String),
+    /// Rejected or invalid registry name.
+    InvalidName(String),
+    /// Graph-level rejection (cycle, bad endpoint) from the dynamic
+    /// oracle.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownNamespace(ns) => write!(f, "unknown namespace {ns:?}"),
+            ServeError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range (namespace has {vertices})")
+            }
+            ServeError::FrozenNamespace(ns) => {
+                write!(
+                    f,
+                    "namespace {ns:?} is frozen; edge mutations need a dynamic namespace"
+                )
+            }
+            ServeError::InvalidName(m) => write!(f, "invalid namespace name: {m}"),
+            ServeError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+struct FrozenNs {
+    oracle: Oracle,
+    queries: AtomicU64,
+}
+
+struct DynamicNs {
+    oracle: Mutex<DynamicOracle>,
+    queries: AtomicU64,
+}
+
+#[derive(Clone)]
+enum Inner {
+    Frozen(Arc<FrozenNs>),
+    Dynamic(Arc<DynamicNs>),
+}
+
+/// A cheaply clonable handle to one namespace; survives the namespace
+/// being replaced or removed from the registry (in-flight queries on
+/// an old snapshot finish against that snapshot).
+#[derive(Clone)]
+pub struct NamespaceHandle {
+    inner: Inner,
+}
+
+impl NamespaceHandle {
+    /// Frozen snapshot or dynamic oracle?
+    pub fn kind(&self) -> NamespaceKind {
+        match &self.inner {
+            Inner::Frozen(_) => NamespaceKind::Frozen,
+            Inner::Dynamic(_) => NamespaceKind::Dynamic,
+        }
+    }
+
+    /// Vertices addressable by queries.
+    pub fn num_vertices(&self) -> usize {
+        match &self.inner {
+            Inner::Frozen(ns) => ns.oracle.num_vertices(),
+            Inner::Dynamic(ns) => lock_unpoisoned(&ns.oracle).num_vertices(),
+        }
+    }
+
+    fn check(&self, vertex: u32, vertices: usize) -> Result<(), ServeError> {
+        if (vertex as usize) < vertices {
+            Ok(())
+        } else {
+            Err(ServeError::VertexOutOfRange { vertex, vertices })
+        }
+    }
+
+    /// Does `u` reach `v`? Reflexive, like every oracle in the
+    /// workspace.
+    pub fn reach(&self, u: u32, v: u32) -> Result<bool, ServeError> {
+        match &self.inner {
+            Inner::Frozen(ns) => {
+                let n = ns.oracle.num_vertices();
+                self.check(u, n)?;
+                self.check(v, n)?;
+                ns.queries.fetch_add(1, Ordering::Relaxed);
+                Ok(ns.oracle.reaches(u, v))
+            }
+            Inner::Dynamic(ns) => {
+                let oracle = lock_unpoisoned(&ns.oracle);
+                let n = oracle.num_vertices();
+                self.check(u, n)?;
+                self.check(v, n)?;
+                ns.queries.fetch_add(1, Ordering::Relaxed);
+                Ok(oracle.query(u, v))
+            }
+        }
+    }
+
+    /// Answers every pair, preserving order. Frozen namespaces fan the
+    /// batch out over `threads` workers
+    /// ([`hoplite_core::parallel::par_query_batch`]); dynamic ones
+    /// answer inline under their lock.
+    pub fn reach_batch(
+        &self,
+        pairs: &[(u32, u32)],
+        threads: usize,
+    ) -> Result<Vec<bool>, ServeError> {
+        match &self.inner {
+            Inner::Frozen(ns) => {
+                let n = ns.oracle.num_vertices();
+                for &(u, v) in pairs {
+                    self.check(u, n)?;
+                    self.check(v, n)?;
+                }
+                ns.queries.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                Ok(ns.oracle.reaches_batch(pairs, threads))
+            }
+            Inner::Dynamic(ns) => {
+                let oracle = lock_unpoisoned(&ns.oracle);
+                let n = oracle.num_vertices();
+                for &(u, v) in pairs {
+                    self.check(u, n)?;
+                    self.check(v, n)?;
+                }
+                ns.queries.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                Ok(pairs.iter().map(|&(u, v)| oracle.query(u, v)).collect())
+            }
+        }
+    }
+
+    /// Inserts `u → v`; dynamic namespaces only. Re-inserting a live
+    /// edge is a no-op success; closing a cycle is an error.
+    pub fn add_edge(&self, name: &str, u: u32, v: u32) -> Result<(), ServeError> {
+        match &self.inner {
+            Inner::Frozen(_) => Err(ServeError::FrozenNamespace(name.to_owned())),
+            Inner::Dynamic(ns) => {
+                let mut oracle = lock_unpoisoned(&ns.oracle);
+                oracle.insert_edge(u, v)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `u → v`; dynamic namespaces only. Returns whether the
+    /// edge existed.
+    pub fn remove_edge(&self, name: &str, u: u32, v: u32) -> Result<bool, ServeError> {
+        match &self.inner {
+            Inner::Frozen(_) => Err(ServeError::FrozenNamespace(name.to_owned())),
+            Inner::Dynamic(ns) => {
+                let mut oracle = lock_unpoisoned(&ns.oracle);
+                let n = oracle.num_vertices();
+                self.check(u, n)?;
+                self.check(v, n)?;
+                Ok(oracle.remove_edge(u, v))
+            }
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> NamespaceStats {
+        match &self.inner {
+            Inner::Frozen(ns) => NamespaceStats {
+                kind: NamespaceKind::Frozen,
+                vertices: ns.oracle.num_vertices() as u64,
+                label_entries: ns.oracle.label_entries(),
+                pending_inserts: 0,
+                pending_deletions: 0,
+                queries: ns.queries.load(Ordering::Relaxed),
+            },
+            Inner::Dynamic(ns) => {
+                let oracle = lock_unpoisoned(&ns.oracle);
+                NamespaceStats {
+                    kind: NamespaceKind::Dynamic,
+                    vertices: oracle.num_vertices() as u64,
+                    label_entries: oracle.label_entries(),
+                    pending_inserts: oracle.pending_edges() as u64,
+                    pending_deletions: oracle.pending_deletions() as u64,
+                    queries: ns.queries.load(Ordering::Relaxed),
+                }
+            }
+        }
+    }
+}
+
+/// Recovers the guarded value even if another thread panicked while
+/// holding the lock — a serving process must not wedge a namespace on
+/// one poisoned request.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// All namespaces a server instance exposes.
+///
+/// ```
+/// use hoplite_core::Oracle;
+/// use hoplite_graph::DiGraph;
+/// use hoplite_server::Registry;
+///
+/// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let registry = Registry::new();
+/// registry.insert_frozen("tiny", Oracle::new(&g)).unwrap();
+/// let ns = registry.get("tiny").unwrap();
+/// assert!(ns.reach(0, 2).unwrap());
+/// assert!(registry.get("absent").is_none());
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<HashMap<String, NamespaceHandle>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn validate_name(name: &str) -> Result<(), ServeError> {
+        if name.is_empty() {
+            return Err(ServeError::InvalidName("empty name".into()));
+        }
+        if name.len() > MAX_NAME_LEN {
+            return Err(ServeError::InvalidName(format!(
+                "{} bytes exceeds the {MAX_NAME_LEN}-byte limit",
+                name.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn insert(&self, name: &str, handle: NamespaceHandle) -> Result<bool, ServeError> {
+        Self::validate_name(name)?;
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
+        Ok(map.insert(name.to_owned(), handle).is_some())
+    }
+
+    /// Registers (or atomically replaces — the "ship a fresh index to
+    /// the replica" path) a frozen snapshot. Returns whether a previous
+    /// namespace was replaced.
+    pub fn insert_frozen(&self, name: &str, oracle: Oracle) -> Result<bool, ServeError> {
+        self.insert(
+            name,
+            NamespaceHandle {
+                inner: Inner::Frozen(Arc::new(FrozenNs {
+                    oracle,
+                    queries: AtomicU64::new(0),
+                })),
+            },
+        )
+    }
+
+    /// Registers (or replaces) a dynamic namespace.
+    pub fn insert_dynamic(&self, name: &str, oracle: DynamicOracle) -> Result<bool, ServeError> {
+        self.insert(
+            name,
+            NamespaceHandle {
+                inner: Inner::Dynamic(Arc::new(DynamicNs {
+                    oracle: Mutex::new(oracle),
+                    queries: AtomicU64::new(0),
+                })),
+            },
+        )
+    }
+
+    /// Clones the handle registered under `name`.
+    pub fn get(&self, name: &str) -> Option<NamespaceHandle> {
+        let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+        map.get(name).cloned()
+    }
+
+    /// Drops a namespace. In-flight queries holding its handle finish
+    /// unaffected.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
+        map.remove(name).is_some()
+    }
+
+    /// Every namespace, sorted by name for deterministic `LIST` replies.
+    pub fn list(&self) -> Vec<NamespaceInfo> {
+        let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+        let mut infos: Vec<NamespaceInfo> = map
+            .iter()
+            .map(|(name, h)| NamespaceInfo {
+                name: name.clone(),
+                kind: h.kind(),
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Number of registered namespaces.
+    pub fn len(&self) -> usize {
+        let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+        map.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoplite_graph::{Dag, DiGraph};
+
+    fn frozen_fixture() -> Registry {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        registry
+    }
+
+    #[test]
+    fn frozen_namespace_answers_and_rejects_mutation() {
+        let registry = frozen_fixture();
+        let ns = registry.get("g").unwrap();
+        assert_eq!(ns.kind(), NamespaceKind::Frozen);
+        assert!(ns.reach(0, 3).unwrap());
+        assert!(!ns.reach(3, 0).unwrap());
+        assert!(ns.reach(1, 0).unwrap(), "inside the SCC");
+        assert!(matches!(
+            ns.add_edge("g", 3, 4),
+            Err(ServeError::FrozenNamespace(_))
+        ));
+        assert!(matches!(
+            ns.remove_edge("g", 0, 1),
+            Err(ServeError::FrozenNamespace(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_errors_not_panics() {
+        let registry = frozen_fixture();
+        let ns = registry.get("g").unwrap();
+        assert!(matches!(
+            ns.reach(0, 5),
+            Err(ServeError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        assert!(matches!(
+            ns.reach_batch(&[(0, 1), (9, 0)], 2),
+            Err(ServeError::VertexOutOfRange { vertex: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_namespace_mutates_and_counts() {
+        let registry = Registry::new();
+        let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        registry
+            .insert_dynamic("d", DynamicOracle::new(dag))
+            .unwrap();
+        let ns = registry.get("d").unwrap();
+        assert!(!ns.reach(0, 3).unwrap());
+        ns.add_edge("d", 1, 2).unwrap();
+        assert!(ns.reach(0, 3).unwrap());
+        assert!(matches!(
+            ns.add_edge("d", 3, 0),
+            Err(ServeError::Graph(GraphError::Cycle { .. }))
+        ));
+        assert!(ns.remove_edge("d", 1, 2).unwrap());
+        assert!(!ns.reach(0, 3).unwrap());
+        assert!(!ns.remove_edge("d", 1, 2).unwrap(), "already gone");
+        let stats = ns.stats();
+        assert_eq!(stats.kind, NamespaceKind::Dynamic);
+        assert_eq!(stats.vertices, 4);
+        assert!(stats.queries >= 3);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let registry = frozen_fixture();
+        let ns = registry.get("g").unwrap();
+        let pairs: Vec<(u32, u32)> = (0..5).flat_map(|u| (0..5).map(move |v| (u, v))).collect();
+        let batch = ns.reach_batch(&pairs, 3).unwrap();
+        for (&(u, v), &got) in pairs.iter().zip(&batch) {
+            assert_eq!(got, ns.reach(u, v).unwrap(), "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let registry = frozen_fixture();
+        let old = registry.get("g").unwrap();
+        let g2 = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(registry.insert_frozen("g", Oracle::new(&g2)).unwrap());
+        assert_eq!(registry.get("g").unwrap().num_vertices(), 2);
+        // The old handle still answers against its own snapshot.
+        assert_eq!(old.num_vertices(), 5);
+        assert!(registry.remove("g"));
+        assert!(registry.get("g").is_none());
+        assert!(!registry.remove("g"));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn names_validated_and_listed_sorted() {
+        let registry = Registry::new();
+        let g = DiGraph::from_edges(1, &[]).unwrap();
+        assert!(matches!(
+            registry.insert_frozen("", Oracle::new(&g)),
+            Err(ServeError::InvalidName(_))
+        ));
+        assert!(matches!(
+            registry.insert_frozen(&"x".repeat(300), Oracle::new(&g)),
+            Err(ServeError::InvalidName(_))
+        ));
+        registry.insert_frozen("zeta", Oracle::new(&g)).unwrap();
+        registry
+            .insert_dynamic(
+                "alpha",
+                DynamicOracle::new(Dag::from_edges(1, &[]).unwrap()),
+            )
+            .unwrap();
+        let names: Vec<String> = registry.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn stats_queries_count_batch_pairs() {
+        let registry = frozen_fixture();
+        let ns = registry.get("g").unwrap();
+        ns.reach(0, 1).unwrap();
+        ns.reach_batch(&[(0, 1), (1, 2), (2, 3)], 1).unwrap();
+        assert_eq!(ns.stats().queries, 4);
+    }
+}

@@ -1,0 +1,396 @@
+//! The TCP serving loop: accept thread + connection thread pool.
+//!
+//! Each connection speaks the length-prefixed protocol of
+//! [`crate::protocol`]: read a frame, decode, dispatch against the
+//! [`Registry`], reply. Malformed payloads get an `ERROR` reply and
+//! the connection stays usable (the length prefix already delimited
+//! the bad bytes); an oversized length prefix gets a final `ERROR`
+//! and the connection is closed, because framing can no longer be
+//! trusted. Reads poll with a short timeout so idle connections notice
+//! shutdown promptly without racing partially read frames. Connections
+//! beyond the worker count are refused with an explicit `ERROR` reply
+//! — never silently queued behind long-lived peers.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::pool::ThreadPool;
+use crate::protocol::{Request, Response, WireError, MAX_FRAME_LEN};
+use crate::registry::{Registry, ServeError};
+
+/// Tunables for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection-handler threads — also the cap on concurrently
+    /// *connected* clients: a connection occupies its worker for its
+    /// whole lifetime, so connections beyond this are refused with an
+    /// explicit `ERROR` reply rather than queued (a queued connection
+    /// would hang silently behind long-lived peers). Size it for the
+    /// expected number of persistent clients, not for CPU cores alone.
+    pub workers: usize,
+    /// Fan-out width for `BATCH` on frozen namespaces
+    /// ([`hoplite_core::parallel::par_query_batch`]).
+    pub batch_threads: usize,
+    /// Largest accepted frame payload.
+    pub max_frame_len: u32,
+    /// How often a blocked read re-checks the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            workers: cores.clamp(2, 16),
+            batch_threads: cores.clamp(1, 8),
+            max_frame_len: MAX_FRAME_LEN,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic serving counters, shared by every connection thread.
+#[derive(Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    /// Connections currently occupying a pool worker.
+    active: AtomicUsize,
+}
+
+/// The server entry point; see [`Server::bind`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `registry` in background threads. Returns immediately;
+    /// the returned handle reports the bound address and shuts the
+    /// server down when told to (or on drop).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use hoplite_core::Oracle;
+    /// use hoplite_graph::DiGraph;
+    /// use hoplite_server::{Client, Registry, Server, ServerConfig};
+    ///
+    /// let registry = Arc::new(Registry::new());
+    /// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    ///
+    /// let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    /// let mut client = Client::connect(handle.local_addr()).unwrap();
+    /// assert!(client.reach("g", 0, 2).unwrap());
+    /// handle.shutdown();
+    /// ```
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let config = Arc::new(config);
+        let counters = Arc::new(ServerCounters::default());
+        let accept_counters = Arc::clone(&counters);
+        let accept = std::thread::Builder::new()
+            .name("hoplited-accept".into())
+            .spawn(move || {
+                accept_loop(listener, registry, config, accept_stop, accept_counters);
+            })?;
+        Ok(ServerHandle {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            counters,
+        })
+    }
+}
+
+/// Owns a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.counters.connections.load(Ordering::Relaxed)
+    }
+
+    /// Frames answered so far (including error replies).
+    pub fn frames_served(&self) -> u64 {
+        self.counters.frames.load(Ordering::Relaxed)
+    }
+
+    /// Error replies sent so far.
+    pub fn errors_replied(&self) -> u64 {
+        self.counters.errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused because every worker was occupied.
+    pub fn connections_rejected(&self) -> u64 {
+        self.counters.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests
+    /// finish, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() call; any connection works.
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: Arc<ServerConfig>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) {
+    // Dropping the pool at the end of this function joins the workers,
+    // so `ServerHandle::shutdown` transitively waits for connections.
+    let pool = ThreadPool::new(config.workers, "hoplited-conn");
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                // Every live connection pins a worker, so a saturated
+                // pool must refuse loudly instead of queueing: a queued
+                // connection would hang with no reply until some peer
+                // disconnects.
+                if counters.active.load(Ordering::SeqCst) >= pool.size() {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    refuse_connection(stream, pool.size());
+                    continue;
+                }
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                counters.active.fetch_add(1, Ordering::SeqCst);
+                let registry = Arc::clone(&registry);
+                let config = Arc::clone(&config);
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                pool.execute(move || {
+                    // Release the slot even if the handler panics (the
+                    // pool contains the panic; the capacity gate must
+                    // still see the worker as free again).
+                    struct Slot<'a>(&'a AtomicUsize);
+                    impl Drop for Slot<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _slot = Slot(&counters.active);
+                    serve_connection(stream, &registry, &config, &stop, &counters)
+                });
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE…): back off briefly
+                // instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Tells an over-capacity client why it is being turned away; bounded
+/// by a short write timeout so a slow peer cannot stall the accept
+/// thread.
+fn refuse_connection(mut stream: TcpStream, workers: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = send_response(
+        &mut stream,
+        &Response::Error(format!(
+            "server at capacity ({workers} connections); retry later"
+        )),
+    );
+}
+
+/// What one attempt to read a frame produced.
+enum FrameIn {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// Length prefix over the limit; connection must close after the
+    /// error reply.
+    TooLarge(u32),
+    /// Peer closed (cleanly or mid-frame) or the transport failed.
+    Closed,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// `read_exact` that tolerates the poll timeout, re-checking `stop`
+/// between polls, and accumulates partial reads so a slow client never
+/// desynchronizes framing.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> FrameReadStatus {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return FrameReadStatus::Eof,
+            Ok(k) => filled += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return FrameReadStatus::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameReadStatus::Failed,
+        }
+    }
+    FrameReadStatus::Complete
+}
+
+enum FrameReadStatus {
+    Complete,
+    Eof,
+    Shutdown,
+    Failed,
+}
+
+fn read_frame_interruptible(stream: &mut TcpStream, max_len: u32, stop: &AtomicBool) -> FrameIn {
+    let mut header = [0u8; 4];
+    match read_exact_interruptible(stream, &mut header, stop) {
+        FrameReadStatus::Complete => {}
+        FrameReadStatus::Eof | FrameReadStatus::Failed => return FrameIn::Closed,
+        FrameReadStatus::Shutdown => return FrameIn::Shutdown,
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_len {
+        return FrameIn::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_interruptible(stream, &mut payload, stop) {
+        FrameReadStatus::Complete => FrameIn::Frame(payload),
+        FrameReadStatus::Eof | FrameReadStatus::Failed => FrameIn::Closed,
+        FrameReadStatus::Shutdown => FrameIn::Shutdown,
+    }
+}
+
+fn send_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let payload = response.encode().unwrap_or_else(|e| {
+        Response::Error(format!("internal encode failure: {e}"))
+            .encode()
+            .expect("plain error replies always encode")
+    });
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    counters: &ServerCounters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    loop {
+        match read_frame_interruptible(&mut stream, config.max_frame_len, stop) {
+            FrameIn::Frame(payload) => {
+                let response = match Request::decode(&payload) {
+                    Ok(request) => handle_request(request, registry, config),
+                    Err(e) => Response::Error(format!("bad request: {e}")),
+                };
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                if matches!(response, Response::Error(_)) {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if send_response(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            FrameIn::TooLarge(len) => {
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                let err = WireError::FrameTooLarge {
+                    len,
+                    max: config.max_frame_len,
+                };
+                let _ = send_response(&mut stream, &Response::Error(format!("bad request: {err}")));
+                break; // cannot skip the oversized body safely
+            }
+            FrameIn::Closed | FrameIn::Shutdown => break,
+        }
+    }
+}
+
+fn lookup(registry: &Registry, ns: &str) -> Result<crate::registry::NamespaceHandle, ServeError> {
+    registry
+        .get(ns)
+        .ok_or_else(|| ServeError::UnknownNamespace(ns.to_owned()))
+}
+
+fn handle_request(request: Request, registry: &Registry, config: &ServerConfig) -> Response {
+    fn reply<T>(result: Result<T, ServeError>, ok: impl FnOnce(T) -> Response) -> Response {
+        match result {
+            Ok(v) => ok(v),
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+    match request {
+        Request::Ping => Response::Pong,
+        Request::List => Response::List(registry.list()),
+        Request::Reach { ns, u, v } => reply(
+            lookup(registry, &ns).and_then(|h| h.reach(u, v)),
+            Response::Bool,
+        ),
+        Request::Batch { ns, pairs } => reply(
+            lookup(registry, &ns).and_then(|h| h.reach_batch(&pairs, config.batch_threads)),
+            Response::Bools,
+        ),
+        Request::AddEdge { ns, u, v } => reply(
+            lookup(registry, &ns).and_then(|h| h.add_edge(&ns, u, v)),
+            |()| Response::Bool(true),
+        ),
+        Request::RemoveEdge { ns, u, v } => reply(
+            lookup(registry, &ns).and_then(|h| h.remove_edge(&ns, u, v)),
+            Response::Bool,
+        ),
+        Request::Stats { ns } => reply(lookup(registry, &ns).map(|h| h.stats()), Response::Stats),
+    }
+}

@@ -39,90 +39,28 @@
 //!   query workloads, and the harness regenerating the paper's
 //!   Tables 1–7 and Figures 3–4 (`cargo run -p hoplite-bench --bin
 //!   paper -- all`).
+//! * [`hoplite_server`] (re-exported as [`server`]) — a
+//!   dependency-free TCP query service: length-prefixed binary wire
+//!   protocol, multi-namespace registry (frozen [`Oracle`] snapshots
+//!   and mutable [`hoplite_core::DynamicOracle`]s), thread-pool
+//!   connection handling, a blocking client, and the `hoplited`
+//!   daemon.
 //!
 //! The examples under `examples/` walk through realistic scenarios:
-//! `quickstart`, `citation_network`, `ontology`, `paper_figures`, and
-//! the `dataset_tool` CLI.
+//! `quickstart`, `citation_network`, `ontology`, `paper_figures`,
+//! `reachability_service`, and the `dataset_tool` CLI.
 
 pub use hoplite_baselines as baselines;
 pub use hoplite_bench as bench;
 pub use hoplite_core as core;
 pub use hoplite_graph as graph;
+pub use hoplite_server as server;
 
 pub use hoplite_core::{
-    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, Labeling, OrderKind, ReachIndex,
+    DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, Labeling, Oracle, OrderKind,
+    ReachIndex,
 };
 pub use hoplite_graph::{Dag, DiGraph, GraphBuilder, GraphError, VertexId};
-
-use hoplite_graph::scc::Condensation;
-
-/// The batteries-included reachability oracle.
-///
-/// Wraps the full pipeline a downstream user wants: SCC condensation
-/// of an arbitrary digraph, Distribution-Labeling of the condensation
-/// (the paper's recommended algorithm), and queries in terms of the
-/// *original* vertex ids.
-pub struct Oracle {
-    cond: Condensation,
-    dl: DistributionLabeling,
-}
-
-impl Oracle {
-    /// Builds an oracle over any directed graph (cyclic or not) using
-    /// Distribution-Labeling with the paper's default configuration.
-    pub fn new(g: &DiGraph) -> Self {
-        Self::with_config(g, &DlConfig::default())
-    }
-
-    /// Builds with a custom Distribution-Labeling configuration.
-    pub fn with_config(g: &DiGraph, cfg: &DlConfig) -> Self {
-        let cond = Dag::condense(g);
-        let dl = DistributionLabeling::build(&cond.dag, cfg);
-        Oracle { cond, dl }
-    }
-
-    /// Does `u` reach `v` in the original graph? Reflexive.
-    pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
-        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
-        cu == cv || self.dl.query(cu, cv)
-    }
-
-    /// Answers a batch of `(u, v)` pairs (original vertex ids) using
-    /// `threads` worker threads, preserving order. The labels are
-    /// immutable, so this needs no synchronization; see
-    /// [`hoplite_core::parallel`].
-    pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
-        let mapped: Vec<(VertexId, VertexId)> = pairs
-            .iter()
-            .map(|&(u, v)| (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]))
-            .collect();
-        // Same-component pairs map to (c, c), which the reflexive
-        // labeling query answers `true`.
-        hoplite_core::parallel::par_query_batch(self.dl.labeling(), &mapped, threads)
-    }
-
-    /// Number of strongly connected components of the input.
-    pub fn num_components(&self) -> usize {
-        self.cond.num_components()
-    }
-
-    /// Total hop-label entries of the underlying oracle (the paper's
-    /// index-size metric).
-    pub fn label_entries(&self) -> u64 {
-        self.dl.labeling().total_entries()
-    }
-
-    /// The condensation, for callers that need component structure.
-    pub fn condensation(&self) -> &Condensation {
-        &self.cond
-    }
-
-    /// The underlying Distribution-Labeling oracle over the
-    /// condensation DAG.
-    pub fn inner(&self) -> &DistributionLabeling {
-        &self.dl
-    }
-}
 
 #[cfg(test)]
 mod tests {

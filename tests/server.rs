@@ -1,0 +1,407 @@
+//! Integration suite for the `hoplite-server` serving tier: concurrent
+//! clients over a real loopback socket cross-checked against BFS
+//! ground truth, dynamic edge-mutation visibility, and a fuzz-style
+//! pass feeding truncated / corrupt / oversized frames (the wire-level
+//! sibling of `tests/persist_fuzz.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use hoplite::core::DynamicOracle;
+use hoplite::graph::gen::Rng;
+use hoplite::graph::traversal;
+use hoplite::server::{
+    Client, ClientError, NamespaceKind, Registry, Response, Server, ServerConfig, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use hoplite::{Dag, DiGraph, Oracle, VertexId};
+
+fn random_cyclic_digraph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let mut rng = Rng::new(seed);
+    let edges: Vec<(VertexId, VertexId)> = (0..m)
+        .filter_map(|_| {
+            let u = rng.gen_index(n) as VertexId;
+            let v = rng.gen_index(n) as VertexId;
+            (u != v).then_some((u, v))
+        })
+        .collect();
+    DiGraph::from_edges(n, &edges).expect("edges are in range")
+}
+
+fn serve(registry: Registry) -> hoplite::server::ServerHandle {
+    // Each live connection pins a worker; give the suites generous
+    // headroom over their client counts regardless of host core count.
+    let config = ServerConfig {
+        workers: 16,
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", Arc::new(registry), config).expect("bind ephemeral loopback port")
+}
+
+#[test]
+fn concurrent_clients_agree_with_bfs_ground_truth() {
+    let n = 60;
+    let g = random_cyclic_digraph(n, 200, 0xFEED);
+    let registry = Registry::new();
+    registry.insert_frozen("web", Oracle::new(&g)).unwrap();
+    let handle = serve(registry);
+    let addr = handle.local_addr();
+
+    // 6 concurrent clients; each takes a slice of the full n×n query
+    // matrix, alternating single REACH and BATCH frames.
+    let clients = 6u32;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let g = &g;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mine: Vec<(u32, u32)> = (0..n as u32)
+                    .flat_map(|u| (0..n as u32).map(move |v| (u, v)))
+                    .filter(|&(u, v)| (u * n as u32 + v) % clients == c)
+                    .collect();
+                for chunk in mine.chunks(64) {
+                    if chunk.len() % 2 == 1 {
+                        // Odd chunks go one by one.
+                        for &(u, v) in chunk {
+                            assert_eq!(
+                                client.reach("web", u, v).expect("REACH"),
+                                traversal::reaches(g, u, v),
+                                "client {c}: ({u},{v})"
+                            );
+                        }
+                    } else {
+                        let answers = client.reach_batch("web", chunk).expect("BATCH");
+                        for (&(u, v), &got) in chunk.iter().zip(&answers) {
+                            assert_eq!(got, traversal::reaches(g, u, v), "client {c}: ({u},{v})");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut probe = Client::connect(addr).unwrap();
+    let stats = probe.stats("web").unwrap();
+    assert_eq!(stats.kind, NamespaceKind::Frozen);
+    assert_eq!(stats.vertices, n as u64);
+    assert_eq!(stats.queries, (n * n) as u64, "every pair queried once");
+    assert!(handle.connections_accepted() >= clients as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn dynamic_mutations_become_visible_to_subsequent_queries() {
+    let dag = Dag::from_edges(8, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)]).unwrap();
+    let registry = Registry::new();
+    registry
+        .insert_dynamic("live", DynamicOracle::new(dag))
+        .unwrap();
+    let handle = serve(registry);
+    let addr = handle.local_addr();
+
+    let mut writer = Client::connect(addr).unwrap();
+    let mut reader = Client::connect(addr).unwrap();
+
+    assert!(!reader.reach("live", 0, 5).unwrap());
+    writer.add_edge("live", 2, 3).unwrap();
+    assert!(
+        reader.reach("live", 0, 5).unwrap(),
+        "insert visible across connections"
+    );
+
+    writer.add_edge("live", 5, 6).unwrap();
+    assert!(reader.reach("live", 0, 7).unwrap(), "chained delta edges");
+
+    // Cycle-closing inserts are rejected with an error reply, and the
+    // graph is unchanged.
+    match writer.add_edge("live", 5, 0) {
+        Err(ClientError::Server(message)) => {
+            assert!(message.contains("cycle"), "got: {message}")
+        }
+        other => panic!("cycle insert returned {other:?}"),
+    }
+    assert!(reader.reach("live", 0, 5).unwrap());
+
+    assert!(writer.remove_edge("live", 2, 3).unwrap());
+    assert!(
+        !reader.reach("live", 0, 5).unwrap(),
+        "removal visible across connections"
+    );
+    assert!(!writer.remove_edge("live", 2, 3).unwrap(), "already gone");
+
+    let stats = reader.stats("live").unwrap();
+    assert_eq!(stats.kind, NamespaceKind::Dynamic);
+    assert_eq!(stats.vertices, 8);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_and_single_queries_agree_through_the_wire() {
+    let g = random_cyclic_digraph(40, 130, 7);
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    let handle = serve(registry);
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let mut rng = Rng::new(99);
+    let pairs: Vec<(u32, u32)> = (0..500)
+        .map(|_| (rng.gen_index(40) as u32, rng.gen_index(40) as u32))
+        .collect();
+    let batch = client.reach_batch("g", &pairs).unwrap();
+    for (&(u, v), &got) in pairs.iter().zip(&batch) {
+        assert_eq!(got, client.reach("g", u, v).unwrap(), "({u},{v})");
+    }
+    assert!(client.reach_batch("g", &[]).unwrap().is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn semantic_errors_are_replies_not_disconnects() {
+    let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    let handle = serve(registry);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    for (err, needle) in [
+        (
+            client.reach("absent", 0, 1).unwrap_err(),
+            "unknown namespace",
+        ),
+        (client.reach("g", 0, 99).unwrap_err(), "out of range"),
+        (client.add_edge("g", 0, 2).unwrap_err(), "frozen"),
+        (client.stats("absent").unwrap_err(), "unknown namespace"),
+    ] {
+        match err {
+            ClientError::Server(message) => {
+                assert!(message.contains(needle), "{message:?} lacks {needle:?}")
+            }
+            other => panic!("expected a server error reply, got {other:?}"),
+        }
+        // The connection survives every semantic error.
+        client.ping().expect("connection still serviceable");
+    }
+    handle.shutdown();
+}
+
+/// Sends raw bytes as one frame and returns the decoded reply (if the
+/// server replied at all before closing).
+fn send_raw(addr: std::net::SocketAddr, payload: &[u8]) -> Option<Response> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut reply).ok()?;
+    Some(Response::decode(&reply).expect("server replies are well-formed"))
+}
+
+#[test]
+fn malformed_frames_get_clean_error_replies_never_panics_or_wrong_answers() {
+    let g = random_cyclic_digraph(20, 60, 3);
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    let handle = serve(registry);
+    let addr = handle.local_addr();
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty payload", vec![]),
+        ("version only", vec![PROTOCOL_VERSION]),
+        ("bad version", vec![99, 0x01]),
+        ("unknown opcode", vec![PROTOCOL_VERSION, 0x42]),
+        ("reach with no body", vec![PROTOCOL_VERSION, 0x02]),
+        (
+            "reach with truncated vertex",
+            vec![PROTOCOL_VERSION, 0x02, 1, b'g', 1, 0, 0],
+        ),
+        (
+            "name length past end",
+            vec![PROTOCOL_VERSION, 0x06, 200, b'g'],
+        ),
+        ("non-utf8 name", vec![PROTOCOL_VERSION, 0x06, 2, 0xFF, 0xFE]),
+        ("trailing bytes", {
+            let mut b = vec![PROTOCOL_VERSION, 0x01];
+            b.push(0);
+            b
+        }),
+        ("batch count mismatch", {
+            let mut b = vec![PROTOCOL_VERSION, 0x03, 1, b'g'];
+            b.extend_from_slice(&1000u32.to_le_bytes());
+            b.extend_from_slice(&[1, 2, 3]);
+            b
+        }),
+        ("batch count over limit", {
+            let mut b = vec![PROTOCOL_VERSION, 0x03, 1, b'g'];
+            b.extend_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
+    ];
+    for (what, payload) in &cases {
+        match send_raw(addr, payload) {
+            Some(Response::Error(message)) => {
+                assert!(
+                    message.starts_with("bad request:"),
+                    "{what}: unexpected message {message:?}"
+                );
+            }
+            Some(other) => panic!("{what}: got non-error reply {other:?}"),
+            None => panic!("{what}: connection closed without a reply"),
+        }
+    }
+
+    // Oversized length prefix: error reply, then the connection closes
+    // (framing can no longer be trusted).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(&(MAX_FRAME_LEN + 1).to_le_bytes())
+            .unwrap();
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).unwrap();
+        let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut reply).unwrap();
+        match Response::decode(&reply).unwrap() {
+            Response::Error(message) => assert!(message.contains("exceeds"), "{message}"),
+            other => panic!("oversized frame got {other:?}"),
+        }
+        let mut probe = [0u8; 1];
+        assert_eq!(stream.read(&mut probe).unwrap(), 0, "connection closed");
+    }
+
+    // Seeded garbage fuzz: random payloads must produce error replies
+    // (or at worst a clean close), and the server must keep serving
+    // correct answers afterwards.
+    let mut rng = Rng::new(0xBAD5EED);
+    for round in 0..64 {
+        let len = rng.gen_index(48);
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(256) as u8).collect();
+        // Skip the rare case where garbage forms a valid request; any
+        // reply (or clean close) is acceptable then.
+        if let Some(Response::Error(message)) = send_raw(addr, &payload) {
+            assert!(!message.is_empty(), "round {round}");
+        }
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().expect("server alive after the fuzz barrage");
+    for (u, v) in [(0u32, 5u32), (3, 3), (7, 19)] {
+        assert_eq!(
+            client.reach("g", u, v).unwrap(),
+            traversal::reaches(&g, u, v),
+            "post-fuzz answers stay correct"
+        );
+    }
+    assert!(handle.errors_replied() >= cases.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn frozen_namespace_from_saved_index_serves_identically() {
+    // The "build once, ship to replicas" path: save an Oracle, load it
+    // as a replica would, serve the loaded copy, and cross-check.
+    let g = random_cyclic_digraph(32, 100, 21);
+    let original = Oracle::new(&g);
+    let mut blob = Vec::new();
+    original.save(&mut blob).unwrap();
+    let replica = Oracle::load(std::io::Cursor::new(&blob)).unwrap();
+
+    let registry = Registry::new();
+    registry.insert_frozen("replica", replica).unwrap();
+    let handle = serve(registry);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    for u in 0..32u32 {
+        for v in 0..32u32 {
+            assert_eq!(
+                client.reach("replica", u, v).unwrap(),
+                traversal::reaches(&g, u, v),
+                "({u},{v})"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn over_capacity_connections_get_an_explicit_refusal_not_a_hang() {
+    let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", Arc::new(registry), config).unwrap();
+    let addr = handle.local_addr();
+
+    // Two persistent clients occupy both workers…
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    c1.ping().unwrap();
+    c2.ping().unwrap();
+
+    // …so a third gets an immediate, explicit refusal instead of
+    // hanging behind them.
+    let mut c3 = Client::connect(addr).unwrap();
+    match c3.ping() {
+        Err(ClientError::Server(message)) => {
+            assert!(message.contains("capacity"), "{message}")
+        }
+        other => panic!("over-capacity connection got {other:?}"),
+    }
+    assert_eq!(handle.connections_rejected(), 1);
+
+    // Freeing a slot lets new connections in again (the worker notices
+    // the disconnect within its poll interval).
+    drop(c1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let mut c4 = Client::connect(addr).unwrap();
+        match c4.reach("g", 0, 2) {
+            Ok(answer) => {
+                assert!(answer);
+                break;
+            }
+            Err(ClientError::Server(m)) if m.contains("capacity") => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "slot never freed after client disconnect"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn list_reflects_registry_contents() {
+    let registry = Registry::new();
+    let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+    registry.insert_frozen("beta", Oracle::new(&g)).unwrap();
+    registry
+        .insert_dynamic(
+            "alpha",
+            DynamicOracle::new(Dag::from_edges(2, &[]).unwrap()),
+        )
+        .unwrap();
+    let handle = serve(registry);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let infos = client.list().unwrap();
+    assert_eq!(infos.len(), 2);
+    assert_eq!(infos[0].name, "alpha");
+    assert_eq!(infos[0].kind, NamespaceKind::Dynamic);
+    assert_eq!(infos[1].name, "beta");
+    assert_eq!(infos[1].kind, NamespaceKind::Frozen);
+    handle.shutdown();
+}
