@@ -1,0 +1,108 @@
+//! Query-filter stack ablation: latency with each pre-filter layer
+//! toggled on three graph families.
+//!
+//! Layers stack cheap-first the way [`hoplite_core::QueryFilters`]
+//! applies them: `none` is the bare label intersection, `levels` adds
+//! the topological-level negative cut, `intervals` adds the GRAIL-style
+//! min-post cut, and `full` is the shipped stack (levels + spanning
+//! -tree positive cut + degree shortcuts + intervals). The gap between
+//! adjacent rows is the marginal value of that layer on the family's
+//! workload shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use hoplite_core::{DistributionLabeling, DlConfig, QueryFilters};
+use hoplite_graph::gen;
+use hoplite_graph::{Dag, VertexId};
+
+const N: usize = 3_000;
+const QUERIES: usize = 20_000;
+
+fn families() -> [(&'static str, Dag); 3] {
+    [
+        ("random", gen::random_dag(N, 4 * N, 17)),
+        ("tree_plus", gen::tree_plus_dag(N, N / 5, 17)),
+        ("power_law", gen::power_law_dag(N, 3 * N, 17)),
+    ]
+}
+
+fn bench_filter_stack(c: &mut Criterion) {
+    for (family, dag) in families() {
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let labeling = dl.labeling();
+        let filters = QueryFilters::build(&dag);
+        let mut rng = gen::Rng::new(0xF1);
+        let pairs: Vec<(VertexId, VertexId)> = (0..QUERIES)
+            .map(|_| (rng.gen_index(N) as u32, rng.gen_index(N) as u32))
+            .collect();
+
+        let mut group = c.benchmark_group(format!("filters/{family}"));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(QUERIES as u64));
+
+        group.bench_with_input(BenchmarkId::from_parameter("none"), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    hits += labeling.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("levels"), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    let reach = if u == v {
+                        true
+                    } else if filters.level_cut(u, v) {
+                        false
+                    } else {
+                        labeling.query(u, v)
+                    };
+                    hits += reach as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("intervals"),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &(u, v) in pairs {
+                        let reach = if u == v {
+                            true
+                        } else if filters.level_cut(u, v) || filters.interval_cut(u, v) {
+                            false
+                        } else {
+                            labeling.query(u, v)
+                        };
+                        hits += reach as usize;
+                    }
+                    std::hint::black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter("full"), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    let reach = match filters.check(u, v) {
+                        Some(decided) => decided,
+                        None => labeling.query(u, v),
+                    };
+                    hits += reach as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_filter_stack);
+criterion_main!(benches);

@@ -37,7 +37,15 @@ fn bench_ordering(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (name, order) in orders() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
-            b.iter(|| std::hint::black_box(DistributionLabeling::build(&dag, &DlConfig { order })))
+            b.iter(|| {
+                std::hint::black_box(DistributionLabeling::build(
+                    &dag,
+                    &DlConfig {
+                        order,
+                        ..DlConfig::default()
+                    },
+                ))
+            })
         });
     }
     group.finish();
@@ -47,7 +55,13 @@ fn bench_ordering(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(load.len() as u64));
     for (name, order) in orders() {
-        let dl = DistributionLabeling::build(&dag, &DlConfig { order });
+        let dl = DistributionLabeling::build(
+            &dag,
+            &DlConfig {
+                order,
+                ..DlConfig::default()
+            },
+        );
         // Surface the label-size consequence of the order choice.
         eprintln!(
             "# dl_order {name}: total label entries = {}",

@@ -66,6 +66,8 @@ commands:
   extras        small suite incl. DUAL + CHAIN (§2.1 references)
   throughput    multi-core DL query scaling
   scarab-depth  recursive SCARAB study (§2.3's open option)
+  perf          hot-path JSON benchmark: build engines + query filters
+                (flags: --quick --check --out=FILE --seed=N)
   help          this text";
 
 fn main() {
@@ -76,6 +78,10 @@ fn main() {
     };
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         println!("{USAGE}");
+        return;
+    }
+    if command == "perf" {
+        perf_cmd(&args[1..]);
         return;
     }
     let mut cfg = RunConfig::default();
@@ -133,6 +139,58 @@ fn main() {
             eprintln!("unknown command {other}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `paper perf [--quick] [--check] [--out=FILE] [--seed=N]` — runs the
+/// hot-path suite (`hoplite_bench::perf`), prints the JSON report to
+/// stdout (and `--out=FILE`), and with `--check` enforces the CI
+/// invariants: nonzero filter hit rate, filtered q/s ≥ unfiltered q/s.
+fn perf_cmd(args: &[String]) {
+    use hoplite_bench::perf::{run_perf, PerfOptions};
+    let mut opts = PerfOptions::default();
+    let mut check = false;
+    let mut out: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--check" => check = true,
+            other => match other.split_once('=') {
+                Some(("--out", path)) => out = Some(path.to_string()),
+                Some(("--seed", val)) => opts.seed = parse(a, val),
+                _ => {
+                    eprintln!("unknown perf flag {a} (expected --quick, --check, --out=, --seed=)");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let report = run_perf(&opts);
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("perf: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# perf: report written to {path}");
+    }
+    eprintln!(
+        "# perf: build {:.0} ms (seed merge) -> {:.0} ms (auto), {:.2}x; \
+         query {:.2} Mq/s (unfiltered) -> {:.2} Mq/s (filtered), hit rate {:.1}%",
+        report.build_seed_merge_ms,
+        report.build_auto_ms,
+        report.build_speedup,
+        report.unfiltered_qps / 1e6,
+        report.filtered_qps / 1e6,
+        report.filter_hit_rate * 100.0
+    );
+    if check {
+        if let Err(msg) = report.check() {
+            eprintln!("perf check FAILED: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("# perf: checks passed");
     }
 }
 
@@ -232,7 +290,13 @@ fn ablation(cfg: &RunConfig) {
         let load = equal_workload(&dag, cfg.queries.min(20_000), cfg.seed);
         for (name, order) in orders {
             let t = Instant::now();
-            let dl = DistributionLabeling::build(&dag, &DlConfig { order });
+            let dl = DistributionLabeling::build(
+                &dag,
+                &DlConfig {
+                    order,
+                    ..DlConfig::default()
+                },
+            );
             let build_ms = t.elapsed().as_secs_f64() * 1e3;
             let t = Instant::now();
             let mut hits = 0usize;

@@ -15,12 +15,17 @@
 //!   "—" cells.
 //! * [`tables`] — plain-text renderers shaped like Tables 1–7 and the
 //!   index-size series of Figures 3–4.
+//! * [`perf`] — the hot-path JSON benchmark behind `paper perf`:
+//!   build-engine comparison (seed merge vs rank-bitmap vs two-thread)
+//!   and filtered vs unfiltered query throughput with per-layer filter
+//!   hit rates (`BENCH_*.json`).
 //!
 //! The `paper` binary (`cargo run --release -p hoplite-bench --bin
 //! paper -- all`) drives everything; Criterion micro-benches live in
 //! `benches/`.
 
 pub mod datasets;
+pub mod perf;
 pub mod runner;
 pub mod tables;
 pub mod workload;

@@ -1,0 +1,390 @@
+//! O(1) query pre-filters over a (condensation) DAG.
+//!
+//! O'Reach (Hanauer, Schulz & Trummer, *"O'Reach: Even Faster
+//! Reachability in Large Graphs"*, SEA 2021 / JEA 2022) observes that
+//! on real workloads the vast majority of reachability queries can be
+//! answered by cheap constant-time *observations* before any index is
+//! touched. This module is that layer for the hoplite pipeline: a
+//! [`QueryFilters`] stage sits in front of the Distribution-Labeling
+//! intersection in [`crate::Oracle`], the batch paths of
+//! [`crate::parallel`], and (through the `Oracle`) the `hoplite-server`
+//! REACH/BATCH handlers.
+//!
+//! Four observations are precomputed in `O(n + m)` from the DAG and
+//! stored as five flat `u32` arrays plus two bit flags per vertex:
+//!
+//! * **Topological levels** (negative cut): `u → v` implies
+//!   `level(u) < level(v)`, where `level` is the longest-path depth.
+//!   Any pair with `level(u) ≥ level(v)` (and `u ≠ v`) is unreachable.
+//! * **DFS spanning-forest intervals** (positive cut): a deterministic
+//!   DFS assigns each vertex a preorder number and a contiguous
+//!   `[pre, pre_end)` interval covering exactly its tree descendants —
+//!   all of which it reaches. Containment proves reachability.
+//! * **GRAIL-style min-post intervals** (negative cut, after Yildirim,
+//!   Chaoji & Zaki, VLDB 2010): with `post` the DFS postorder and
+//!   `mpost(v)` the minimum postorder reachable from `v`, `u → v`
+//!   implies `[mpost(v), post(v)] ⊆ [mpost(u), post(u)]`;
+//!   non-containment proves unreachability.
+//! * **Degree-zero shortcuts** (negative cut): a sink source-side
+//!   (`N_out(u) = ∅`) reaches nothing but itself; a source target-side
+//!   (`N_in(v) = ∅`) is reached by nothing but itself.
+//!
+//! Every observation is *sound* in isolation, so [`QueryFilters::check`]
+//! may apply them in any order; the order below is tuned cheap-first.
+//! Queries no filter decides fall through to the hop-label
+//! intersection — [`FilterVerdict`] tells the `paper perf` harness
+//! which layer fired, feeding the hit-rate stats in `BENCH_*.json`.
+
+use hoplite_graph::{Dag, VertexId};
+
+/// Which pre-filter layer decided a query, if any.
+///
+/// Used by the perf harness to report per-layer hit rates; the hot
+/// path ([`QueryFilters::check`]) carries no counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FilterVerdict {
+    /// `u == v` in filter space (same condensation component).
+    SameComponent,
+    /// Topological-level negative cut fired.
+    LevelCut,
+    /// Spanning-forest interval positive cut fired.
+    TreeHit,
+    /// Degree-zero source/sink shortcut fired.
+    DegreeCut,
+    /// GRAIL min-post interval negative cut fired.
+    IntervalCut,
+    /// No filter decided; the caller must run the label intersection.
+    Fallthrough,
+}
+
+impl FilterVerdict {
+    /// The decided answer, or `None` for [`FilterVerdict::Fallthrough`].
+    #[inline]
+    pub fn decided(self) -> Option<bool> {
+        match self {
+            FilterVerdict::SameComponent | FilterVerdict::TreeHit => Some(true),
+            FilterVerdict::LevelCut | FilterVerdict::DegreeCut | FilterVerdict::IntervalCut => {
+                Some(false)
+            }
+            FilterVerdict::Fallthrough => None,
+        }
+    }
+
+    /// Stable snake_case name (JSON keys of the perf report).
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterVerdict::SameComponent => "same_component",
+            FilterVerdict::LevelCut => "level_cut",
+            FilterVerdict::TreeHit => "tree_hit",
+            FilterVerdict::DegreeCut => "degree_cut",
+            FilterVerdict::IntervalCut => "interval_cut",
+            FilterVerdict::Fallthrough => "fallthrough",
+        }
+    }
+
+    /// All verdicts in [`QueryFilters::classify`] evaluation order.
+    pub const ALL: [FilterVerdict; 6] = [
+        FilterVerdict::SameComponent,
+        FilterVerdict::LevelCut,
+        FilterVerdict::TreeHit,
+        FilterVerdict::DegreeCut,
+        FilterVerdict::IntervalCut,
+        FilterVerdict::Fallthrough,
+    ];
+}
+
+/// Precomputed O(1) pre-filters for reachability queries on a DAG.
+///
+/// Built in `O(n + m)` by [`QueryFilters::build`]; all state is five
+/// `u32` arrays plus two bool arrays, so a filter set is cheap to
+/// clone, ship, and (in [`crate::persist`]) rebuild from a loaded
+/// condensation — the on-disk HOPL format carries no filter payload.
+///
+/// ```
+/// use hoplite_graph::Dag;
+/// use hoplite_core::QueryFilters;
+///
+/// let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (1, 3)])?;
+/// let f = QueryFilters::build(&dag);
+/// assert_eq!(f.check(0, 2), Some(true));   // spanning-tree descendant
+/// assert_eq!(f.check(2, 0), Some(false));  // level cut
+/// assert_eq!(f.check(2, 3), Some(false));  // 2 is a sink
+/// # Ok::<(), hoplite_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryFilters {
+    /// Longest-path level per vertex.
+    level: Vec<u32>,
+    /// DFS preorder number.
+    pre: Vec<u32>,
+    /// Exclusive end of the DFS-tree subtree preorder interval.
+    pre_end: Vec<u32>,
+    /// DFS postorder number.
+    post: Vec<u32>,
+    /// Minimum postorder reachable (over *all* edges, not just tree
+    /// edges).
+    mpost: Vec<u32>,
+    /// `N_out(v) = ∅`.
+    sink: Vec<bool>,
+    /// `N_in(v) = ∅`.
+    source: Vec<bool>,
+}
+
+impl QueryFilters {
+    /// Precomputes all filter layers for `dag` in `O(n + m)`.
+    ///
+    /// Deterministic: the DFS forest is rooted at the in-degree-zero
+    /// vertices in ascending id order, children visited in adjacency
+    /// order, so two builds over the same DAG agree exactly.
+    pub fn build(dag: &Dag) -> Self {
+        let n = dag.num_vertices();
+        let g = dag.graph();
+        let level = dag.longest_path_levels();
+
+        let mut pre = vec![0u32; n];
+        let mut pre_end = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut pre_counter = 0u32;
+        let mut post_counter = 0u32;
+        // Iterative DFS; (vertex, next-out-neighbor cursor) frames.
+        let mut stack: Vec<(VertexId, u32)> = Vec::new();
+        for root in 0..n as VertexId {
+            if g.in_degree(root) != 0 {
+                continue;
+            }
+            debug_assert!(!visited[root as usize], "sources have no ancestors");
+            visited[root as usize] = true;
+            pre[root as usize] = pre_counter;
+            pre_counter += 1;
+            stack.push((root, 0));
+            while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+                let succs = g.out_neighbors(v);
+                if (*cursor as usize) < succs.len() {
+                    let w = succs[*cursor as usize];
+                    *cursor += 1;
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        pre[w as usize] = pre_counter;
+                        pre_counter += 1;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    // Finished: everything pre-numbered since v's own
+                    // number is exactly v's DFS subtree.
+                    pre_end[v as usize] = pre_counter;
+                    post[v as usize] = post_counter;
+                    post_counter += 1;
+                    stack.pop();
+                }
+            }
+        }
+        // Every DAG vertex has an in-degree-zero ancestor, so the
+        // forest over the sources covers the whole graph.
+        debug_assert!(visited.iter().all(|&b| b));
+
+        // mpost(v) = min(post(v), min over successors) in reverse
+        // topological order — successors are final before v is visited.
+        let mut mpost = post.clone();
+        for &v in dag.topo_order().iter().rev() {
+            let mut m = mpost[v as usize];
+            for &w in g.out_neighbors(v) {
+                m = m.min(mpost[w as usize]);
+            }
+            mpost[v as usize] = m;
+        }
+
+        let sink = (0..n as VertexId).map(|v| g.out_degree(v) == 0).collect();
+        let source = (0..n as VertexId).map(|v| g.in_degree(v) == 0).collect();
+
+        QueryFilters {
+            level,
+            pre,
+            pre_end,
+            post,
+            mpost,
+            sink,
+            source,
+        }
+    }
+
+    /// Vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Footprint in 32-bit integers (the workspace's index-size unit);
+    /// the two bool arrays are counted at one integer per 4 vertices.
+    pub fn size_in_integers(&self) -> u64 {
+        5 * self.level.len() as u64 + (self.level.len() as u64).div_ceil(2)
+    }
+
+    /// Negative cut: `true` ⇒ `u` does **not** reach `v` (`u ≠ v`).
+    #[inline]
+    pub fn level_cut(&self, u: VertexId, v: VertexId) -> bool {
+        self.level[u as usize] >= self.level[v as usize]
+    }
+
+    /// Positive cut: `true` ⇒ `v` is a DFS-tree descendant of `u`,
+    /// hence reachable.
+    #[inline]
+    pub fn tree_hit(&self, u: VertexId, v: VertexId) -> bool {
+        self.pre[u as usize] <= self.pre[v as usize]
+            && self.pre[v as usize] < self.pre_end[u as usize]
+    }
+
+    /// Negative cut: `true` ⇒ unreachable because `u` is a sink or `v`
+    /// is a source (`u ≠ v`).
+    #[inline]
+    pub fn degree_cut(&self, u: VertexId, v: VertexId) -> bool {
+        self.sink[u as usize] || self.source[v as usize]
+    }
+
+    /// Negative cut: `true` ⇒ the GRAIL interval of `v` is not
+    /// contained in `u`'s, hence unreachable.
+    #[inline]
+    pub fn interval_cut(&self, u: VertexId, v: VertexId) -> bool {
+        self.mpost[v as usize] < self.mpost[u as usize]
+            || self.post[v as usize] > self.post[u as usize]
+    }
+
+    /// Runs the filter stack cheap-first and reports which layer
+    /// decided. [`FilterVerdict::Fallthrough`] means the caller must
+    /// run the label intersection.
+    #[inline]
+    pub fn classify(&self, u: VertexId, v: VertexId) -> FilterVerdict {
+        if u == v {
+            return FilterVerdict::SameComponent;
+        }
+        if self.level_cut(u, v) {
+            return FilterVerdict::LevelCut;
+        }
+        if self.tree_hit(u, v) {
+            return FilterVerdict::TreeHit;
+        }
+        if self.degree_cut(u, v) {
+            return FilterVerdict::DegreeCut;
+        }
+        if self.interval_cut(u, v) {
+            return FilterVerdict::IntervalCut;
+        }
+        FilterVerdict::Fallthrough
+    }
+
+    /// The O(1) pre-filter stage: `Some(answer)` if any layer decides
+    /// the query, `None` if it must fall through to the index.
+    #[inline]
+    pub fn check(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        self.classify(u, v).decided()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoplite_graph::{gen, traversal};
+
+    /// Soundness: on arbitrary DAGs every decided verdict must agree
+    /// with BFS ground truth, for every layer individually.
+    #[test]
+    fn every_layer_is_sound_on_random_dags() {
+        for seed in 0..6 {
+            for dag in [
+                gen::random_dag(60, 180, seed),
+                gen::tree_plus_dag(60, 15, seed),
+                gen::power_law_dag(60, 180, seed),
+            ] {
+                let f = QueryFilters::build(&dag);
+                let n = dag.num_vertices() as VertexId;
+                for u in 0..n {
+                    for v in 0..n {
+                        let truth = traversal::reaches(dag.graph(), u, v);
+                        if u != v {
+                            if f.tree_hit(u, v) {
+                                assert!(truth, "tree_hit false positive ({u},{v}) seed {seed}");
+                            }
+                            if f.level_cut(u, v) || f.degree_cut(u, v) || f.interval_cut(u, v) {
+                                assert!(!truth, "negative cut false ({u},{v}) seed {seed}");
+                            }
+                        }
+                        if let Some(ans) = f.check(u, v) {
+                            assert_eq!(ans, truth, "check() wrong at ({u},{v}) seed {seed}");
+                        }
+                        assert_eq!(f.classify(u, v).decided(), f.check(u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_fully_decided_by_the_tree_cut() {
+        // On a path the DFS tree is the graph: every query is decided.
+        let dag = Dag::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let f = QueryFilters::build(&dag);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(f.check(u, v), Some(u <= v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_shortcuts_fire_on_sources_and_sinks() {
+        // 0 → 1, 2 isolated: 2 is both source and sink.
+        let dag = Dag::from_edges(3, &[(0, 1)]).unwrap();
+        let f = QueryFilters::build(&dag);
+        assert_eq!(f.check(1, 2), Some(false), "1 is a sink");
+        assert_eq!(f.check(2, 0), Some(false), "0 is a source");
+        assert_eq!(f.check(2, 2), Some(true), "reflexive");
+        assert!(f.degree_cut(1, 0));
+    }
+
+    #[test]
+    fn verdict_names_and_order_are_stable() {
+        assert_eq!(FilterVerdict::ALL.len(), 6);
+        let names: Vec<&str> = FilterVerdict::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "same_component",
+                "level_cut",
+                "tree_hit",
+                "degree_cut",
+                "interval_cut",
+                "fallthrough"
+            ]
+        );
+        assert_eq!(FilterVerdict::Fallthrough.decided(), None);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let f = QueryFilters::build(&Dag::from_edges(0, &[]).unwrap());
+        assert_eq!(f.num_vertices(), 0);
+        let f = QueryFilters::build(&Dag::from_edges(1, &[]).unwrap());
+        assert_eq!(f.check(0, 0), Some(true));
+    }
+
+    /// Filters must prune a meaningful share of a random negative-heavy
+    /// workload — the whole point of the layer. (Loose bound; the perf
+    /// harness reports the real rates.)
+    #[test]
+    fn filters_decide_most_random_queries() {
+        let dag = gen::random_dag(400, 1200, 9);
+        let f = QueryFilters::build(&dag);
+        let mut rng = gen::Rng::new(7);
+        let total = 4_000;
+        let decided = (0..total)
+            .filter(|_| {
+                let u = rng.gen_range(400) as VertexId;
+                let v = rng.gen_range(400) as VertexId;
+                f.check(u, v).is_some()
+            })
+            .count();
+        assert!(
+            decided * 2 > total,
+            "filters decided only {decided}/{total} random queries"
+        );
+    }
+}

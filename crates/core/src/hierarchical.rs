@@ -139,6 +139,7 @@ impl HierarchicalLabeling {
                 &core.dag,
                 &DlConfig {
                     order: cfg.core_order,
+                    ..DlConfig::default()
                 },
             );
             for c in 0..core.dag.num_vertices() as VertexId {

@@ -28,6 +28,15 @@ use crate::stats::LabelStats;
 /// ```
 #[inline]
 pub fn sorted_intersect(a: &[u32], b: &[u32]) -> bool {
+    // O(1) disjointness pre-check: if the ranges don't overlap (one
+    // list ends before the other starts) the merge cannot hit. Hop
+    // labels are rank-banded, so this fires often in practice.
+    let (Some(&a_last), Some(&b_last)) = (a.last(), b.last()) else {
+        return false;
+    };
+    if a_last < b[0] || b_last < a[0] {
+        return false;
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         let (x, y) = (a[i], b[j]);
@@ -250,6 +259,16 @@ mod tests {
         assert!(sorted_intersect(&[7], &[7]));
         assert!(sorted_intersect(&[1, 2, 3, 4, 5], &[5]));
         assert!(sorted_intersect(&[5], &[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn disjoint_ranges_short_circuit() {
+        // Entirely below / entirely above: the O(1) pre-check path.
+        assert!(!sorted_intersect(&[1, 2, 3], &[4, 5, 6]));
+        assert!(!sorted_intersect(&[4, 5, 6], &[1, 2, 3]));
+        // Touching boundaries still intersect.
+        assert!(sorted_intersect(&[1, 2, 4], &[4, 9]));
+        assert!(sorted_intersect(&[4, 9], &[1, 2, 4]));
     }
 
     #[test]

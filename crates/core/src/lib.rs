@@ -37,6 +37,7 @@
 pub mod backbone;
 pub mod distribution;
 pub mod dynamic;
+pub mod filter;
 pub mod hierarchical;
 pub mod hierarchy;
 pub mod label;
@@ -47,13 +48,16 @@ pub mod persist;
 pub mod stats;
 
 pub use backbone::Backbone;
-pub use distribution::{DistributionLabeling, DlConfig};
+pub use distribution::{DistributionLabeling, DlConfig, Parallelism, Pruning};
 pub use dynamic::DynamicOracle;
+pub use filter::{FilterVerdict, QueryFilters};
 pub use hierarchical::{CoreLabeler, HierarchicalLabeling, HlConfig};
 pub use hierarchy::Hierarchy;
 pub use label::{sorted_intersect, Labeling, LabelingBuilder};
 pub use oracle::{Oracle, ReachIndex};
 pub use order::OrderKind;
-pub use parallel::{par_count_reachable, par_query_batch, ThroughputReport};
+pub use parallel::{
+    par_count_reachable, par_query_batch, par_query_batch_mapped, ThroughputReport,
+};
 pub use persist::PersistError;
 pub use stats::LabelStats;

@@ -6,6 +6,7 @@ use hoplite_graph::scc::Condensation;
 use hoplite_graph::{Dag, DiGraph, VertexId};
 
 use crate::distribution::{DistributionLabeling, DlConfig};
+use crate::filter::QueryFilters;
 
 /// A built reachability index over a fixed DAG.
 ///
@@ -70,6 +71,9 @@ pub trait ReachIndex: Send {
 pub struct Oracle {
     cond: Condensation,
     dl: DistributionLabeling,
+    /// O(1) pre-filters over the condensation DAG; derived state, never
+    /// persisted (see [`crate::persist`]).
+    filters: QueryFilters,
 }
 
 impl Oracle {
@@ -83,35 +87,70 @@ impl Oracle {
     pub fn with_config(g: &DiGraph, cfg: &DlConfig) -> Self {
         let cond = Dag::condense(g);
         let dl = DistributionLabeling::build(&cond.dag, cfg);
-        Oracle { cond, dl }
+        Self::from_parts(cond, dl)
     }
 
     /// Reassembles an oracle from a deserialized condensation and
     /// labeling. The caller ([`crate::persist`]) has validated that the
-    /// labeling covers exactly the condensation's components.
+    /// labeling covers exactly the condensation's components; the
+    /// query pre-filters are derived from the condensation DAG here,
+    /// so they never need to be (and are not) persisted.
     pub(crate) fn from_parts(cond: Condensation, dl: DistributionLabeling) -> Self {
         debug_assert_eq!(cond.num_components(), dl.labeling().num_vertices());
-        Oracle { cond, dl }
+        let filters = QueryFilters::build(&cond.dag);
+        Oracle { cond, dl, filters }
     }
 
     /// Does `u` reach `v` in the original graph? Reflexive.
+    ///
+    /// Runs the O(1) pre-filter stack ([`QueryFilters`]) first; most
+    /// queries never reach the label intersection.
     pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
+        match self.filters.check(cu, cv) {
+            Some(answer) => answer,
+            None => self.dl.query(cu, cv),
+        }
+    }
+
+    /// [`Self::reaches`] with the pre-filter stage disabled — always
+    /// answers straight from the label intersection. Exists for the
+    /// perf harness and equivalence tests; the answers are identical.
+    pub fn reaches_unfiltered(&self, u: VertexId, v: VertexId) -> bool {
         let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
         cu == cv || self.dl.query(cu, cv)
     }
 
     /// Answers a batch of `(u, v)` pairs (original vertex ids) using
-    /// `threads` worker threads, preserving order. The labels are
-    /// immutable, so this needs no synchronization; see
+    /// `threads` worker threads, preserving order. The labels and
+    /// filters are immutable, so this needs no synchronization; each
+    /// worker maps through the component table and the pre-filter
+    /// stack itself (no intermediate mapped-pair allocation); see
     /// [`crate::parallel`].
     pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
-        let mapped: Vec<(VertexId, VertexId)> = pairs
-            .iter()
-            .map(|&(u, v)| (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]))
-            .collect();
-        // Same-component pairs map to (c, c), which the reflexive
-        // labeling query answers `true`.
-        crate::parallel::par_query_batch(self.dl.labeling(), &mapped, threads)
+        crate::parallel::par_query_batch_mapped(
+            self.dl.labeling(),
+            Some(&self.filters),
+            &self.cond.comp_of,
+            pairs,
+            threads,
+        )
+    }
+
+    /// [`Self::reaches_batch`] with the pre-filter stage disabled (perf
+    /// harness / equivalence-test hook; identical answers).
+    pub fn reaches_batch_unfiltered(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> Vec<bool> {
+        crate::parallel::par_query_batch_mapped(
+            self.dl.labeling(),
+            None,
+            &self.cond.comp_of,
+            pairs,
+            threads,
+        )
     }
 
     /// Number of vertices of the original graph.
@@ -133,6 +172,11 @@ impl Oracle {
     /// The condensation, for callers that need component structure.
     pub fn condensation(&self) -> &Condensation {
         &self.cond
+    }
+
+    /// The O(1) query pre-filter stack over the condensation DAG.
+    pub fn filters(&self) -> &QueryFilters {
+        &self.filters
     }
 
     /// The underlying Distribution-Labeling oracle over the

@@ -29,6 +29,7 @@
 
 use hoplite_graph::VertexId;
 
+use crate::filter::QueryFilters;
 use crate::label::Labeling;
 
 /// Answers every `(u, v)` pair in `pairs` using `threads` worker
@@ -41,9 +42,40 @@ pub fn par_query_batch(
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> Vec<bool> {
-    let mut answers = vec![false; pairs.len()];
-    run_chunked(labeling, pairs, &mut answers, threads);
-    answers
+    run_chunked(pairs, threads, |u, v| labeling.query(u, v))
+}
+
+/// Batch evaluation in *original-graph* vertex space: every worker maps
+/// its pairs through `comp_of` itself (no serial prepass, no mapped
+/// copy of the batch) and, when `filters` is given, runs the O(1)
+/// pre-filter stack before falling through to the label intersection.
+/// This is [`crate::Oracle::reaches_batch`]'s engine.
+///
+/// `comp_of` may also be the identity when the pairs are already in
+/// label space. Answers are order-preserving and identical with and
+/// without `filters`.
+///
+/// # Panics
+/// Panics if any vertex id in `pairs` is out of `comp_of`'s range.
+pub fn par_query_batch_mapped(
+    labeling: &Labeling,
+    filters: Option<&QueryFilters>,
+    comp_of: &[VertexId],
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> Vec<bool> {
+    run_chunked(pairs, threads, move |u, v| {
+        let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+        match filters {
+            // Same-component pairs map to (c, c), which both the filter
+            // stack and the reflexive labeling query answer `true`.
+            Some(f) => match f.check(cu, cv) {
+                Some(decided) => decided,
+                None => labeling.query(cu, cv),
+            },
+            None => labeling.query(cu, cv),
+        }
+    })
 }
 
 /// [`par_query_batch`] that only counts positive answers — the
@@ -121,30 +153,34 @@ fn effective_threads(requested: usize, work_items: usize) -> usize {
     requested.max(1).min(work_items.max(1))
 }
 
+/// The shared fan-out skeleton: evaluates `answer` over every pair on
+/// `threads` statically chunked workers, preserving order. `answer`
+/// must be `Copy` (capture only shared references) so each scoped
+/// worker takes its own copy.
 fn run_chunked(
-    labeling: &Labeling,
     pairs: &[(VertexId, VertexId)],
-    answers: &mut [bool],
     threads: usize,
-) {
-    debug_assert_eq!(pairs.len(), answers.len());
+    answer: impl Fn(VertexId, VertexId) -> bool + Copy + Send,
+) -> Vec<bool> {
+    let mut answers = vec![false; pairs.len()];
     let threads = effective_threads(threads, pairs.len());
     if threads <= 1 {
         for (slot, &(u, v)) in answers.iter_mut().zip(pairs) {
-            *slot = labeling.query(u, v);
+            *slot = answer(u, v);
         }
-        return;
+        return answers;
     }
     let chunk = pairs.len().div_ceil(threads);
     std::thread::scope(|s| {
         for (part, out) in pairs.chunks(chunk).zip(answers.chunks_mut(chunk)) {
             s.spawn(move || {
                 for (slot, &(u, v)) in out.iter_mut().zip(part) {
-                    *slot = labeling.query(u, v);
+                    *slot = answer(u, v);
                 }
             });
         }
     });
+    answers
 }
 
 #[cfg(test)]
@@ -213,6 +249,34 @@ mod tests {
         }
         assert_eq!(reports[0].threads, 1);
         assert_eq!(reports[2].threads, 4);
+    }
+
+    #[test]
+    fn mapped_batch_matches_plain_batch_with_and_without_filters() {
+        let dag = gen::power_law_dag(300, 900, 21);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let filters = QueryFilters::build(&dag);
+        let identity: Vec<VertexId> = (0..300).collect();
+        let mut rng = gen::Rng::new(99);
+        let pairs: Vec<_> = (0..1000)
+            .map(|_| (rng.gen_range(300) as u32, rng.gen_range(300) as u32))
+            .collect();
+        let expected = par_query_batch(dl.labeling(), &pairs, 1);
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(
+                par_query_batch_mapped(dl.labeling(), None, &identity, &pairs, threads),
+                expected,
+                "unfiltered, threads={threads}"
+            );
+            assert_eq!(
+                par_query_batch_mapped(dl.labeling(), Some(&filters), &identity, &pairs, threads),
+                expected,
+                "filtered, threads={threads}"
+            );
+        }
+        assert!(
+            par_query_batch_mapped(dl.labeling(), Some(&filters), &identity, &[], 4).is_empty()
+        );
     }
 
     #[test]

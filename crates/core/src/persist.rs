@@ -22,6 +22,12 @@
 //! lists) so a corrupted file fails loudly instead of answering
 //! queries wrong.
 //!
+//! The [`crate::QueryFilters`] pre-filter stage is **derived state**:
+//! [`Oracle::load`] rebuilds it in `O(n + m)` from the persisted
+//! condensation DAG, so the HOPL format is unchanged by the filter
+//! layer and indexes written before it exist keep loading (and gain
+//! the filters for free).
+//!
 //! ```
 //! use hoplite_graph::Dag;
 //! use hoplite_core::{DistributionLabeling, DlConfig, ReachIndex};

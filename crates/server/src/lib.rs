@@ -13,9 +13,11 @@
 //! namespaces — and a thread-pool [`Server`] answers the length-
 //! prefixed binary protocol of [`protocol`]: `PING`, `REACH`, `BATCH`,
 //! `ADD_EDGE`, `REMOVE_EDGE`, `STATS`, `LIST`. Frozen labels are
-//! immutable, so the query fast path takes no lock; `BATCH` fans out
-//! through [`hoplite_core::parallel::par_query_batch`] exactly like
-//! the in-process batch API.
+//! immutable, so the query fast path takes no lock; `REACH` and
+//! `BATCH` run the [`hoplite_core::QueryFilters`] O(1) pre-filter
+//! stack before any label intersection, and `BATCH` fans out through
+//! [`hoplite_core::parallel::par_query_batch_mapped`] exactly like
+//! the in-process [`hoplite_core::Oracle::reaches_batch`] API.
 //!
 //! ## Quickstart
 //!

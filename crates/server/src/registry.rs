@@ -130,6 +130,13 @@ impl NamespaceHandle {
 
     /// Does `u` reach `v`? Reflexive, like every oracle in the
     /// workspace.
+    ///
+    /// Frozen namespaces answer through the full [`Oracle`] hot path:
+    /// the O(1) pre-filter stack ([`hoplite_core::QueryFilters`] —
+    /// topological levels, spanning-tree and GRAIL-style intervals,
+    /// degree shortcuts) decides most queries before the label
+    /// intersection runs, so the wire handler's per-query cost is
+    /// usually a handful of array probes.
     pub fn reach(&self, u: u32, v: u32) -> Result<bool, ServeError> {
         match &self.inner {
             Inner::Frozen(ns) => {
@@ -152,8 +159,9 @@ impl NamespaceHandle {
 
     /// Answers every pair, preserving order. Frozen namespaces fan the
     /// batch out over `threads` workers
-    /// ([`hoplite_core::parallel::par_query_batch`]); dynamic ones
-    /// answer inline under their lock.
+    /// ([`hoplite_core::parallel::par_query_batch_mapped`], which maps
+    /// component ids and runs the pre-filter stack inside each worker);
+    /// dynamic ones answer inline under their lock.
     pub fn reach_batch(
         &self,
         pairs: &[(u32, u32)],

@@ -33,7 +33,7 @@ pub struct ServerConfig {
     /// expected number of persistent clients, not for CPU cores alone.
     pub workers: usize,
     /// Fan-out width for `BATCH` on frozen namespaces
-    /// ([`hoplite_core::parallel::par_query_batch`]).
+    /// ([`hoplite_core::parallel::par_query_batch_mapped`]).
     pub batch_threads: usize,
     /// Largest accepted frame payload.
     pub max_frame_len: u32,

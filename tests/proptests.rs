@@ -77,6 +77,7 @@ proptest! {
         let tc = TransitiveClosure::build(&dag);
         let dl = DistributionLabeling::build(&dag, &DlConfig {
             order: OrderKind::Random(seed),
+            ..DlConfig::default()
         });
         let n = dag.num_vertices() as u32;
         for u in 0..n {

@@ -85,6 +85,7 @@ fn deep_path_sampled_verification() {
         &dag,
         &DlConfig {
             order: hoplite::OrderKind::Random(17),
+            ..DlConfig::default()
         },
     );
     // Random order behaves like randomized divide-and-conquer on a
@@ -128,6 +129,7 @@ fn dl_degree_order_degenerates_on_paths() {
         &dag,
         &DlConfig {
             order: hoplite::OrderKind::Random(3),
+            ..DlConfig::default()
         },
     );
     let (dq, rq) = (
