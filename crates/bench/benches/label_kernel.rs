@@ -1,0 +1,105 @@
+//! Query-kernel ablation: what does each layer of the label store's
+//! query path buy?
+//!
+//! Four variants answer the same negative-heavy random workload over
+//! real Distribution-Labeling labels:
+//!
+//! * `merge`          — the plain sorted-merge intersection (the PR 3
+//!   query kernel; range pre-check included).
+//! * `adaptive`       — the size-adaptive kernel (8-lane unrolled
+//!   merge vs galloping by length ratio), no signatures.
+//! * `signature`      — the O(1) rank-band signature `AND` in front of
+//!   the plain merge.
+//! * `sig+adaptive`   — the shipped `Labeling::query` hot path.
+//!
+//! Three graph families bracket the design space: `random_dag` (the
+//! headline workload), `deep_chain` (long, overlapping labels — the
+//! merge-bound regime), and `kronecker` (scale-free skew, tiny
+//! band-sparse labels — measured as the signature's best case and the
+//! galloping path's home turf).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use hoplite_core::label::{sorted_intersect, sorted_intersect_adaptive};
+use hoplite_core::{DistributionLabeling, DlConfig, Labeling};
+use hoplite_graph::gen::{self, Rng};
+use hoplite_graph::Dag;
+
+fn workload(n: usize, queries: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = Rng::new(seed);
+    (0..queries)
+        .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+        .collect()
+}
+
+fn bench_family(c: &mut Criterion, family: &str, dag: &Dag) {
+    let dl = DistributionLabeling::build(dag, &DlConfig::default());
+    let labeling: &Labeling = dl.labeling();
+    let pairs = workload(dag.num_vertices(), 20_000, 0xFEED);
+
+    let mut group = c.benchmark_group(format!("label_kernel/{family}"));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_with_input(BenchmarkId::from_parameter("merge"), &pairs, |b, pairs| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in pairs {
+                hits += sorted_intersect(labeling.out_label(u), labeling.in_label(v)) as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("adaptive"),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    hits += sorted_intersect_adaptive(labeling.out_label(u), labeling.in_label(v))
+                        as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("signature"),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    let alive = labeling.out_signature(u) & labeling.in_signature(v) != 0;
+                    hits += (alive && sorted_intersect(labeling.out_label(u), labeling.in_label(v)))
+                        as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sig+adaptive"),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in pairs {
+                    hits += labeling.query(u, v) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    bench_family(c, "random_dag", &gen::random_dag(6_000, 24_000, 7));
+    bench_family(c, "deep_chain", &gen::deep_chain_dag(6_000, 24, 600, 7));
+    bench_family(c, "kronecker", &gen::kronecker_dag(13, 24_000, 7));
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

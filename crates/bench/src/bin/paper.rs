@@ -177,14 +177,28 @@ fn perf_cmd(args: &[String]) {
     }
     eprintln!(
         "# perf: build {:.0} ms (seed merge) -> {:.0} ms (auto), {:.2}x; \
-         query {:.2} Mq/s (unfiltered) -> {:.2} Mq/s (filtered), hit rate {:.1}%",
-        report.build_seed_merge_ms,
-        report.build_auto_ms,
-        report.build_speedup,
-        report.unfiltered_qps / 1e6,
-        report.filtered_qps / 1e6,
-        report.filter_hit_rate * 100.0
+         query {:.2} Mq/s (unfiltered) -> {:.2} Mq/s (filtered), hit rate {:.1}%; \
+         stages filter/sig/merge = {}/{}/{}",
+        report.build.seed_merge_ms,
+        report.build.auto_ms,
+        report.build_speedup(),
+        report.main.unfiltered_qps / 1e6,
+        report.main.filtered_qps / 1e6,
+        report.main.filter_hit_rate * 100.0,
+        report.main.tally.filter_decided,
+        report.main.tally.signature_cut,
+        report.main.tally.merged,
     );
+    for f in &report.families {
+        eprintln!(
+            "# perf[{}]: build {:.0} ms; {:.2} Mq/s filtered ({:.2} unfiltered), hit rate {:.1}%",
+            f.kind,
+            f.build_auto_ms,
+            f.filtered_qps / 1e6,
+            f.unfiltered_qps / 1e6,
+            f.filter_hit_rate * 100.0
+        );
+    }
     if check {
         if let Err(msg) = report.check() {
             eprintln!("perf check FAILED: {msg}");

@@ -40,45 +40,90 @@
 //!    epoch-stamped, rank-indexed membership array turns each test into
 //!    `O(|L_out(u)|)` probes with O(1) lookups — and the epoch stamp
 //!    makes the per-hop reset O(1) instead of O(n).
-//! 2. **Two-thread hop distribution** ([`Parallelism`]). Within a hop,
-//!    the reverse BFS writes only `L_out` and reads only the `L_in(v_i)`
-//!    snapshot, while the forward BFS writes only `L_in` and reads only
-//!    the `L_out(v_i)` snapshot — the two sides are data-disjoint. Each
-//!    side runs on its own long-lived worker; the per-hop snapshot
-//!    exchange over a channel is the only synchronization, so the
-//!    parallel build is deterministic and emits labels *identical* to
-//!    the sequential one (enforced by tests).
+//! 2. **N-thread chunked hop distribution** ([`Parallelism`]). Each
+//!    hop's BFSs run *level-synchronously*: a frontier is scanned, the
+//!    survivors get rank `r` appended, and their unvisited neighbors
+//!    form the next frontier. Within one level every frontier entry is
+//!    independent (the prune test reads only that vertex's own list
+//!    plus the per-hop snapshot), so large frontiers are split into
+//!    vertex-range chunks pulled from a shared atomic cursor by a
+//!    `std::thread`-scoped worker pool; the per-hop snapshot exchange
+//!    of the old two-thread engine is generalized to a barrier at each
+//!    level plus a shared epoch-stamped snapshot both sides read. The
+//!    set of vertices a hop labels is order-independent (each vertex is
+//!    claimed and tested exactly once, against state fixed at hop
+//!    start), so every thread count emits labels *byte-identical* to
+//!    the sequential engine — enforced by tests across
+//!    {1, 2, 3, 4, 8} threads.
 //!
 //! [`Pruning::SortedMerge`] keeps the original per-pop merge as a
 //! measurable reference — `paper perf` reports the speedup of the
-//! bitmap/parallel engine against it.
+//! bitmap/chunked engine against it.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use hoplite_graph::traversal::VisitedSet;
-use hoplite_graph::{Dag, VertexId};
+use hoplite_graph::{Dag, DiGraph, VertexId};
 
 use crate::label::{sorted_intersect, Labeling, LabelingBuilder};
 use crate::oracle::ReachIndex;
 use crate::order::OrderKind;
 
 /// Below this vertex count [`Parallelism::Auto`] stays sequential: the
-/// per-hop snapshot exchange costs more than two tiny BFSs save.
+/// per-hop coordination costs more than tiny BFSs save.
 const PARALLEL_MIN_VERTICES: usize = 2_048;
+
+/// Frontier entries per chunk claimed from the shared cursor.
+const CHUNK: usize = 256;
+
+/// Frontiers smaller than this are scanned inline by the coordinating
+/// thread — waking the pool costs more than the scan itself. Pruned
+/// BFS frontiers are tiny for most hops; the pool engages exactly on
+/// the early high-rank hops whose frontiers span much of the graph.
+const PAR_FRONTIER_MIN: usize = 2 * CHUNK;
+
+/// Cap on [`Parallelism::Auto`]'s pool size: chunk scanning saturates
+/// memory bandwidth well before this on every graph we measure.
+const MAX_AUTO_THREADS: usize = 8;
 
 /// How many OS threads [`DistributionLabeling::build`] may use.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Parallelism {
-    /// Two workers when the host has ≥ 2 cores and the DAG has at
-    /// least [`PARALLEL_MIN_VERTICES`] vertices; sequential otherwise.
+    /// One thread per available core (capped at [`MAX_AUTO_THREADS`])
+    /// when the DAG has at least [`PARALLEL_MIN_VERTICES`] vertices and
+    /// the host has ≥ 2 cores; sequential otherwise.
     #[default]
     Auto,
     /// Always build on the calling thread.
     Sequential,
-    /// Always split the reverse/forward sides onto two workers (even on
-    /// a single-core host, where it only adds scheduling overhead).
-    TwoThreads,
+    /// Run the chunked engine with exactly this many threads (clamped
+    /// to ≥ 1; `Threads(1)` exercises the chunked code path with no
+    /// workers, even on graphs smaller than one chunk).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The thread count this policy resolves to for an `n`-vertex DAG
+    /// on the current host — the number the build engines actually
+    /// use, exposed so reports (`paper perf`) state it without
+    /// re-deriving the policy.
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(t) => t.max(1),
+            Parallelism::Auto => {
+                if n >= PARALLEL_MIN_VERTICES {
+                    std::thread::available_parallelism()
+                        .map_or(1, |p| p.get().min(MAX_AUTO_THREADS))
+                } else {
+                    1
+                }
+            }
+        }
+    }
 }
 
 /// Pruning-test implementation used by the build loop.
@@ -201,18 +246,16 @@ impl DistributionLabeling {
                 !std::mem::replace(s, true)
             })
         });
-        let two_threads = match cfg.parallelism {
-            Parallelism::Sequential => false,
-            Parallelism::TwoThreads => true,
-            Parallelism::Auto => {
-                n >= PARALLEL_MIN_VERTICES
-                    && std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2)
-            }
-        };
-        let b = match (cfg.pruning, two_threads) {
+        let threads = cfg.parallelism.resolve(n);
+        // `Threads(t)` always takes the chunked engine (so the chunked
+        // code path is reachable at every width, including t = 1);
+        // `Auto`/`Sequential` resolving to one thread use the leaner
+        // sequential loop.
+        let b = match (cfg.pruning, cfg.parallelism) {
             (Pruning::SortedMerge, _) => build_merge(dag, &order),
-            (Pruning::RankBitmap, false) => build_bitmap_sequential(dag, &order),
-            (Pruning::RankBitmap, true) => build_bitmap_parallel(dag, &order),
+            (Pruning::RankBitmap, Parallelism::Threads(_)) => build_chunked(dag, &order, threads),
+            (Pruning::RankBitmap, _) if threads == 1 => build_bitmap_sequential(dag, &order),
+            (Pruning::RankBitmap, _) => build_chunked(dag, &order, threads),
         };
         DistributionLabeling {
             labeling: b.finish(),
@@ -351,77 +394,460 @@ fn build_bitmap_sequential(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
     b
 }
 
-/// Rank-bitmap engine, two threads: the reverse side owns all of
-/// `L_out`, the forward side owns all of `L_in`, so within a hop the
-/// sides touch disjoint data. At the top of every hop each worker
-/// sends the other a snapshot of its `v_i` list over a channel; the
-/// blocking `recv` doubles as the inter-hop barrier (hop `r` cannot
-/// start on either side before both sides finished hop `r − 1`).
-/// Deterministic: emits labels identical to the sequential engines.
-fn build_bitmap_parallel(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
+// ---------------------------------------------------------------------
+// The N-thread chunked engine
+// ---------------------------------------------------------------------
+//
+// Why chunking a pruned BFS is sound *and* byte-identical: within one
+// hop, a visited vertex `u` is popped exactly once (the visited set
+// claims it), its prune test reads only `u`'s own label list — which no
+// other vertex's processing in this hop can touch — and the fixed
+// per-hop snapshot. So the set of vertices that survive (and therefore
+// receive rank `r`) is a function of the hop-start state alone, not of
+// the processing order. Chunks may interleave arbitrarily across
+// threads and levels may gather next-frontiers in any order; the
+// emitted labels cannot differ.
+//
+// Snapshot timing matches the retired two-thread engine: both
+// snapshots are taken at hop start, *before* the reverse BFS runs. The
+// sequential engine loads `L_out(v_i)` after its reverse BFS (which
+// may have appended `r` to it), but the forward prune test compares
+// the snapshot against `L_in(w)` lists that cannot contain `r` before
+// their own append — so the timing difference is unobservable.
+
+/// Which side of a hop a level job belongs to.
+#[derive(Copy, Clone)]
+enum Side {
+    /// BFS over in-neighbors, appending to `L_out`.
+    Reverse,
+    /// BFS over out-neighbors, appending to `L_in`.
+    Forward,
+}
+
+/// Epoch-stamped visited set with thread-safe claiming. The epoch is
+/// bumped by the coordinator between levels/sides (never concurrently
+/// with claims), so `Relaxed` loads of it are safe; claiming swaps the
+/// stamp so exactly one thread wins each vertex per epoch.
+struct AtomicVisited {
+    stamp: Vec<AtomicU32>,
+    epoch: AtomicU32,
+}
+
+impl AtomicVisited {
+    fn new(n: usize) -> Self {
+        AtomicVisited {
+            stamp: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// Starts a fresh epoch. Coordinator only, with the pool idle.
+    fn next_epoch(&self) {
+        let e = self.epoch.load(Ordering::Relaxed);
+        if e == u32::MAX {
+            for s in &self.stamp {
+                s.store(0, Ordering::Relaxed);
+            }
+            self.epoch.store(1, Ordering::Relaxed);
+        } else {
+            self.epoch.store(e + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` iff this call (among all concurrent ones) claimed `v` for
+    /// the current epoch.
+    #[inline]
+    fn claim(&self, v: VertexId) -> bool {
+        let e = self.epoch.load(Ordering::Relaxed);
+        self.stamp[v as usize].swap(e, Ordering::Relaxed) != e
+    }
+}
+
+/// A label side (`&mut [Vec<u32>]`) shared across chunk workers.
+///
+/// Safety contract: a level's frontier contains each vertex at most
+/// once ([`AtomicVisited::claim`]) and chunks partition the frontier,
+/// so no two threads ever hold the same cell; the coordinator touches
+/// cells only while the pool is parked (established by the job/done
+/// mutex handoffs).
+struct SharedLists {
+    ptr: *mut Vec<u32>,
+    len: usize,
+}
+
+unsafe impl Send for SharedLists {}
+unsafe impl Sync for SharedLists {}
+
+impl SharedLists {
+    fn new(lists: &mut [Vec<u32>]) -> Self {
+        SharedLists {
+            ptr: lists.as_mut_ptr(),
+            len: lists.len(),
+        }
+    }
+
+    /// # Safety
+    /// No other live reference to cell `v` may exist (see the struct
+    /// docs for how the engine guarantees that).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cell(&self, v: VertexId) -> &mut Vec<u32> {
+        debug_assert!((v as usize) < self.len);
+        &mut *self.ptr.add(v as usize)
+    }
+}
+
+/// [`RankSet`] behind an `UnsafeCell` so the coordinator can reload it
+/// between hops while workers hold shared references during levels.
+struct SyncRankSet(UnsafeCell<RankSet>);
+
+unsafe impl Sync for SyncRankSet {}
+
+/// One level's worth of parallel work: scan `frontier`, append rank
+/// `r` to survivors on `side`. The frontier buffer lives on the
+/// coordinator's stack and is stable for the job's lifetime.
+#[derive(Copy, Clone)]
+struct LevelJob {
+    side: Side,
+    r: u32,
+    frontier: *const VertexId,
+    frontier_len: usize,
+}
+
+unsafe impl Send for LevelJob {}
+
+/// Latest published job plus the lifecycle flags workers watch.
+struct JobSlot {
+    /// Bumped on every publication; workers compare-and-sleep on it.
+    seq: u64,
+    /// Terminates the pool.
+    stop: bool,
+    job: Option<LevelJob>,
+}
+
+/// Everything the pool shares: job dispatch, the chunk cursor, the
+/// gathered next frontier, and completion tracking.
+struct Coordinator {
+    job: Mutex<JobSlot>,
+    job_cv: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+    next: Mutex<Vec<VertexId>>,
+}
+
+impl Coordinator {
+    fn new() -> Self {
+        Coordinator {
+            job: Mutex::new(JobSlot {
+                seq: 0,
+                stop: false,
+                job: None,
+            }),
+            job_cv: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            next: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Scans one slice of a frontier: prune-test each vertex, append `r`
+/// to survivors, claim-and-collect their unvisited neighbors.
+#[inline]
+fn scan_frontier<'g>(
+    chunk: &[VertexId],
+    r: u32,
+    side: &SharedLists,
+    members: &RankSet,
+    visited: &AtomicVisited,
+    neighbors: impl Fn(VertexId) -> &'g [VertexId],
+    discovered: &mut Vec<VertexId>,
+) {
+    for &u in chunk {
+        // Safety: `u` appears exactly once in this level's frontier.
+        let list = unsafe { side.cell(u) };
+        if members.intersects(list) {
+            continue;
+        }
+        list.push(r);
+        for &w in neighbors(u) {
+            if visited.claim(w) {
+                discovered.push(w);
+            }
+        }
+    }
+}
+
+/// Claims chunks from the shared cursor until the frontier is
+/// exhausted, collecting discovered vertices into `local`.
+#[allow(clippy::too_many_arguments)]
+fn drain_chunks(
+    job: &LevelJob,
+    g: &DiGraph,
+    out: &SharedLists,
+    in_: &SharedLists,
+    members_rev: &SyncRankSet,
+    members_fwd: &SyncRankSet,
+    visited: &AtomicVisited,
+    cursor: &AtomicUsize,
+    local: &mut Vec<VertexId>,
+) {
+    // Safety: the coordinator keeps the frontier buffer alive and
+    // untouched until every participant reported done.
+    let frontier = unsafe { std::slice::from_raw_parts(job.frontier, job.frontier_len) };
+    loop {
+        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+        if start >= frontier.len() {
+            return;
+        }
+        let chunk = &frontier[start..(start + CHUNK).min(frontier.len())];
+        // Safety (members): reloaded only while the pool is parked.
+        match job.side {
+            Side::Reverse => scan_frontier(
+                chunk,
+                job.r,
+                out,
+                unsafe { &*members_rev.0.get() },
+                visited,
+                |u| g.in_neighbors(u),
+                local,
+            ),
+            Side::Forward => scan_frontier(
+                chunk,
+                job.r,
+                in_,
+                unsafe { &*members_fwd.0.get() },
+                visited,
+                |w| g.out_neighbors(w),
+                local,
+            ),
+        }
+    }
+}
+
+/// A pool worker: sleep until a new job (or stop) is published, drain
+/// chunks, hand discovered vertices to the shared next frontier,
+/// report done.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    co: &Coordinator,
+    g: &DiGraph,
+    out: &SharedLists,
+    in_: &SharedLists,
+    members_rev: &SyncRankSet,
+    members_fwd: &SyncRankSet,
+    visited: &AtomicVisited,
+) {
+    let mut last_seen = 0u64;
+    let mut local: Vec<VertexId> = Vec::new();
+    loop {
+        let job = {
+            let mut slot = co.job.lock().expect("job lock");
+            loop {
+                if slot.stop {
+                    return;
+                }
+                if slot.seq != last_seen {
+                    break;
+                }
+                slot = co.job_cv.wait(slot).expect("job wait");
+            }
+            last_seen = slot.seq;
+            slot.job.expect("seq bumped with a job published")
+        };
+        drain_chunks(
+            &job,
+            g,
+            out,
+            in_,
+            members_rev,
+            members_fwd,
+            visited,
+            &co.cursor,
+            &mut local,
+        );
+        if !local.is_empty() {
+            co.next.lock().expect("next lock").append(&mut local);
+        }
+        {
+            let mut done = co.done.lock().expect("done lock");
+            *done += 1;
+        }
+        // Only the coordinator waits on this; notify_one suffices.
+        co.done_cv.notify_one();
+    }
+}
+
+/// Rank-bitmap engine, N-thread chunked: level-synchronous BFS where
+/// large frontiers are split into [`CHUNK`]-sized ranges pulled from a
+/// shared atomic cursor by `threads − 1` long-lived scoped workers
+/// (plus the coordinator itself). Small frontiers — the common case on
+/// pruned hops — are scanned inline without waking the pool. Emits
+/// labels byte-identical to [`build_bitmap_sequential`] at every
+/// thread count (see the module docs for the argument; enforced by
+/// tests).
+fn build_chunked(dag: &Dag, order: &[VertexId], threads: usize) -> LabelingBuilder {
     let g = dag.graph();
     let n = dag.num_vertices();
-    // rev → fwd carries the L_out(v_i) snapshot, fwd → rev the L_in(v_i)
-    // snapshot. Sends are non-blocking, so "send, then recv" on both
-    // sides cannot deadlock.
-    let (out_snap_tx, out_snap_rx) = mpsc::channel::<Vec<u32>>();
-    let (in_snap_tx, in_snap_rx) = mpsc::channel::<Vec<u32>>();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut in_: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let workers = threads.saturating_sub(1);
+    {
+        let out_shared = SharedLists::new(&mut out);
+        let in_shared = SharedLists::new(&mut in_);
+        let members_rev = SyncRankSet(UnsafeCell::new(RankSet::new(n)));
+        let members_fwd = SyncRankSet(UnsafeCell::new(RankSet::new(n)));
+        let visited = AtomicVisited::new(n);
+        let co = Coordinator::new();
 
-    let (out, in_) = std::thread::scope(|s| {
-        let rev = s.spawn(move || {
-            let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut visited = VisitedSet::new(n);
-            let mut queue: VecDeque<VertexId> = VecDeque::new();
-            let mut members = RankSet::new(n);
-            for (rank, &vi) in order.iter().enumerate() {
-                let r = rank as u32;
-                out_snap_tx
-                    .send(out[vi as usize].clone())
-                    .expect("forward build worker hung up");
-                let in_vi = in_snap_rx.recv().expect("forward build worker hung up");
-                members.load(&in_vi);
-                distribute(
-                    &mut out,
-                    vi,
-                    r,
-                    |u| g.in_neighbors(u),
-                    |l_out_u| members.intersects(l_out_u),
-                    &mut visited,
-                    &mut queue,
-                );
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    worker_loop(
+                        &co,
+                        g,
+                        &out_shared,
+                        &in_shared,
+                        &members_rev,
+                        &members_fwd,
+                        &visited,
+                    )
+                });
             }
-            out
+            run_hops(
+                order,
+                g,
+                &out_shared,
+                &in_shared,
+                &members_rev,
+                &members_fwd,
+                &visited,
+                &co,
+                workers,
+            );
+            let mut slot = co.job.lock().expect("job lock");
+            slot.stop = true;
+            drop(slot);
+            co.job_cv.notify_all();
         });
-        let fwd = s.spawn(move || {
-            let mut in_: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut visited = VisitedSet::new(n);
-            let mut queue: VecDeque<VertexId> = VecDeque::new();
-            let mut members = RankSet::new(n);
-            for (rank, &vi) in order.iter().enumerate() {
-                let r = rank as u32;
-                in_snap_tx
-                    .send(in_[vi as usize].clone())
-                    .expect("reverse build worker hung up");
-                let out_vi = out_snap_rx.recv().expect("reverse build worker hung up");
-                members.load(&out_vi);
-                distribute(
-                    &mut in_,
-                    vi,
-                    r,
-                    |w| g.out_neighbors(w),
-                    |l_in_w| members.intersects(l_in_w),
-                    &mut visited,
-                    &mut queue,
-                );
-            }
-            in_
-        });
-        (
-            rev.join().expect("reverse build worker panicked"),
-            fwd.join().expect("forward build worker panicked"),
-        )
-    });
+    }
     LabelingBuilder { out, in_ }
+}
+
+/// The coordinator body of [`build_chunked`]: the per-hop loop.
+#[allow(clippy::too_many_arguments)]
+fn run_hops(
+    order: &[VertexId],
+    g: &DiGraph,
+    out_shared: &SharedLists,
+    in_shared: &SharedLists,
+    members_rev: &SyncRankSet,
+    members_fwd: &SyncRankSet,
+    visited: &AtomicVisited,
+    co: &Coordinator,
+    workers: usize,
+) {
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next: Vec<VertexId> = Vec::new();
+    for (rank, &vi) in order.iter().enumerate() {
+        let r = rank as u32;
+        // Hop-start snapshots for both sides (the shared epoch
+        // snapshot; see the timing note above). Safety: pool parked.
+        unsafe {
+            (*members_rev.0.get()).load(in_shared.cell(vi));
+            (*members_fwd.0.get()).load(out_shared.cell(vi));
+        }
+        for side in [Side::Reverse, Side::Forward] {
+            visited.next_epoch();
+            let claimed = visited.claim(vi);
+            debug_assert!(claimed, "fresh epoch cannot have claimed vi");
+            frontier.clear();
+            frontier.push(vi);
+            while !frontier.is_empty() {
+                next.clear();
+                let job = LevelJob {
+                    side,
+                    r,
+                    frontier: frontier.as_ptr(),
+                    frontier_len: frontier.len(),
+                };
+                if workers == 0 || frontier.len() < PAR_FRONTIER_MIN {
+                    // Inline scan; never wakes the pool.
+                    co.cursor.store(0, Ordering::Relaxed);
+                    drain_chunks(
+                        &job,
+                        g,
+                        out_shared,
+                        in_shared,
+                        members_rev,
+                        members_fwd,
+                        visited,
+                        &co.cursor,
+                        &mut next,
+                    );
+                } else {
+                    run_level_parallel(
+                        &job,
+                        g,
+                        out_shared,
+                        in_shared,
+                        members_rev,
+                        members_fwd,
+                        visited,
+                        co,
+                        workers,
+                        &mut next,
+                    );
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+        }
+    }
+}
+
+/// Fans one big level out over the pool: publish the job, participate
+/// in the chunk scan, wait for every worker (the level barrier),
+/// gather the next frontier.
+#[allow(clippy::too_many_arguments)]
+fn run_level_parallel(
+    job: &LevelJob,
+    g: &DiGraph,
+    out_shared: &SharedLists,
+    in_shared: &SharedLists,
+    members_rev: &SyncRankSet,
+    members_fwd: &SyncRankSet,
+    visited: &AtomicVisited,
+    co: &Coordinator,
+    workers: usize,
+    next: &mut Vec<VertexId>,
+) {
+    co.cursor.store(0, Ordering::Relaxed);
+    *co.done.lock().expect("done lock") = 0;
+    {
+        let mut slot = co.job.lock().expect("job lock");
+        slot.seq += 1;
+        slot.job = Some(*job);
+    }
+    co.job_cv.notify_all();
+    drain_chunks(
+        job,
+        g,
+        out_shared,
+        in_shared,
+        members_rev,
+        members_fwd,
+        visited,
+        &co.cursor,
+        next,
+    );
+    let mut done = co.done.lock().expect("done lock");
+    while *done < workers {
+        done = co.done_cv.wait(done).expect("done wait");
+    }
+    drop(done);
+    next.append(&mut co.next.lock().expect("next lock"));
 }
 
 impl ReachIndex for DistributionLabeling {
@@ -581,14 +1007,15 @@ mod tests {
     }
 
     /// Every engine combination — seed merge, rank-bitmap sequential,
-    /// rank-bitmap two-thread — must emit byte-identical labels; the
-    /// knobs trade construction time only.
+    /// rank-bitmap chunked at several widths — must emit byte-identical
+    /// labels; the knobs trade construction time only.
     #[test]
     fn all_engines_emit_identical_labels() {
         let engines = [
             (Pruning::SortedMerge, Parallelism::Sequential),
             (Pruning::RankBitmap, Parallelism::Sequential),
-            (Pruning::RankBitmap, Parallelism::TwoThreads),
+            (Pruning::RankBitmap, Parallelism::Threads(2)),
+            (Pruning::RankBitmap, Parallelism::Threads(4)),
         ];
         for seed in 0..4 {
             for dag in [
@@ -630,33 +1057,81 @@ mod tests {
         }
     }
 
-    /// The two-thread engine must also hold on degenerate shapes where
-    /// one side's BFS is empty or the whole graph is edge-free.
+    /// The chunked engine must also hold on degenerate shapes where
+    /// one side's BFS is empty or the whole graph is edge-free — all
+    /// far smaller than one chunk.
     #[test]
-    fn parallel_engine_handles_degenerate_graphs() {
-        let force = DlConfig {
-            parallelism: Parallelism::TwoThreads,
-            ..DlConfig::default()
-        };
-        for dag in [
-            Dag::from_edges(0, &[]).unwrap(),
-            Dag::from_edges(1, &[]).unwrap(),
-            Dag::from_edges(5, &[]).unwrap(),
-            Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+    fn chunked_engine_handles_degenerate_graphs() {
+        for threads in [1usize, 2, 8] {
+            let force = DlConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..DlConfig::default()
+            };
+            for dag in [
+                Dag::from_edges(0, &[]).unwrap(),
+                Dag::from_edges(1, &[]).unwrap(),
+                Dag::from_edges(5, &[]).unwrap(),
+                Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            ] {
+                let par = DistributionLabeling::build(&dag, &force);
+                let seq = DistributionLabeling::build(
+                    &dag,
+                    &DlConfig {
+                        parallelism: Parallelism::Sequential,
+                        ..DlConfig::default()
+                    },
+                );
+                assert_eq!(
+                    par.labeling().total_entries(),
+                    seq.labeling().total_entries(),
+                    "threads={threads}"
+                );
+                assert_matches_bfs(&dag, &par);
+            }
+        }
+    }
+
+    /// The satellite matrix: the chunked engine emits byte-identical
+    /// labels at widths {1, 2, 3, 4, 8}, on graphs both larger and
+    /// smaller than the chunk size (CHUNK = 256 frontier entries) and
+    /// across graph families.
+    #[test]
+    fn chunked_engine_byte_identical_across_thread_matrix() {
+        for (dag, what) in [
+            (gen::random_dag(600, 2_400, 5), "random 600"),
+            (gen::random_dag(40, 120, 6), "random 40 (sub-chunk)"),
+            (gen::power_law_dag(300, 900, 7), "power-law 300"),
+            (gen::tree_plus_dag(500, 60, 8), "tree 500"),
         ] {
-            let par = DistributionLabeling::build(&dag, &force);
-            let seq = DistributionLabeling::build(
+            let reference = DistributionLabeling::build(
                 &dag,
                 &DlConfig {
                     parallelism: Parallelism::Sequential,
                     ..DlConfig::default()
                 },
             );
-            assert_eq!(
-                par.labeling().total_entries(),
-                seq.labeling().total_entries()
-            );
-            assert_matches_bfs(&dag, &par);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let chunked = DistributionLabeling::build(
+                    &dag,
+                    &DlConfig {
+                        parallelism: Parallelism::Threads(threads),
+                        ..DlConfig::default()
+                    },
+                );
+                assert_eq!(chunked.order(), reference.order(), "{what}, t={threads}");
+                for v in 0..dag.num_vertices() as VertexId {
+                    assert_eq!(
+                        chunked.labeling().out_label(v),
+                        reference.labeling().out_label(v),
+                        "{what}, t={threads}, L_out({v})"
+                    );
+                    assert_eq!(
+                        chunked.labeling().in_label(v),
+                        reference.labeling().in_label(v),
+                        "{what}, t={threads}, L_in({v})"
+                    );
+                }
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 //! REACH/BATCH handlers.
 //!
 //! Four observations are precomputed in `O(n + m)` from the DAG and
-//! stored as five flat `u32` arrays plus two bit flags per vertex:
+//! packed into one 32-byte [`FilterRecord`] per vertex:
 //!
 //! * **Topological levels** (negative cut): `u → v` implies
 //!   `level(u) < level(v)`, where `level` is the longest-path depth.
@@ -24,7 +24,11 @@
 //!   Chaoji & Zaki, VLDB 2010): with `post` the DFS postorder and
 //!   `mpost(v)` the minimum postorder reachable from `v`, `u → v`
 //!   implies `[mpost(v), post(v)] ⊆ [mpost(u), post(u)]`;
-//!   non-containment proves unreachability.
+//!   non-containment proves unreachability. **Two** independent
+//!   intervals are kept (GRAIL's `k = 2`), from two DFS runs with
+//!   opposite root and child visit orders — pairs that slip through
+//!   one forest's intervals are usually caught by the other's, and
+//!   both live in the record already loaded.
 //! * **Degree-zero shortcuts** (negative cut): a sink source-side
 //!   (`N_out(u) = ∅`) reaches nothing but itself; a source target-side
 //!   (`N_in(v) = ∅`) is reached by nothing but itself.
@@ -93,11 +97,118 @@ impl FilterVerdict {
     ];
 }
 
+/// [`FilterRecord::flags`] bit: `N_out(v) = ∅`.
+const FLAG_SINK: u32 = 1;
+/// [`FilterRecord::flags`] bit: `N_in(v) = ∅`.
+const FLAG_SOURCE: u32 = 2;
+
+/// Every per-vertex filter quantity packed into one 32-byte record
+/// (exactly half a cache line), so a query touches one line per side
+/// instead of up to seven scattered arrays — the same memory-layout
+/// argument the paper makes for sorted label arrays, applied to the
+/// filter stage.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
+struct FilterRecord {
+    /// Longest-path level.
+    level: u32,
+    /// DFS preorder number (forest 1). Unique per vertex, so equal
+    /// `pre` on a projected set proves same-component.
+    pre: u32,
+    /// Exclusive end of the DFS-tree subtree preorder interval.
+    pre_end: u32,
+    /// DFS postorder number (forest 1).
+    post: u32,
+    /// Minimum postorder reachable (over *all* edges, not just tree
+    /// edges; forest 1).
+    mpost: u32,
+    /// DFS postorder number of the second, oppositely-ordered forest.
+    post2: u32,
+    /// Minimum reachable postorder in the second forest.
+    mpost2: u32,
+    /// [`FLAG_SINK`] | [`FLAG_SOURCE`].
+    flags: u32,
+}
+
+/// One deterministic iterative DFS over the forest rooted at the
+/// in-degree-zero vertices, returning `(pre, pre_end, post)`.
+/// `mirrored` flips both the root order (descending ids) and the
+/// child visit order (reverse adjacency), yielding a forest as
+/// independent of the first as a deterministic scheme gets.
+fn dfs_forest(dag: &Dag, mirrored: bool) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let n = dag.num_vertices();
+    let g = dag.graph();
+    let mut pre = vec![0u32; n];
+    let mut pre_end = vec![0u32; n];
+    let mut post = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut pre_counter = 0u32;
+    let mut post_counter = 0u32;
+    // (vertex, next-out-neighbor cursor) frames.
+    let mut stack: Vec<(VertexId, u32)> = Vec::new();
+    let mut roots: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| g.in_degree(v) == 0)
+        .collect();
+    if mirrored {
+        roots.reverse();
+    }
+    for root in roots {
+        debug_assert!(!visited[root as usize], "sources have no ancestors");
+        visited[root as usize] = true;
+        pre[root as usize] = pre_counter;
+        pre_counter += 1;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            let succs = g.out_neighbors(v);
+            if (*cursor as usize) < succs.len() {
+                let w = if mirrored {
+                    succs[succs.len() - 1 - *cursor as usize]
+                } else {
+                    succs[*cursor as usize]
+                };
+                *cursor += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    pre[w as usize] = pre_counter;
+                    pre_counter += 1;
+                    stack.push((w, 0));
+                }
+            } else {
+                // Finished: everything pre-numbered since v's own
+                // number is exactly v's DFS subtree.
+                pre_end[v as usize] = pre_counter;
+                post[v as usize] = post_counter;
+                post_counter += 1;
+                stack.pop();
+            }
+        }
+    }
+    // Every DAG vertex has an in-degree-zero ancestor, so the forest
+    // over the sources covers the whole graph.
+    debug_assert!(visited.iter().all(|&b| b));
+    (pre, pre_end, post)
+}
+
+/// `mpost(v) = min(post(v), min over successors)` in reverse
+/// topological order — successors are final before `v` is visited.
+fn min_reachable_post(dag: &Dag, post: &[u32]) -> Vec<u32> {
+    let g = dag.graph();
+    let mut mpost = post.to_vec();
+    for &v in dag.topo_order().iter().rev() {
+        let mut m = mpost[v as usize];
+        for &w in g.out_neighbors(v) {
+            m = m.min(mpost[w as usize]);
+        }
+        mpost[v as usize] = m;
+    }
+    mpost
+}
+
 /// Precomputed O(1) pre-filters for reachability queries on a DAG.
 ///
-/// Built in `O(n + m)` by [`QueryFilters::build`]; all state is five
-/// `u32` arrays plus two bool arrays, so a filter set is cheap to
-/// clone, ship, and (in [`crate::persist`]) rebuild from a loaded
+/// Built in `O(n + m)` by [`QueryFilters::build`]; all state is one
+/// flat array of 32-byte per-vertex records, so a filter set is cheap
+/// to clone, ship, and (in [`crate::persist`]) rebuild from a loaded
 /// condensation — the on-disk HOPL format carries no filter payload.
 ///
 /// ```
@@ -113,159 +224,162 @@ impl FilterVerdict {
 /// ```
 #[derive(Clone, Debug)]
 pub struct QueryFilters {
-    /// Longest-path level per vertex.
-    level: Vec<u32>,
-    /// DFS preorder number.
-    pre: Vec<u32>,
-    /// Exclusive end of the DFS-tree subtree preorder interval.
-    pre_end: Vec<u32>,
-    /// DFS postorder number.
-    post: Vec<u32>,
-    /// Minimum postorder reachable (over *all* edges, not just tree
-    /// edges).
-    mpost: Vec<u32>,
-    /// `N_out(v) = ∅`.
-    sink: Vec<bool>,
-    /// `N_in(v) = ∅`.
-    source: Vec<bool>,
+    recs: Vec<FilterRecord>,
 }
 
 impl QueryFilters {
     /// Precomputes all filter layers for `dag` in `O(n + m)`.
     ///
-    /// Deterministic: the DFS forest is rooted at the in-degree-zero
-    /// vertices in ascending id order, children visited in adjacency
-    /// order, so two builds over the same DAG agree exactly.
+    /// Deterministic: the first DFS forest is rooted at the
+    /// in-degree-zero vertices in ascending id order with children
+    /// visited in adjacency order; the second uses descending roots
+    /// and reversed child order. Two builds over the same DAG agree
+    /// exactly.
     pub fn build(dag: &Dag) -> Self {
         let n = dag.num_vertices();
         let g = dag.graph();
         let level = dag.longest_path_levels();
 
-        let mut pre = vec![0u32; n];
-        let mut pre_end = vec![0u32; n];
-        let mut post = vec![0u32; n];
-        let mut visited = vec![false; n];
-        let mut pre_counter = 0u32;
-        let mut post_counter = 0u32;
-        // Iterative DFS; (vertex, next-out-neighbor cursor) frames.
-        let mut stack: Vec<(VertexId, u32)> = Vec::new();
-        for root in 0..n as VertexId {
-            if g.in_degree(root) != 0 {
-                continue;
-            }
-            debug_assert!(!visited[root as usize], "sources have no ancestors");
-            visited[root as usize] = true;
-            pre[root as usize] = pre_counter;
-            pre_counter += 1;
-            stack.push((root, 0));
-            while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
-                let succs = g.out_neighbors(v);
-                if (*cursor as usize) < succs.len() {
-                    let w = succs[*cursor as usize];
-                    *cursor += 1;
-                    if !visited[w as usize] {
-                        visited[w as usize] = true;
-                        pre[w as usize] = pre_counter;
-                        pre_counter += 1;
-                        stack.push((w, 0));
-                    }
-                } else {
-                    // Finished: everything pre-numbered since v's own
-                    // number is exactly v's DFS subtree.
-                    pre_end[v as usize] = pre_counter;
-                    post[v as usize] = post_counter;
-                    post_counter += 1;
-                    stack.pop();
-                }
-            }
-        }
-        // Every DAG vertex has an in-degree-zero ancestor, so the
-        // forest over the sources covers the whole graph.
-        debug_assert!(visited.iter().all(|&b| b));
+        let (pre, pre_end, post) = dfs_forest(dag, false);
+        let mpost = min_reachable_post(dag, &post);
+        // The second, independently ordered forest (GRAIL k = 2): its
+        // tree interval is discarded, only the min-post interval kept.
+        let (_, _, post2) = dfs_forest(dag, true);
+        let mpost2 = min_reachable_post(dag, &post2);
 
-        // mpost(v) = min(post(v), min over successors) in reverse
-        // topological order — successors are final before v is visited.
-        let mut mpost = post.clone();
-        for &v in dag.topo_order().iter().rev() {
-            let mut m = mpost[v as usize];
-            for &w in g.out_neighbors(v) {
-                m = m.min(mpost[w as usize]);
-            }
-            mpost[v as usize] = m;
-        }
+        let recs = (0..n)
+            .map(|v| FilterRecord {
+                level: level[v],
+                pre: pre[v],
+                pre_end: pre_end[v],
+                post: post[v],
+                mpost: mpost[v],
+                post2: post2[v],
+                mpost2: mpost2[v],
+                flags: (g.out_degree(v as VertexId) == 0) as u32 * FLAG_SINK
+                    + (g.in_degree(v as VertexId) == 0) as u32 * FLAG_SOURCE,
+            })
+            .collect();
 
-        let sink = (0..n as VertexId).map(|v| g.out_degree(v) == 0).collect();
-        let source = (0..n as VertexId).map(|v| g.in_degree(v) == 0).collect();
+        QueryFilters { recs }
+    }
 
+    /// Re-indexes the filter set from condensation-component space into
+    /// *original-vertex* space: vertex `v`'s record becomes a copy of
+    /// its component's record. Queries then skip the `comp_of`
+    /// indirection entirely on the filter fast path — one cache-line
+    /// load per side instead of two *dependent* loads — and same-SCC
+    /// pairs are still answered correctly because two vertices share a
+    /// preorder number iff they share a component (see
+    /// [`QueryFilters::classify`]). [`crate::Oracle`] queries through a
+    /// projected set; the component-space set remains the right tool
+    /// for DAG-space callers.
+    pub fn project(&self, comp_of: &[VertexId]) -> QueryFilters {
         QueryFilters {
-            level,
-            pre,
-            pre_end,
-            post,
-            mpost,
-            sink,
-            source,
+            recs: comp_of.iter().map(|&c| self.recs[c as usize]).collect(),
         }
     }
 
     /// Vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.level.len()
+        self.recs.len()
     }
 
-    /// Footprint in 32-bit integers (the workspace's index-size unit);
-    /// the two bool arrays are counted at one integer per 4 vertices.
+    /// Footprint in 32-bit integers (the workspace's index-size unit):
+    /// eight per vertex (seven quantities plus the packed flag word).
     pub fn size_in_integers(&self) -> u64 {
-        5 * self.level.len() as u64 + (self.level.len() as u64).div_ceil(2)
+        8 * self.recs.len() as u64
+    }
+
+    /// Hints the CPU to pull `u`'s and `v`'s records toward L1 — the
+    /// batch paths issue this a dozen queries ahead so the record
+    /// loads in [`QueryFilters::check`] hit cache instead of stalling
+    /// (the record array outgrows L2 on bench-scale graphs). Purely a
+    /// hint: no-op off x86_64, never dereferences, and out-of-range
+    /// ids are harmless (the address is computed without `add`'s
+    /// in-bounds contract).
+    #[inline]
+    pub fn prefetch(&self, u: VertexId, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = self.recs.as_ptr();
+            _mm_prefetch(base.wrapping_add(u as usize) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(base.wrapping_add(v as usize) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, v);
+        }
     }
 
     /// Negative cut: `true` ⇒ `u` does **not** reach `v` (`u ≠ v`).
+    ///
+    /// Sound on projected sets too: equal preorder numbers mean `u`
+    /// and `v` share an SCC (reachable), so the cut must not fire.
     #[inline]
     pub fn level_cut(&self, u: VertexId, v: VertexId) -> bool {
-        self.level[u as usize] >= self.level[v as usize]
+        let (ru, rv) = (&self.recs[u as usize], &self.recs[v as usize]);
+        ru.level >= rv.level && ru.pre != rv.pre
     }
 
     /// Positive cut: `true` ⇒ `v` is a DFS-tree descendant of `u`,
     /// hence reachable.
     #[inline]
     pub fn tree_hit(&self, u: VertexId, v: VertexId) -> bool {
-        self.pre[u as usize] <= self.pre[v as usize]
-            && self.pre[v as usize] < self.pre_end[u as usize]
+        let (ru, rv) = (&self.recs[u as usize], &self.recs[v as usize]);
+        ru.pre <= rv.pre && rv.pre < ru.pre_end
     }
 
     /// Negative cut: `true` ⇒ unreachable because `u` is a sink or `v`
     /// is a source (`u ≠ v`).
+    ///
+    /// Sound on projected sets too: same-SCC pairs (equal preorder
+    /// numbers) are reachable, so the cut must not fire for them.
     #[inline]
     pub fn degree_cut(&self, u: VertexId, v: VertexId) -> bool {
-        self.sink[u as usize] || self.source[v as usize]
+        let (ru, rv) = (&self.recs[u as usize], &self.recs[v as usize]);
+        ((ru.flags & FLAG_SINK) | (rv.flags & FLAG_SOURCE)) != 0 && ru.pre != rv.pre
     }
 
-    /// Negative cut: `true` ⇒ the GRAIL interval of `v` is not
-    /// contained in `u`'s, hence unreachable.
+    /// Negative cut: `true` ⇒ in either DFS forest, the GRAIL interval
+    /// of `v` is not contained in `u`'s, hence unreachable.
     #[inline]
     pub fn interval_cut(&self, u: VertexId, v: VertexId) -> bool {
-        self.mpost[v as usize] < self.mpost[u as usize]
-            || self.post[v as usize] > self.post[u as usize]
+        let (ru, rv) = (&self.recs[u as usize], &self.recs[v as usize]);
+        rv.mpost < ru.mpost || rv.post > ru.post || rv.mpost2 < ru.mpost2 || rv.post2 > ru.post2
     }
 
     /// Runs the filter stack cheap-first and reports which layer
     /// decided. [`FilterVerdict::Fallthrough`] means the caller must
     /// run the label intersection.
+    ///
+    /// Both records are loaded once up front — every layer then works
+    /// out of the two cache lines already in hand.
     #[inline]
     pub fn classify(&self, u: VertexId, v: VertexId) -> FilterVerdict {
         if u == v {
             return FilterVerdict::SameComponent;
         }
-        if self.level_cut(u, v) {
-            return FilterVerdict::LevelCut;
+        let (ru, rv) = (self.recs[u as usize], self.recs[v as usize]);
+        if ru.level >= rv.level {
+            // Preorder numbers are unique per component, so equal `pre`
+            // means `u` and `v` share an SCC (possible only on a
+            // projected set — see [`QueryFilters::project`]): reachable.
+            return if ru.pre == rv.pre {
+                FilterVerdict::SameComponent
+            } else {
+                FilterVerdict::LevelCut
+            };
         }
-        if self.tree_hit(u, v) {
+        if ru.pre <= rv.pre && rv.pre < ru.pre_end {
             return FilterVerdict::TreeHit;
         }
-        if self.degree_cut(u, v) {
+        if ((ru.flags & FLAG_SINK) | (rv.flags & FLAG_SOURCE)) != 0 {
             return FilterVerdict::DegreeCut;
         }
-        if self.interval_cut(u, v) {
+        if rv.mpost < ru.mpost || rv.post > ru.post || rv.mpost2 < ru.mpost2 || rv.post2 > ru.post2
+        {
             return FilterVerdict::IntervalCut;
         }
         FilterVerdict::Fallthrough
@@ -356,6 +470,49 @@ mod tests {
             ]
         );
         assert_eq!(FilterVerdict::Fallthrough.decided(), None);
+    }
+
+    /// Projection into original-vertex space must stay sound on cyclic
+    /// graphs: same-SCC pairs (identical records) are recognized as
+    /// reachable via preorder equality, everything else matches the
+    /// component-space verdict.
+    #[test]
+    fn projected_filters_match_component_space_on_cyclic_graphs() {
+        use hoplite_graph::DiGraph;
+        let mut rng = gen::Rng::new(77);
+        for seed in 0..4u64 {
+            let n = 40usize;
+            let edges: Vec<(VertexId, VertexId)> = (0..160)
+                .filter_map(|_| {
+                    let u = rng.gen_index(n) as VertexId;
+                    let v = rng.gen_index(n) as VertexId;
+                    (u != v).then_some((u, v))
+                })
+                .collect();
+            let g = DiGraph::from_edges(n, &edges).unwrap();
+            let cond = Dag::condense(&g);
+            let comp = QueryFilters::build(&cond.dag);
+            let proj = comp.project(&cond.comp_of);
+            assert_eq!(proj.num_vertices(), n);
+            for u in 0..n as VertexId {
+                for v in 0..n as VertexId {
+                    let (cu, cv) = (cond.comp_of[u as usize], cond.comp_of[v as usize]);
+                    let expect = if cu == cv {
+                        Some(true)
+                    } else {
+                        comp.check(cu, cv)
+                    };
+                    assert_eq!(proj.check(u, v), expect, "({u},{v}) seed {seed}");
+                    if u != v && cu == cv {
+                        assert_eq!(
+                            proj.classify(u, v),
+                            FilterVerdict::SameComponent,
+                            "({u},{v}) seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

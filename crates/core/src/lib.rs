@@ -53,11 +53,14 @@ pub use dynamic::DynamicOracle;
 pub use filter::{FilterVerdict, QueryFilters};
 pub use hierarchical::{CoreLabeler, HierarchicalLabeling, HlConfig};
 pub use hierarchy::Hierarchy;
-pub use label::{sorted_intersect, Labeling, LabelingBuilder};
+pub use label::{
+    sorted_intersect, sorted_intersect_adaptive, LabelPath, Labeling, LabelingBuilder,
+};
 pub use oracle::{Oracle, ReachIndex};
 pub use order::OrderKind;
 pub use parallel::{
-    par_count_reachable, par_query_batch, par_query_batch_mapped, ThroughputReport,
+    par_count_reachable, par_query_batch, par_query_batch_mapped, par_query_batch_mapped_tallied,
+    QueryTally, ThroughputReport,
 };
 pub use persist::PersistError;
 pub use stats::LabelStats;

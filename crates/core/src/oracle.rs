@@ -93,23 +93,30 @@ impl Oracle {
     /// Reassembles an oracle from a deserialized condensation and
     /// labeling. The caller ([`crate::persist`]) has validated that the
     /// labeling covers exactly the condensation's components; the
-    /// query pre-filters are derived from the condensation DAG here,
-    /// so they never need to be (and are not) persisted.
+    /// query pre-filters are derived from the condensation DAG here
+    /// (and projected into original-vertex space, so the filter fast
+    /// path skips the `comp_of` indirection), so they never need to be
+    /// (and are not) persisted.
     pub(crate) fn from_parts(cond: Condensation, dl: DistributionLabeling) -> Self {
         debug_assert_eq!(cond.num_components(), dl.labeling().num_vertices());
-        let filters = QueryFilters::build(&cond.dag);
+        let filters = QueryFilters::build(&cond.dag).project(&cond.comp_of);
         Oracle { cond, dl, filters }
     }
 
     /// Does `u` reach `v` in the original graph? Reflexive.
     ///
-    /// Runs the O(1) pre-filter stack ([`QueryFilters`]) first; most
-    /// queries never reach the label intersection.
+    /// Runs the O(1) pre-filter stack ([`QueryFilters`], projected
+    /// into original-vertex space — one cache-line load per side, no
+    /// component mapping) first; most queries never reach the label
+    /// intersection, and only the ones that do pay the `comp_of`
+    /// lookup.
     pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
-        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
-        match self.filters.check(cu, cv) {
+        match self.filters.check(u, v) {
             Some(answer) => answer,
-            None => self.dl.query(cu, cv),
+            None => {
+                let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
+                self.dl.query(cu, cv)
+            }
         }
     }
 
@@ -129,6 +136,42 @@ impl Oracle {
     /// [`crate::parallel`].
     pub fn reaches_batch(&self, pairs: &[(VertexId, VertexId)], threads: usize) -> Vec<bool> {
         crate::parallel::par_query_batch_mapped(
+            self.dl.labeling(),
+            Some(&self.filters),
+            &self.cond.comp_of,
+            pairs,
+            threads,
+        )
+    }
+
+    /// [`Self::reaches`] that also bumps the stage counter the query
+    /// died at in `tally` — the single-query twin of
+    /// [`Self::reaches_batch_tallied`], used by the `hoplite-server`
+    /// `REACH` handler to feed the `STATS` counters.
+    pub fn reaches_tallied(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        tally: &mut crate::parallel::QueryTally,
+    ) -> bool {
+        crate::parallel::answer_tallied(
+            self.dl.labeling(),
+            Some(&self.filters),
+            &self.cond.comp_of,
+            u,
+            v,
+            tally,
+        )
+    }
+
+    /// [`Self::reaches_batch`] that also reports where the batch's
+    /// queries died (filter / signature / merge). Identical answers.
+    pub fn reaches_batch_tallied(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> (Vec<bool>, crate::parallel::QueryTally) {
+        crate::parallel::par_query_batch_mapped_tallied(
             self.dl.labeling(),
             Some(&self.filters),
             &self.cond.comp_of,
@@ -174,7 +217,9 @@ impl Oracle {
         &self.cond
     }
 
-    /// The O(1) query pre-filter stack over the condensation DAG.
+    /// The O(1) query pre-filter stack, projected into
+    /// *original-vertex* space ([`QueryFilters::project`]) — index it
+    /// with original graph ids, not component ids.
     pub fn filters(&self) -> &QueryFilters {
         &self.filters
     }

@@ -30,7 +30,70 @@
 use hoplite_graph::VertexId;
 
 use crate::filter::QueryFilters;
-use crate::label::Labeling;
+use crate::label::{LabelPath, Labeling};
+
+/// Where a workload's queries died, per stage: the O(1) pre-filter
+/// stack, the O(1) signature rejection, or the intersection kernel.
+/// Accumulated off the hot path (each batch worker counts locally and
+/// totals are folded once per chunk), so operators can watch the stage
+/// mix without taxing throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTally {
+    /// Decided by the pre-filter stack (including reflexive /
+    /// same-component pairs).
+    pub filter_decided: u64,
+    /// Rejected by the rank-band signature `AND`.
+    pub signature_cut: u64,
+    /// Ran the adaptive label-intersection kernel.
+    pub merged: u64,
+}
+
+impl QueryTally {
+    /// Queries accounted for.
+    pub fn total(&self) -> u64 {
+        self.filter_decided + self.signature_cut + self.merged
+    }
+
+    /// Folds another tally in.
+    pub fn add(&mut self, other: &QueryTally) {
+        self.filter_decided += other.filter_decided;
+        self.signature_cut += other.signature_cut;
+        self.merged += other.merged;
+    }
+}
+
+/// The instrumented single-query path shared by
+/// [`par_query_batch_mapped_tallied`] and
+/// [`crate::Oracle::reaches_tallied`]: identical answers to the
+/// uninstrumented path, plus one stage counter bump. `filters` must be
+/// indexed in `(u, v)`'s space (see [`par_query_batch_mapped`]);
+/// `comp_of` is only consulted when the filters fall through.
+#[inline]
+pub(crate) fn answer_tallied(
+    labeling: &Labeling,
+    filters: Option<&QueryFilters>,
+    comp_of: &[VertexId],
+    u: VertexId,
+    v: VertexId,
+    tally: &mut QueryTally,
+) -> bool {
+    if let Some(f) = filters {
+        if let Some(decided) = f.check(u, v) {
+            tally.filter_decided += 1;
+            return decided;
+        }
+    }
+    let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+    let (answer, path) = labeling.query_traced(cu, cv);
+    match path {
+        // Without a filter stack a reflexive pair is still an O(1)
+        // pre-label decision; count it with the filter stage.
+        LabelPath::Reflexive => tally.filter_decided += 1,
+        LabelPath::SignatureCut => tally.signature_cut += 1,
+        LabelPath::Merge => tally.merged += 1,
+    }
+    answer
+}
 
 /// Answers every `(u, v)` pair in `pairs` using `threads` worker
 /// threads, preserving order.
@@ -45,11 +108,14 @@ pub fn par_query_batch(
     run_chunked(pairs, threads, |u, v| labeling.query(u, v))
 }
 
-/// Batch evaluation in *original-graph* vertex space: every worker maps
-/// its pairs through `comp_of` itself (no serial prepass, no mapped
-/// copy of the batch) and, when `filters` is given, runs the O(1)
-/// pre-filter stack before falling through to the label intersection.
-/// This is [`crate::Oracle::reaches_batch`]'s engine.
+/// Batch evaluation in *original-graph* vertex space: when `filters`
+/// is given it must be indexed in the same space as `pairs` (for an
+/// oracle over a cyclic graph that means projected through
+/// [`QueryFilters::project`]), so the O(1) pre-filter stack runs
+/// *before* any component mapping — only queries that fall through to
+/// the label intersection pay the `comp_of` lookups, which each worker
+/// does inline (no serial prepass, no mapped copy of the batch). This
+/// is [`crate::Oracle::reaches_batch`]'s engine.
 ///
 /// `comp_of` may also be the identity when the pairs are already in
 /// label space. Answers are order-preserving and identical with and
@@ -64,18 +130,103 @@ pub fn par_query_batch_mapped(
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> Vec<bool> {
-    run_chunked(pairs, threads, move |u, v| {
-        let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
-        match filters {
-            // Same-component pairs map to (c, c), which both the filter
-            // stack and the reflexive labeling query answer `true`.
-            Some(f) => match f.check(cu, cv) {
-                Some(decided) => decided,
-                None => labeling.query(cu, cv),
-            },
-            None => labeling.query(cu, cv),
+    run_chunked_lookahead(
+        pairs,
+        threads,
+        move |u, v| {
+            if let Some(f) = filters {
+                // Same-component pairs are decided here (preorder
+                // equality inside the level branch), so the fallthrough
+                // below only ever maps genuinely undecided pairs.
+                if let Some(decided) = f.check(u, v) {
+                    return decided;
+                }
+            }
+            let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+            labeling.query(cu, cv)
+        },
+        move |pu, pv| match filters {
+            Some(f) => f.prefetch(pu, pv),
+            None => {
+                prefetch_index(comp_of, pu as usize);
+                prefetch_index(comp_of, pv as usize);
+            }
+        },
+    )
+}
+
+/// Cache-prefetch hint for `slice[i]`'s line. Purely advisory: no-op
+/// off x86_64, never dereferences, out-of-range indices are harmless
+/// (address computed without `add`'s in-bounds contract).
+#[inline]
+fn prefetch_index<T>(slice: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(slice.as_ptr().wrapping_add(i) as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, i);
+    }
+}
+
+/// How many queries ahead the batch loops issue filter-record
+/// prefetches: far enough to cover an L3 miss, close enough that the
+/// lines are still resident when their query runs.
+const PREFETCH_DISTANCE: usize = 12;
+
+/// [`par_query_batch_mapped`] that also reports *where queries died*
+/// (pre-filter, signature, merge) as a [`QueryTally`]. Answers are
+/// identical; the tally costs each worker three register increments
+/// per query plus one fold per chunk. This is the engine behind
+/// [`crate::Oracle::reaches_batch_tallied`] and the `hoplite-server`
+/// `STATS` counters.
+///
+/// # Panics
+/// Panics if any vertex id in `pairs` is out of `comp_of`'s range.
+pub fn par_query_batch_mapped_tallied(
+    labeling: &Labeling,
+    filters: Option<&QueryFilters>,
+    comp_of: &[VertexId],
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> (Vec<bool>, QueryTally) {
+    let scan = move |part: &[(VertexId, VertexId)], out: &mut [bool]| -> QueryTally {
+        let mut local = QueryTally::default();
+        for (i, (slot, &(u, v))) in out.iter_mut().zip(part).enumerate() {
+            if let Some(&(pu, pv)) = part.get(i + PREFETCH_DISTANCE) {
+                match filters {
+                    Some(f) => f.prefetch(pu, pv),
+                    None => {
+                        prefetch_index(comp_of, pu as usize);
+                        prefetch_index(comp_of, pv as usize);
+                    }
+                }
+            }
+            *slot = answer_tallied(labeling, filters, comp_of, u, v, &mut local);
         }
-    })
+        local
+    };
+    let mut answers = vec![false; pairs.len()];
+    let threads = effective_threads(threads, pairs.len());
+    if threads <= 1 {
+        let tally = scan(pairs, &mut answers);
+        return (answers, tally);
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut tally = QueryTally::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .zip(answers.chunks_mut(chunk))
+            .map(|(part, out)| s.spawn(move || scan(part, out)))
+            .collect();
+        for h in handles {
+            tally.add(&h.join().expect("query worker panicked"));
+        }
+    });
+    (answers, tally)
 }
 
 /// [`par_query_batch`] that only counts positive answers — the
@@ -162,25 +313,48 @@ fn run_chunked(
     threads: usize,
     answer: impl Fn(VertexId, VertexId) -> bool + Copy + Send,
 ) -> Vec<bool> {
+    run_chunked_lookahead(pairs, threads, answer, |_, _| {})
+}
+
+/// [`run_chunked`] with a software-pipelining hook: `lookahead` is
+/// called with the pair `PREFETCH_DISTANCE` queries ahead of the one
+/// being answered, so its cache lines (filter records, component ids)
+/// are already on their way up the hierarchy when their turn comes —
+/// the random-access loads are the batch hot path's dominant stall.
+fn run_chunked_lookahead(
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+    answer: impl Fn(VertexId, VertexId) -> bool + Copy + Send,
+    lookahead: impl Fn(VertexId, VertexId) + Copy + Send,
+) -> Vec<bool> {
     let mut answers = vec![false; pairs.len()];
     let threads = effective_threads(threads, pairs.len());
     if threads <= 1 {
-        for (slot, &(u, v)) in answers.iter_mut().zip(pairs) {
-            *slot = answer(u, v);
-        }
+        scan_pairs(pairs, &mut answers, answer, lookahead);
         return answers;
     }
     let chunk = pairs.len().div_ceil(threads);
     std::thread::scope(|s| {
         for (part, out) in pairs.chunks(chunk).zip(answers.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (slot, &(u, v)) in out.iter_mut().zip(part) {
-                    *slot = answer(u, v);
-                }
-            });
+            s.spawn(move || scan_pairs(part, out, answer, lookahead));
         }
     });
     answers
+}
+
+/// One worker's batch loop; see [`run_chunked_lookahead`].
+fn scan_pairs(
+    part: &[(VertexId, VertexId)],
+    out: &mut [bool],
+    answer: impl Fn(VertexId, VertexId) -> bool,
+    lookahead: impl Fn(VertexId, VertexId),
+) {
+    for (i, (slot, &(u, v))) in out.iter_mut().zip(part).enumerate() {
+        if let Some(&(pu, pv)) = part.get(i + PREFETCH_DISTANCE) {
+            lookahead(pu, pv);
+        }
+        *slot = answer(u, v);
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +450,46 @@ mod tests {
         }
         assert!(
             par_query_batch_mapped(dl.labeling(), Some(&filters), &identity, &[], 4).is_empty()
+        );
+    }
+
+    #[test]
+    fn tallied_batch_matches_answers_and_accounts_every_query() {
+        let dag = gen::power_law_dag(300, 900, 21);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let filters = QueryFilters::build(&dag);
+        let identity: Vec<VertexId> = (0..300).collect();
+        let mut rng = gen::Rng::new(5);
+        let pairs: Vec<_> = (0..2000)
+            .map(|_| (rng.gen_range(300) as u32, rng.gen_range(300) as u32))
+            .collect();
+        let expected = par_query_batch(dl.labeling(), &pairs, 1);
+        let mut reference: Option<QueryTally> = None;
+        for threads in [1, 2, 7] {
+            for filters in [None, Some(&filters)] {
+                let (answers, tally) = par_query_batch_mapped_tallied(
+                    dl.labeling(),
+                    filters,
+                    &identity,
+                    &pairs,
+                    threads,
+                );
+                assert_eq!(answers, expected, "threads={threads}");
+                assert_eq!(tally.total(), pairs.len() as u64, "threads={threads}");
+                if filters.is_some() {
+                    // The tally is deterministic: same workload, same
+                    // stage mix at every width.
+                    match &reference {
+                        None => reference = Some(tally),
+                        Some(want) => assert_eq!(&tally, want, "threads={threads}"),
+                    }
+                }
+            }
+        }
+        let with_filters = reference.expect("filtered runs happened");
+        assert!(
+            with_filters.filter_decided > 0,
+            "filters decided nothing: {with_filters:?}"
         );
     }
 

@@ -16,11 +16,22 @@
 //! n       u64      vertex count
 //! ...              kind-specific payload (CSR arrays, order table,
 //!                  level sizes)
+//! [SIGS]           optional trailing section: "SIGS", sig_shift:u32,
+//!                  n:u64, n×out_sig:u64, n×in_sig:u64
 //! ```
 //!
 //! Readers validate structure (monotone offsets, strictly sorted hop
 //! lists) so a corrupted file fails loudly instead of answering
 //! queries wrong.
+//!
+//! The `SIGS` section carries the per-vertex rank-band signatures the
+//! query path rejects on (see [`crate::label`]). It is *optional on
+//! read*: files written before the signature layer existed simply end
+//! after the main payload, and the loader rebuilds the signatures from
+//! the hop lists on the fly. When the section is present the reader
+//! cross-checks every persisted signature against the one derived from
+//! its list — a flipped signature bit would otherwise silently turn
+//! reachable pairs unreachable.
 //!
 //! The [`crate::QueryFilters`] pre-filter stage is **derived state**:
 //! [`Oracle::load`] rebuilds it in `O(n + m)` from the persisted
@@ -55,6 +66,7 @@ use crate::label::Labeling;
 use crate::oracle::Oracle;
 
 const MAGIC: &[u8; 4] = b"HOPL";
+const SIG_MAGIC: &[u8; 4] = b"SIGS";
 const VERSION: u32 = 1;
 const KIND_LABELING: u8 = 1;
 const KIND_DL: u8 = 2;
@@ -161,6 +173,70 @@ fn expect_eof<R: Read>(r: &mut R) -> Result<(), PersistError> {
         0 => Ok(()),
         _ => Err(PersistError::Format("trailing bytes after payload".into())),
     }
+}
+
+/// Writes the optional trailing signature section (see module docs).
+fn write_signature_section<W: Write>(l: &Labeling, w: &mut W) -> std::io::Result<()> {
+    let (out_sigs, in_sigs, shift) = l.signature_parts();
+    w.write_all(SIG_MAGIC)?;
+    write_u32(w, shift)?;
+    write_u64(w, out_sigs.len() as u64)?;
+    for &s in out_sigs.iter().chain(in_sigs.iter()) {
+        write_u64(w, s)?;
+    }
+    Ok(())
+}
+
+/// Consumes the optional trailing signature section. A clean EOF in
+/// place of the section magic is a legacy (pre-signature) file — fine,
+/// `l` already derived its signatures from the hop lists. A present
+/// section must agree with the derived signatures exactly; any
+/// divergence is corruption (a wrong signature silently flips query
+/// answers, so it must fail loudly here instead).
+fn read_signature_section<R: Read>(r: &mut R, l: &Labeling) -> Result<(), PersistError> {
+    let mut magic = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < magic.len() {
+        match r.read(&mut magic[filled..])? {
+            0 if filled == 0 => return Ok(()), // legacy file: no section
+            0 => {
+                return Err(PersistError::Format(
+                    "truncated trailing-section magic".into(),
+                ))
+            }
+            k => filled += k,
+        }
+    }
+    if &magic != SIG_MAGIC {
+        return Err(PersistError::Format(format!(
+            "unknown trailing section {magic:?}"
+        )));
+    }
+    let (out_sigs, in_sigs, want_shift) = l.signature_parts();
+    let shift = read_u32(r)?;
+    if shift != want_shift {
+        return Err(PersistError::Format(format!(
+            "signature shift {shift} disagrees with the labels (expected {want_shift})"
+        )));
+    }
+    let n = read_u64(r)?;
+    if n as usize != out_sigs.len() {
+        return Err(PersistError::Format(format!(
+            "signature count {n} != vertex count {}",
+            out_sigs.len()
+        )));
+    }
+    for (what, want) in [("out", out_sigs), ("in", in_sigs)] {
+        for (v, &expect) in want.iter().enumerate() {
+            let got = read_u64(r)?;
+            if got != expect {
+                return Err(PersistError::Format(format!(
+                    "{what} signature of vertex {v} disagrees with its hop list"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn write_header<W: Write>(w: &mut W, kind: u8, n: u64) -> std::io::Result<()> {
@@ -277,16 +353,18 @@ fn validate_offsets(offsets: &[u32], n: u64, what: &str) -> Result<(), PersistEr
     Ok(())
 }
 
-/// Writes a bare [`Labeling`].
+/// Writes a bare [`Labeling`] (plus the trailing signature section).
 pub fn write_labeling<W: Write>(l: &Labeling, mut w: W) -> std::io::Result<()> {
     write_header(&mut w, KIND_LABELING, l.num_vertices() as u64)?;
-    write_labeling_body(l, &mut w)
+    write_labeling_body(l, &mut w)?;
+    write_signature_section(l, &mut w)
 }
 
 /// Reads a bare [`Labeling`], validating structure.
 pub fn read_labeling<R: Read>(mut r: R) -> Result<Labeling, PersistError> {
     let n = read_header(&mut r, KIND_LABELING)?;
     let l = read_labeling_body(&mut r, n)?;
+    read_signature_section(&mut r, &l)?;
     expect_eof(&mut r)?;
     Ok(l)
 }
@@ -321,16 +399,20 @@ fn read_dl_body<R: Read>(r: &mut R, n: u64) -> Result<DistributionLabeling, Pers
 }
 
 impl DistributionLabeling {
-    /// Serializes the oracle (labels + rank order).
+    /// Serializes the oracle (labels + rank order + signature section).
     pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         write_header(&mut w, KIND_DL, self.labeling().num_vertices() as u64)?;
-        write_dl_body(self, &mut w)
+        write_dl_body(self, &mut w)?;
+        write_signature_section(self.labeling(), &mut w)
     }
 
-    /// Deserializes an oracle written by [`Self::save`].
+    /// Deserializes an oracle written by [`Self::save`] — or by a
+    /// pre-signature writer (the trailing `SIGS` section is optional;
+    /// signatures are derived from the hop lists either way).
     pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
         let n = read_header(&mut r, KIND_DL)?;
         let dl = read_dl_body(&mut r, n)?;
+        read_signature_section(&mut r, dl.labeling())?;
         expect_eof(&mut r)?;
         Ok(dl)
     }
@@ -364,7 +446,8 @@ impl Oracle {
         }
         write_u32_slice(&mut w, &offsets)?;
         write_u32_slice(&mut w, &targets)?;
-        write_dl_body(self.inner(), &mut w)
+        write_dl_body(self.inner(), &mut w)?;
+        write_signature_section(self.inner().labeling(), &mut w)
     }
 
     /// Deserializes an oracle written by [`Self::save`], validating
@@ -414,6 +497,7 @@ impl Oracle {
         }
         let dag = Dag::new(b.build()).expect("topological edges are acyclic");
         let dl = read_dl_body(&mut r, c as u64)?;
+        read_signature_section(&mut r, dl.labeling())?;
         expect_eof(&mut r)?;
         Ok(Oracle::from_parts(
             Condensation {
@@ -544,15 +628,21 @@ mod tests {
         assert!(read_labeling(Cursor::new(&buf)).is_err());
     }
 
+    /// Byte size of the trailing signature section for `n` vertices:
+    /// magic + shift + count + two u64 arrays.
+    fn sig_section_len(n: usize) -> usize {
+        4 + 4 + 8 + 16 * n
+    }
+
     #[test]
     fn corrupted_order_rejected() {
         let dag = gen::random_dag(20, 50, 7);
         let dl = DistributionLabeling::build(&dag, &DlConfig::default());
         let mut buf = Vec::new();
         dl.save(&mut buf).unwrap();
-        // Duplicate the first order entry over the second (last 20*4
-        // bytes are the order table).
-        let tail = buf.len() - 20 * 4;
+        // Duplicate the first order entry over the second (the 20*4
+        // order-table bytes sit just before the signature section).
+        let tail = buf.len() - sig_section_len(20) - 20 * 4;
         let (a, b) = (buf[tail], buf[tail + 1]);
         buf[tail + 4] = a;
         buf[tail + 5] = b;
@@ -560,6 +650,58 @@ mod tests {
         buf[tail + 7] = buf[tail + 3];
         let err = DistributionLabeling::load(Cursor::new(&buf)).unwrap_err();
         assert!(err.to_string().contains("permutation"), "{err}");
+    }
+
+    /// A PR 3-era file — the exact same bytes minus the trailing
+    /// signature section — must still load, with signatures rebuilt
+    /// from the hop lists (answers identical to the modern file).
+    #[test]
+    fn legacy_files_without_signature_section_load() {
+        let dag = gen::power_law_dag(40, 120, 13);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        let mut legacy = buf.clone();
+        legacy.truncate(buf.len() - sig_section_len(40));
+        let restored = DistributionLabeling::load(Cursor::new(&legacy)).unwrap();
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                assert_eq!(restored.query(u, v), dl.query(u, v), "({u},{v})");
+            }
+            assert_eq!(
+                restored.labeling().out_signature(u),
+                dl.labeling().out_signature(u),
+                "rebuilt out signature diverged at {u}"
+            );
+            assert_eq!(
+                restored.labeling().in_signature(u),
+                dl.labeling().in_signature(u),
+                "rebuilt in signature diverged at {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_signature_section_rejected() {
+        let dag = gen::random_dag(25, 70, 14);
+        let dl = DistributionLabeling::build(&dag, &DlConfig::default());
+        let mut buf = Vec::new();
+        dl.save(&mut buf).unwrap();
+        let section = buf.len() - sig_section_len(25);
+        // Flip a bit inside the first out-signature word.
+        let mut bad = buf.clone();
+        bad[section + 4 + 4 + 8] ^= 0x01;
+        let err = DistributionLabeling::load(Cursor::new(&bad)).unwrap_err();
+        assert!(err.to_string().contains("signature"), "{err}");
+        // A mangled section magic is an unknown trailing section.
+        let mut bad = buf.clone();
+        bad[section] = b'X';
+        let err = DistributionLabeling::load(Cursor::new(&bad)).unwrap_err();
+        assert!(err.to_string().contains("trailing section"), "{err}");
+        // A section cut mid-array is a truncation error.
+        let mut bad = buf;
+        bad.truncate(section + 20);
+        assert!(DistributionLabeling::load(Cursor::new(&bad)).is_err());
     }
 
     #[test]

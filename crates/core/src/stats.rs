@@ -15,6 +15,9 @@ pub struct LabelStats {
     pub max_label: usize,
     /// Mean of `|L_out(v)| + |L_in(v)|` per vertex.
     pub avg_per_vertex: f64,
+    /// Bytes spent on the per-vertex rank-band signatures (16 per
+    /// vertex: one `u64` per side).
+    pub signature_bytes: u64,
 }
 
 impl LabelStats {
@@ -42,6 +45,7 @@ impl LabelStats {
             total_in,
             max_label,
             avg_per_vertex,
+            signature_bytes: l.signature_bytes(),
         }
     }
 }
@@ -50,8 +54,13 @@ impl std::fmt::Display for LabelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} |Lout|={} |Lin|={} max={} avg/vertex={:.2}",
-            self.num_vertices, self.total_out, self.total_in, self.max_label, self.avg_per_vertex
+            "n={} |Lout|={} |Lin|={} max={} avg/vertex={:.2} sig-bytes={}",
+            self.num_vertices,
+            self.total_out,
+            self.total_in,
+            self.max_label,
+            self.avg_per_vertex,
+            self.signature_bytes
         )
     }
 }

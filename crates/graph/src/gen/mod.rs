@@ -232,6 +232,120 @@ pub fn layered_dag(n: usize, layers: usize, m: usize, seed: u64) -> Dag {
     Dag::new(b.build()).expect("generator emits forward edges only")
 }
 
+/// Bundle of `chains` parallel deep chains plus `cross` random
+/// forward cross edges — the `deep_chain` perf family.
+///
+/// Hidden positions `0..n` are dealt round-robin onto the chains
+/// (chain `c` owns positions `c, c+chains, c+2·chains, …`), every
+/// chain links consecutive positions, and cross edges go from a
+/// smaller to a larger position — so acyclicity holds by construction
+/// and every chain is `n/chains` deep. The shape is adversarial for
+/// the level-cut pre-filter: all chains share the same level profile,
+/// so cross-chain pairs survive it about half the time and the later
+/// layers must carry the load (measured in `BENCH_4.json`: the
+/// doubled GRAIL interval cuts absorb most cross-chain negatives
+/// before the signature stage ever sees them).
+pub fn deep_chain_dag(n: usize, chains: usize, cross: usize, seed: u64) -> Dag {
+    assert!(chains >= 1, "deep_chain_dag needs at least one chain");
+    let mut rng = Rng::new(seed);
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    rng.shuffle(&mut perm);
+
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(chains) + cross);
+    // Chain links: position p → p + chains (same chain, next depth).
+    for p in 0..n.saturating_sub(chains) {
+        b.add_edge_unchecked(perm[p], perm[p + chains]);
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let budget = cross.saturating_mul(20) + 100;
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    while n >= 2 && added < cross && attempts < budget {
+        attempts += 1;
+        let i = rng.gen_index(n) as u32;
+        let j = rng.gen_index(n) as u32;
+        if i == j {
+            continue;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        // Skip pairs that duplicate a chain link.
+        if j as usize == i as usize + chains {
+            continue;
+        }
+        if seen.insert((i, j)) {
+            b.add_edge_unchecked(perm[i as usize], perm[j as usize]);
+            added += 1;
+        }
+    }
+    Dag::new(b.build()).expect("generator emits forward edges only")
+}
+
+/// Kronecker/R-MAT-style DAG with `1 << scale` vertices and (up to)
+/// `edges` edges — the `kronecker` perf family (scale-free degrees and
+/// a self-similar adjacency structure, after Chakrabarti, Zhan &
+/// Faloutsos, and the Graph500 generator).
+///
+/// Each edge endpoint pair is drawn by `scale` recursive quadrant
+/// choices with the Graph500 probabilities `(a, b, c, d) =
+/// (0.57, 0.19, 0.19, 0.05)`; a hidden random priority permutation
+/// orients every sampled pair from lower to higher priority, so the
+/// result is acyclic by construction while keeping the Kronecker block
+/// structure on vertex ids.
+pub fn kronecker_dag(scale: u32, edges: usize, seed: u64) -> Dag {
+    assert!(scale <= 30, "kronecker_dag scale {scale} is unreasonable");
+    let n = 1usize << scale;
+    let mut rng = Rng::new(seed);
+    let edges = (edges as u64).min(max_edges(n)) as usize;
+    // prio is a topological order over vertex ids; sampled pairs are
+    // oriented along it.
+    let mut prio: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut prio);
+
+    let (a, b_p, c_p) = (0.57, 0.19, 0.19);
+    let sample = |rng: &mut Rng| -> (u32, u32) {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let x = rng.gen_f64();
+            if x < a {
+                // top-left quadrant: neither bit set
+            } else if x < a + b_p {
+                v |= 1;
+            } else if x < a + b_p + c_p {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    };
+
+    let mut builder = GraphBuilder::with_capacity(n, edges);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let budget = edges.saturating_mul(20) + 100;
+    while n >= 2 && added < edges && attempts < budget {
+        attempts += 1;
+        let (u, v) = sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let (u, v) = if prio[u as usize] < prio[v as usize] {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        if seen.insert((u, v)) {
+            builder.add_edge_unchecked(u, v);
+            added += 1;
+        }
+    }
+    Dag::new(builder.build()).expect("priority-oriented edges are acyclic")
+}
+
 /// Deterministic `rows × cols` grid DAG with edges right and down.
 /// Dense reachability and long paths; handy in tests and ablations.
 pub fn grid_dag(rows: usize, cols: usize) -> Dag {
@@ -342,6 +456,45 @@ mod tests {
     }
 
     #[test]
+    fn deep_chain_dag_is_deep_and_deterministic() {
+        let d = deep_chain_dag(1000, 10, 100, 3);
+        assert_eq!(d.num_vertices(), 1000);
+        assert_eq!(d.num_edges(), 990 + 100);
+        // Every chain is n/chains deep; each cross edge on a path can
+        // add at most one extra step, so the height stays deep and
+        // close to the chain length.
+        assert!(
+            (100..=100 + 100).contains(&d.height()),
+            "height {}",
+            d.height()
+        );
+        assert_eq!(d.graph(), deep_chain_dag(1000, 10, 100, 3).graph());
+        // Single chain degenerates to a path.
+        let path = deep_chain_dag(50, 1, 0, 4);
+        assert_eq!(path.num_edges(), 49);
+        assert_eq!(path.height(), 50);
+    }
+
+    #[test]
+    fn kronecker_dag_shape_and_skew() {
+        let d = kronecker_dag(11, 8_192, 42);
+        assert_eq!(d.num_vertices(), 2048);
+        assert!(d.num_edges() >= 7_000, "got {} edges", d.num_edges());
+        assert_eq!(d.graph(), kronecker_dag(11, 8_192, 42).graph());
+        // R-MAT's 0.57 corner concentrates degree on low ids: the tail
+        // must be heavy relative to the mean (scale-free-ish).
+        let max_deg = (0..2048u32)
+            .map(|v| d.in_degree(v) + d.out_degree(v))
+            .max()
+            .unwrap();
+        let avg = 2.0 * d.num_edges() as f64 / 2048.0;
+        assert!(
+            max_deg as f64 > avg * 5.0,
+            "expected heavy tail: max degree {max_deg}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
     fn generators_produce_valid_dags() {
         // Dag::new re-validates; reaching here means acyclicity held.
         for seed in 0..5 {
@@ -349,6 +502,8 @@ mod tests {
             power_law_dag(64, 200, seed);
             tree_plus_dag(64, 20, seed);
             layered_dag(64, 4, 150, seed);
+            deep_chain_dag(64, 4, 30, seed);
+            kronecker_dag(6, 150, seed);
         }
     }
 }

@@ -35,7 +35,14 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Wire protocol version carried in every payload.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: `1` — the original opcode set; `2` — the `STATS`
+/// reply body grew four `u64` fields (signature bytes and the
+/// filter/signature/merge death counters). Decoding is strict on both
+/// sides, so the bump turns a cross-version `STATS` exchange into a
+/// clean [`WireError::Version`] instead of a confusing
+/// trailing-bytes/short-body error.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Hard ceiling on a frame payload; larger length prefixes are
 /// rejected before any allocation.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -356,6 +363,16 @@ pub struct NamespaceStats {
     pub pending_deletions: u64,
     /// Reachability queries served (batch pairs count individually).
     pub queries: u64,
+    /// Frozen only: bytes spent on the per-vertex rank-band signatures.
+    pub signature_bytes: u64,
+    /// Frozen only: queries decided by the O(1) pre-filter stack.
+    pub filter_hits: u64,
+    /// Frozen only: queries rejected by the signature `AND`.
+    pub signature_hits: u64,
+    /// Frozen only: queries that ran the label-intersection kernel —
+    /// the operator's "where do my queries die" denominator together
+    /// with the two hit counters above.
+    pub merge_runs: u64,
 }
 
 /// One `LIST` entry.
@@ -580,6 +597,10 @@ impl Response {
                 put_u64(&mut out, s.pending_inserts);
                 put_u64(&mut out, s.pending_deletions);
                 put_u64(&mut out, s.queries);
+                put_u64(&mut out, s.signature_bytes);
+                put_u64(&mut out, s.filter_hits);
+                put_u64(&mut out, s.signature_hits);
+                put_u64(&mut out, s.merge_runs);
             }
             Response::List(infos) => {
                 out.push(RE_LIST);
@@ -622,6 +643,10 @@ impl Response {
                 pending_inserts: r.u64()?,
                 pending_deletions: r.u64()?,
                 queries: r.u64()?,
+                signature_bytes: r.u64()?,
+                filter_hits: r.u64()?,
+                signature_hits: r.u64()?,
+                merge_runs: r.u64()?,
             }),
             RE_LIST => {
                 let k = r.u32()?;
@@ -710,6 +735,10 @@ mod tests {
             pending_inserts: 3,
             pending_deletions: 1,
             queries: u64::MAX,
+            signature_bytes: 160,
+            filter_hits: 7,
+            signature_hits: 5,
+            merge_runs: 2,
         }));
         roundtrip_resp(Response::List(vec![
             NamespaceInfo {

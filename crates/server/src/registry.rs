@@ -82,6 +82,24 @@ impl From<GraphError> for ServeError {
 struct FrozenNs {
     oracle: Oracle,
     queries: AtomicU64,
+    /// Per-stage death counters ("where do my queries die"): decided
+    /// by the pre-filter stack / rejected by the signature `AND` / ran
+    /// the intersection kernel. Batches fold a whole
+    /// [`hoplite_core::QueryTally`] in at once, so the hot path pays
+    /// three relaxed adds per *batch*, not per query.
+    filter_hits: AtomicU64,
+    signature_hits: AtomicU64,
+    merge_runs: AtomicU64,
+}
+
+impl FrozenNs {
+    fn record(&self, tally: &hoplite_core::QueryTally) {
+        self.filter_hits
+            .fetch_add(tally.filter_decided, Ordering::Relaxed);
+        self.signature_hits
+            .fetch_add(tally.signature_cut, Ordering::Relaxed);
+        self.merge_runs.fetch_add(tally.merged, Ordering::Relaxed);
+    }
 }
 
 struct DynamicNs {
@@ -144,7 +162,10 @@ impl NamespaceHandle {
                 self.check(u, n)?;
                 self.check(v, n)?;
                 ns.queries.fetch_add(1, Ordering::Relaxed);
-                Ok(ns.oracle.reaches(u, v))
+                let mut tally = hoplite_core::QueryTally::default();
+                let answer = ns.oracle.reaches_tallied(u, v, &mut tally);
+                ns.record(&tally);
+                Ok(answer)
             }
             Inner::Dynamic(ns) => {
                 let oracle = lock_unpoisoned(&ns.oracle);
@@ -175,7 +196,9 @@ impl NamespaceHandle {
                     self.check(v, n)?;
                 }
                 ns.queries.fetch_add(pairs.len() as u64, Ordering::Relaxed);
-                Ok(ns.oracle.reaches_batch(pairs, threads))
+                let (answers, tally) = ns.oracle.reaches_batch_tallied(pairs, threads);
+                ns.record(&tally);
+                Ok(answers)
             }
             Inner::Dynamic(ns) => {
                 let oracle = lock_unpoisoned(&ns.oracle);
@@ -228,6 +251,10 @@ impl NamespaceHandle {
                 pending_inserts: 0,
                 pending_deletions: 0,
                 queries: ns.queries.load(Ordering::Relaxed),
+                signature_bytes: ns.oracle.inner().labeling().signature_bytes(),
+                filter_hits: ns.filter_hits.load(Ordering::Relaxed),
+                signature_hits: ns.signature_hits.load(Ordering::Relaxed),
+                merge_runs: ns.merge_runs.load(Ordering::Relaxed),
             },
             Inner::Dynamic(ns) => {
                 let oracle = lock_unpoisoned(&ns.oracle);
@@ -238,6 +265,12 @@ impl NamespaceHandle {
                     pending_inserts: oracle.pending_edges() as u64,
                     pending_deletions: oracle.pending_deletions() as u64,
                     queries: ns.queries.load(Ordering::Relaxed),
+                    // The dynamic query path answers through its
+                    // overlay, not the frozen signature/merge kernels.
+                    signature_bytes: 0,
+                    filter_hits: 0,
+                    signature_hits: 0,
+                    merge_runs: 0,
                 }
             }
         }
@@ -305,6 +338,9 @@ impl Registry {
                 inner: Inner::Frozen(Arc::new(FrozenNs {
                     oracle,
                     queries: AtomicU64::new(0),
+                    filter_hits: AtomicU64::new(0),
+                    signature_hits: AtomicU64::new(0),
+                    merge_runs: AtomicU64::new(0),
                 })),
             },
         )
@@ -487,5 +523,26 @@ mod tests {
         ns.reach(0, 1).unwrap();
         ns.reach_batch(&[(0, 1), (1, 2), (2, 3)], 1).unwrap();
         assert_eq!(ns.stats().queries, 4);
+    }
+
+    #[test]
+    fn stats_stage_counters_account_every_frozen_query() {
+        let registry = frozen_fixture();
+        let ns = registry.get("g").unwrap();
+        let pairs: Vec<(u32, u32)> = (0..5).flat_map(|u| (0..5).map(move |v| (u, v))).collect();
+        ns.reach_batch(&pairs, 2).unwrap();
+        ns.reach(4, 0).unwrap();
+        let stats = ns.stats();
+        assert_eq!(stats.queries, 26);
+        assert_eq!(
+            stats.filter_hits + stats.signature_hits + stats.merge_runs,
+            26,
+            "every query must die in exactly one stage: {stats:?}"
+        );
+        assert!(stats.filter_hits > 0, "{stats:?}");
+        assert!(
+            stats.signature_bytes > 0,
+            "frozen namespaces report signature bytes"
+        );
     }
 }

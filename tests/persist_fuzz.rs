@@ -21,12 +21,19 @@ fn serialized_fixture() -> (Dag, Vec<u8>) {
 #[test]
 fn truncation_at_every_prefix_is_rejected() {
     let (_, buf) = serialized_fixture();
-    // Every strict prefix must fail cleanly: the format carries both a
-    // header and length-prefixed sections, so no prefix can be a valid
-    // complete file.
+    // The trailing signature section is optional by design (legacy
+    // PR 3-era files end right before it), so exactly one strict
+    // prefix is a complete valid file: the one that removes the whole
+    // section. Every other prefix must fail cleanly.
+    let sig_section = 4 + 4 + 8 + 16 * 40; // magic + shift + count + 2×40 u64
+    let legacy_cut = buf.len() - sig_section;
     for cut in 0..buf.len() {
         let r = DistributionLabeling::load(Cursor::new(&buf[..cut]));
-        assert!(r.is_err(), "prefix of {cut} bytes unexpectedly loaded");
+        if cut == legacy_cut {
+            assert!(r.is_ok(), "the legacy (pre-signature) prefix must load");
+        } else {
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly loaded");
+        }
     }
 }
 

@@ -51,6 +51,37 @@ fn arb_digraph(max_n: u32, max_m: usize) -> impl Strategy<Value = DiGraph> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// The signature-accelerated hot path (`Oracle::reaches`), the
+    /// filter-free label path (`reaches_unfiltered`, signatures on),
+    /// the signature-free kernel (`Labeling::query_unsigned`), the
+    /// tallied batch path, and BFS ground truth all agree on random
+    /// *cyclic* digraphs — the signature layer may only reject pairs
+    /// whose lists are truly disjoint.
+    #[test]
+    fn signature_query_paths_match_bfs_on_cyclic_digraphs(g in arb_digraph(30, 140)) {
+        let oracle = hoplite::Oracle::new(&g);
+        let comp_of = &oracle.condensation().comp_of;
+        let labeling = oracle.inner().labeling();
+        let n = g.num_vertices() as u32;
+        let mut scratch = traversal::TraversalScratch::new(g.num_vertices());
+        let mut pairs = Vec::with_capacity((n * n) as usize);
+        let mut truth = Vec::with_capacity((n * n) as usize);
+        for u in 0..n {
+            for v in 0..n {
+                let t = traversal::reaches_with(&g, u, v, &mut scratch);
+                prop_assert_eq!(oracle.reaches(u, v), t, "filtered ({},{})", u, v);
+                prop_assert_eq!(oracle.reaches_unfiltered(u, v), t, "unfiltered ({},{})", u, v);
+                let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+                prop_assert_eq!(labeling.query_unsigned(cu, cv), t, "unsigned ({},{})", u, v);
+                pairs.push((u, v));
+                truth.push(t);
+            }
+        }
+        let (answers, tally) = oracle.reaches_batch_tallied(&pairs, 3);
+        prop_assert_eq!(answers, truth, "tallied batch");
+        prop_assert_eq!(tally.total(), pairs.len() as u64);
+    }
+
     /// The flagship invariant: both of the paper's oracles agree with
     /// ground truth on every pair of every random DAG.
     #[test]
