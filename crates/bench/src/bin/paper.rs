@@ -199,6 +199,16 @@ fn perf_cmd(args: &[String]) {
             f.filter_hit_rate * 100.0
         );
     }
+    eprintln!(
+        "# perf[cold]: open {:.2} ms owned (v1) -> {:.2} ms mapped (v3), {:.1}x \
+         ({:.2} ms unverified; files {} / {} bytes)",
+        report.cold_start.owned_open_ms,
+        report.cold_start.mapped_open_ms,
+        report.cold_start.speedup(),
+        report.cold_start.mapped_unverified_open_ms,
+        report.cold_start.v1_file_bytes,
+        report.cold_start.v3_file_bytes,
+    );
     if check {
         if let Err(msg) = report.check() {
             eprintln!("perf check FAILED: {msg}");

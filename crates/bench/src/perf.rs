@@ -30,13 +30,14 @@
 //!
 //! In full (non-`--quick`) mode the report carries a `vs_prev` block
 //! comparing the headline numbers against the committed
-//! `BENCH_3.json` (same 48k/192k random-DAG workload, same seed).
+//! `BENCH_4.json` (same 48k/192k random-DAG workload, same seed).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use hoplite_core::{
-    DistributionLabeling, DlConfig, FilterVerdict, Oracle, Parallelism, Pruning, QueryTally,
+    DistributionLabeling, DlConfig, FilterVerdict, OpenOptions, Oracle, Parallelism, Pruning,
+    QueryTally,
 };
 use hoplite_graph::{gen, Dag};
 
@@ -45,12 +46,12 @@ const TIMED_WIDTHS: [usize; 2] = [2, 4];
 /// Widths whose output is verified byte-identical to the seed engine.
 const IDENTITY_WIDTHS: [usize; 5] = [1, 2, 3, 4, 8];
 
-/// Headline numbers of the committed `BENCH_3.json` (48k/192k
+/// Headline numbers of the committed `BENCH_4.json` (48k/192k
 /// random-DAG workload, seed 7, full mode) — the `vs_prev` baseline.
-const PREV_BENCH: &str = "BENCH_3.json";
-const PREV_FILTERED_QPS: f64 = 9_516_928.0;
-const PREV_UNFILTERED_QPS: f64 = 5_632_858.0;
-const PREV_BUILD_AUTO_MS: f64 = 262.35;
+const PREV_BENCH: &str = "BENCH_4.json";
+const PREV_FILTERED_QPS: f64 = 12_198_740.0;
+const PREV_UNFILTERED_QPS: f64 = 10_437_031.0;
+const PREV_BUILD_AUTO_MS: f64 = 249.50;
 
 /// Options for [`run_perf`], parsed by the `paper` binary.
 #[derive(Clone, Debug)]
@@ -92,6 +93,33 @@ impl EngineTimings {
             .iter()
             .map(|&(_, ms)| ms)
             .fold(self.seed_merge_ms.min(self.bitmap_seq_ms), f64::min)
+    }
+}
+
+/// Cold-start measurements on the headline index: save → drop → open,
+/// HOPL v1 owned deserialize vs HOPL v3 mapped arena.
+#[derive(Clone, Debug)]
+pub struct ColdStart {
+    /// HOPL v1 file size in bytes.
+    pub v1_file_bytes: u64,
+    /// HOPL v3 arena size in bytes.
+    pub v3_file_bytes: u64,
+    /// `Oracle::open` on the v1 file: full streaming deserialize plus
+    /// filter/signature recomputation (the pre-v3 replica cold start).
+    pub owned_open_ms: f64,
+    /// `Oracle::open` on the v3 arena: mmap + table validation +
+    /// checksum pass, no per-element deserialize, no recomputation.
+    pub mapped_open_ms: f64,
+    /// Mapped open with `verify: false` — the strictly O(header)
+    /// path, for reference.
+    pub mapped_unverified_open_ms: f64,
+}
+
+impl ColdStart {
+    /// `owned_open_ms / mapped_open_ms` — the cold-start win `--check`
+    /// holds the arena format to (≥ 10× on the full run).
+    pub fn speedup(&self) -> f64 {
+        self.owned_open_ms / self.mapped_open_ms.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -158,6 +186,8 @@ pub struct PerfReport {
     pub verdict_counts: Vec<(FilterVerdict, usize)>,
     /// The additional graph families (`deep_chain`, `kronecker`).
     pub families: Vec<FamilyReport>,
+    /// Cold-start stage on the headline index (owned vs mapped open).
+    pub cold_start: ColdStart,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -257,6 +287,77 @@ fn run_family(
     (report, oracle, pairs)
 }
 
+/// The cold-start stage: persist the built index in both formats,
+/// drop every in-memory structure, and time `Oracle::open` on each —
+/// v1 pays the full owned deserialize plus filter/signature
+/// recomputation, v3 maps the arena. Answers of both reopened oracles
+/// are cross-checked against the builder's before any number is
+/// reported; the temp files are removed either way.
+fn run_cold_start(oracle: &Oracle, pairs: &[(u32, u32)], rounds: usize, seed: u64) -> ColdStart {
+    // The stamp carries a process-wide counter besides pid + seed:
+    // parallel tests in one process call this with the same seed and
+    // must not race on the same temp files.
+    static CALL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let call = CALL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    let stamp = format!("hoplite-perf-{}-{seed}-{call}", std::process::id());
+    let v1_path = dir.join(format!("{stamp}.hopl"));
+    let v3_path = dir.join(format!("{stamp}.hopl3"));
+    let mut v1 = Vec::new();
+    oracle.save(&mut v1).expect("serialize v1");
+    let mut v3 = Vec::new();
+    oracle.save_arena(&mut v3).expect("serialize v3");
+    std::fs::write(&v1_path, &v1).expect("write v1 index");
+    std::fs::write(&v3_path, &v3).expect("write v3 arena");
+    let (v1_file_bytes, v3_file_bytes) = (v1.len() as u64, v3.len() as u64);
+    drop((v1, v3));
+
+    // Opens are fast; extra rounds cost little and steady the ratio
+    // the --check gate depends on.
+    let opens = rounds.max(3);
+    eprintln!("# perf[cold]: timing owned (v1) vs mapped (v3) open ...");
+    let (owned, owned_open_ms) = best_ms(opens, || Oracle::open(&v1_path).expect("owned open"));
+    let (mapped, mapped_open_ms) = best_ms(opens, || Oracle::open(&v3_path).expect("mapped open"));
+    let (unverified, mapped_unverified_open_ms) = best_ms(opens, || {
+        Oracle::open_with(
+            &v3_path,
+            &OpenOptions {
+                verify: false,
+                ..OpenOptions::default()
+            },
+        )
+        .expect("unverified mapped open")
+    });
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&v3_path).ok();
+
+    let probe = &pairs[..pairs.len().min(20_000)];
+    let want = oracle.reaches_batch(probe, 1);
+    assert_eq!(
+        owned.reaches_batch(probe, 1),
+        want,
+        "owned-open answers diverged from the built index"
+    );
+    assert_eq!(
+        mapped.reaches_batch(probe, 1),
+        want,
+        "mapped-open answers diverged from the built index"
+    );
+    assert_eq!(
+        unverified.reaches_batch(probe, 1),
+        want,
+        "unverified-open answers diverged from the built index"
+    );
+
+    ColdStart {
+        v1_file_bytes,
+        v3_file_bytes,
+        owned_open_ms,
+        mapped_open_ms,
+        mapped_unverified_open_ms,
+    }
+}
+
 /// Builds the workloads, measures every engine and both query paths,
 /// and cross-checks equivalence along the way.
 ///
@@ -265,7 +366,7 @@ fn run_family(
 /// answers — a perf report for a wrong oracle is worthless.
 pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     // The headline workload: Erdős–Rényi at bench scale (same shape
-    // and seed as BENCH_3, so vs_prev compares like with like). The
+    // and seed as BENCH_4, so vs_prev compares like with like). The
     // quick variant keeps CI in seconds while exercising the identical
     // code paths.
     let (n, m, queries, rounds) = if opts.quick {
@@ -380,6 +481,9 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         run_family("kronecker", &kron, queries, rounds, threads, opts.seed).0,
     ];
 
+    // --- Cold start: save → drop → open, owned vs mapped. -----------
+    let cold_start = run_cold_start(&oracle, &pairs, rounds, opts.seed);
+
     PerfReport {
         quick: opts.quick,
         seed: opts.seed,
@@ -392,6 +496,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         identity_widths,
         verdict_counts,
         families,
+        cold_start,
     }
 }
 
@@ -439,6 +544,19 @@ impl PerfReport {
                 ));
             }
         }
+        // The arena's reason to exist: on the full run, a mapped open
+        // must beat the owned deserialize by an order of magnitude.
+        // (Quick mode's index is small enough that constant costs blur
+        // the ratio, so the gate binds on full runs only.)
+        if !self.quick && self.cold_start.speedup() < 10.0 {
+            return Err(format!(
+                "mapped open is only {:.1}x faster than owned deserialize \
+                 ({:.2} ms vs {:.2} ms); the v3 arena promises >= 10x",
+                self.cold_start.speedup(),
+                self.cold_start.mapped_open_ms,
+                self.cold_start.owned_open_ms
+            ));
+        }
         Ok(())
     }
 
@@ -482,7 +600,7 @@ impl PerfReport {
         )
     }
 
-    /// The machine-readable report (`BENCH_4.json`, schema 2).
+    /// The machine-readable report (`BENCH_5.json`, schema 3).
     pub fn to_json(&self) -> String {
         let verdicts = self
             .verdict_counts
@@ -509,7 +627,7 @@ impl PerfReport {
             .map(|f| Self::family_json(f, "    "))
             .collect::<Vec<_>>()
             .join(",\n");
-        // vs_prev only makes sense against BENCH_3's full-mode run.
+        // vs_prev only makes sense against BENCH_4's full-mode run.
         let vs_prev = if self.quick {
             "null".to_string()
         } else {
@@ -531,7 +649,7 @@ impl PerfReport {
         format!(
             r#"{{
   "bench": "perf",
-  "schema": 2,
+  "schema": 3,
   "quick": {quick},
   "seed": {seed},
   "host_cores": {host_cores},
@@ -575,6 +693,14 @@ impl PerfReport {
   "families": [
 {families}
   ],
+  "cold_start": {{
+    "v1_file_bytes": {v1_bytes},
+    "v3_file_bytes": {v3_bytes},
+    "owned_open_ms": {owned_open:.3},
+    "mapped_open_ms": {mapped_open:.3},
+    "mapped_unverified_open_ms": {mapped_unverified:.3},
+    "mapped_vs_owned_speedup": {cold_speedup:.2}
+  }},
   "vs_prev": {vs_prev}
 }}"#,
             quick = self.quick,
@@ -601,6 +727,12 @@ impl PerfReport {
             signature_cut = self.main.tally.signature_cut,
             merged = self.main.tally.merged,
             hit_rate = self.main.filter_hit_rate,
+            v1_bytes = self.cold_start.v1_file_bytes,
+            v3_bytes = self.cold_start.v3_file_bytes,
+            owned_open = self.cold_start.owned_open_ms,
+            mapped_open = self.cold_start.mapped_open_ms,
+            mapped_unverified = self.cold_start.mapped_unverified_open_ms,
+            cold_speedup = self.cold_start.speedup(),
         )
     }
 }
@@ -613,6 +745,9 @@ mod tests {
     fn tiny_report_is_consistent_and_serializes() {
         let report = run_perf_tiny_for_tests();
         assert_eq!(report.verdict_counts.len(), FilterVerdict::ALL.len());
+        assert!(report.cold_start.owned_open_ms > 0.0);
+        assert!(report.cold_start.mapped_open_ms > 0.0);
+        assert!(report.cold_start.v3_file_bytes % 64 == 0);
         assert_eq!(report.main.tally.total(), report.main.queries as u64);
         for f in &report.families {
             assert_eq!(f.tally.total(), f.queries as u64, "{}", f.kind);
@@ -628,6 +763,10 @@ mod tests {
             "\"kronecker\"",
             "\"vs_prev\"",
             "\"hit_rate\"",
+            "\"cold_start\"",
+            "\"owned_open_ms\"",
+            "\"mapped_open_ms\"",
+            "\"mapped_vs_owned_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -657,6 +796,7 @@ mod tests {
         let chain = gen::deep_chain_dag(300, 6, 40, 5);
         let kron = gen::kronecker_dag(8, 700, 5);
         let (main, oracle, pairs) = run_family("random_dag", &dag, 5_000, 1, 2, 5);
+        let cold_start = run_cold_start(&oracle, &pairs, 1, 5);
         let families = vec![
             run_family("deep_chain", &chain, 5_000, 1, 2, 5).0,
             run_family("kronecker", &kron, 5_000, 1, 2, 5).0,
@@ -686,6 +826,7 @@ mod tests {
                 .map(|&v| (v, counts.get(&v).copied().unwrap_or(0)))
                 .collect(),
             families,
+            cold_start,
         }
     }
 }

@@ -71,6 +71,7 @@ use hoplite_graph::{Dag, DiGraph, VertexId};
 use crate::label::{sorted_intersect, Labeling, LabelingBuilder};
 use crate::oracle::ReachIndex;
 use crate::order::OrderKind;
+use crate::store::Store;
 
 /// Below this vertex count [`Parallelism::Auto`] stays sequential: the
 /// per-hop coordination costs more than tiny BFSs save.
@@ -196,8 +197,9 @@ impl RankSet {
 #[derive(Clone, Debug)]
 pub struct DistributionLabeling {
     labeling: Labeling,
-    /// `order[r]` = vertex processed at rank `r`.
-    order: Vec<VertexId>,
+    /// `order[r]` = vertex processed at rank `r`. A [`Store`] so a
+    /// HOPL v3 open addresses the persisted table in place.
+    order: Store<u32>,
 }
 
 impl DistributionLabeling {
@@ -259,7 +261,7 @@ impl DistributionLabeling {
         };
         DistributionLabeling {
             labeling: b.finish(),
-            order,
+            order: order.into(),
         }
     }
 
@@ -269,9 +271,21 @@ impl DistributionLabeling {
     }
 
     /// Reassembles an oracle from persisted parts (see
-    /// [`crate::persist`]).
-    pub(crate) fn from_parts(labeling: Labeling, order: Vec<VertexId>) -> Self {
-        DistributionLabeling { labeling, order }
+    /// [`crate::persist`]). The order table may be owned (v1 streaming
+    /// load) or a mapped arena window (v3 open).
+    pub(crate) fn from_parts(labeling: Labeling, order: impl Into<Store<u32>>) -> Self {
+        DistributionLabeling {
+            labeling,
+            order: order.into(),
+        }
+    }
+
+    /// True byte footprint (labels + signatures + the order table),
+    /// split by backing.
+    pub fn memory(&self) -> crate::store::MemorySplit {
+        let mut m = self.labeling.memory();
+        m.add(crate::store::MemorySplit::of(&self.order));
+        m
     }
 
     /// The vertex that was assigned rank `r` (hop id `r` in the labels).
@@ -862,6 +876,12 @@ impl ReachIndex for DistributionLabeling {
     fn size_in_integers(&self) -> u64 {
         // Labels + offsets + the rank→vertex table.
         self.labeling.size_in_integers() + self.order.len() as u64
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        // The default 4·size_in_integers() misses the 16 B/vertex
+        // signature arrays; report the real footprint.
+        self.memory().total()
     }
 }
 

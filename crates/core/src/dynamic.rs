@@ -115,6 +115,20 @@ impl DynamicOracle {
         self.dl.labeling().total_entries()
     }
 
+    /// True byte footprint: the labeled snapshot (labels, signatures,
+    /// rank order), the DAG, and the mutation overlay. All heap — a
+    /// dynamic oracle owns every array it mutates.
+    pub fn memory(&self) -> crate::store::MemorySplit {
+        let mut m = self.dl.memory();
+        m.add(crate::store::MemorySplit {
+            heap_bytes: self.dag.graph().memory_bytes() as u64
+                + ((self.delta.capacity() + self.deleted.capacity())
+                    * std::mem::size_of::<(VertexId, VertexId)>()) as u64,
+            mapped_bytes: 0,
+        });
+        m
+    }
+
     /// Inserts the edge `u → v`.
     ///
     /// Returns [`GraphError::Cycle`] (and leaves the oracle unchanged)

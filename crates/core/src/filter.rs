@@ -41,6 +41,8 @@
 
 use hoplite_graph::{Dag, VertexId};
 
+use crate::store::{MemorySplit, Store, StoreBackend};
+
 /// Which pre-filter layer decided a query, if any.
 ///
 /// Used by the perf harness to report per-layer hit rates; the hot
@@ -109,7 +111,7 @@ const FLAG_SOURCE: u32 = 2;
 /// filter stage.
 #[derive(Clone, Copy, Debug)]
 #[repr(C)]
-struct FilterRecord {
+pub(crate) struct FilterRecord {
     /// Longest-path level.
     level: u32,
     /// DFS preorder number (forest 1). Unique per vertex, so equal
@@ -129,6 +131,17 @@ struct FilterRecord {
     /// [`FLAG_SINK`] | [`FLAG_SOURCE`].
     flags: u32,
 }
+
+/// Byte size of one [`FilterRecord`] — eight `u32` fields, no padding.
+/// This is the unit the HOPL v3 `FILTREC` arena section is measured
+/// in; the const assertion below keeps the wire contract honest.
+pub(crate) const FILTER_RECORD_BYTES: usize = 32;
+const _: () = assert!(std::mem::size_of::<FilterRecord>() == FILTER_RECORD_BYTES);
+const _: () = assert!(std::mem::align_of::<FilterRecord>() == 4);
+
+// SAFETY: `FilterRecord` is `repr(C)`, all fields are `u32` (no
+// padding, no invalid bit patterns, no pointers).
+unsafe impl crate::store::Pod for FilterRecord {}
 
 /// One deterministic iterative DFS over the forest rooted at the
 /// in-degree-zero vertices, returning `(pre, pre_end, post)`.
@@ -224,7 +237,7 @@ fn min_reachable_post(dag: &Dag, post: &[u32]) -> Vec<u32> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct QueryFilters {
-    recs: Vec<FilterRecord>,
+    recs: Store<FilterRecord>,
 }
 
 impl QueryFilters {
@@ -259,9 +272,40 @@ impl QueryFilters {
                 flags: (g.out_degree(v as VertexId) == 0) as u32 * FLAG_SINK
                     + (g.in_degree(v as VertexId) == 0) as u32 * FLAG_SOURCE,
             })
-            .collect();
+            .collect::<Vec<_>>();
 
+        QueryFilters { recs: recs.into() }
+    }
+
+    /// Wraps a store of records directly — the HOPL v3 arena path. The
+    /// 32-byte filter records are persisted verbatim, so a mapped open
+    /// performs **no** filter recomputation (the expensive-to-derive /
+    /// cheap-to-store trade O'Reach points out).
+    pub(crate) fn from_store(recs: Store<FilterRecord>) -> QueryFilters {
         QueryFilters { recs }
+    }
+
+    /// The records as raw little-endian bytes — the persistence
+    /// layer's view (written verbatim as the v3 `FILTREC` section).
+    pub(crate) fn record_bytes(&self) -> &[u8] {
+        // SAFETY: `FilterRecord` is Pod (`repr(C)`, padding-free), so
+        // viewing the slice as bytes is always defined.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.recs.as_ptr() as *const u8,
+                self.recs.len() * FILTER_RECORD_BYTES,
+            )
+        }
+    }
+
+    /// True byte footprint of the filter stage, split by backing.
+    pub fn memory(&self) -> MemorySplit {
+        MemorySplit::of(&self.recs)
+    }
+
+    /// [`StoreBackend::Mapped`] iff the records live in a shared arena.
+    pub fn backend(&self) -> StoreBackend {
+        self.recs.backend()
     }
 
     /// Re-indexes the filter set from condensation-component space into
@@ -276,7 +320,11 @@ impl QueryFilters {
     /// for DAG-space callers.
     pub fn project(&self, comp_of: &[VertexId]) -> QueryFilters {
         QueryFilters {
-            recs: comp_of.iter().map(|&c| self.recs[c as usize]).collect(),
+            recs: comp_of
+                .iter()
+                .map(|&c| self.recs[c as usize])
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 

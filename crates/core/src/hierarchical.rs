@@ -269,6 +269,12 @@ impl ReachIndex for HierarchicalLabeling {
     fn size_in_integers(&self) -> u64 {
         self.labeling.size_in_integers()
     }
+
+    fn memory_bytes(&self) -> u64 {
+        // Include the 16 B/vertex signature arrays the default
+        // 4·size_in_integers() knows nothing about.
+        self.labeling.memory().total()
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 use hoplite_graph::VertexId;
 
 use crate::stats::LabelStats;
+use crate::store::{MemorySplit, Store, StoreBackend};
 
 /// Lists whose length ratio is at least this gallop instead of merging
 /// (`O(s·log(L/s))` beats `O(s + L)` only on real skew).
@@ -202,16 +203,20 @@ pub enum LabelPath {
 /// signature per vertex per side (see the module docs); signatures are
 /// derived from the lists on construction and re-derived when a
 /// persisted index predates the signature section.
+/// Every array lives in a [`Store`]: owned `Vec`s when built in
+/// process or loaded through the HOPL v1 streaming reader, typed
+/// windows into one shared arena when opened from a HOPL v3 file (see
+/// [`crate::store`]). The accessors below cannot tell the difference.
 #[derive(Clone, Debug)]
 pub struct Labeling {
-    out_offsets: Vec<u32>,
-    out_hops: Vec<u32>,
-    in_offsets: Vec<u32>,
-    in_hops: Vec<u32>,
+    out_offsets: Store<u32>,
+    out_hops: Store<u32>,
+    in_offsets: Store<u32>,
+    in_hops: Store<u32>,
     /// `out_sigs[v]` summarizes `L_out(v)`: bit `i` ⇔ some hop id in
     /// band `i` (band = `id >> sig_shift`).
-    out_sigs: Vec<u64>,
-    in_sigs: Vec<u64>,
+    out_sigs: Store<u64>,
+    in_sigs: Store<u64>,
     /// Right-shift mapping a hop id to its band `0..64`; chosen so the
     /// largest hop id lands in band ≤ 63.
     sig_shift: u32,
@@ -298,9 +303,28 @@ impl Labeling {
         self.sig_shift
     }
 
-    /// Heap footprint of the signature arrays in bytes (16 per vertex).
+    /// Footprint of the signature arrays in bytes (16 per vertex),
+    /// whichever backing they live in.
     pub fn signature_bytes(&self) -> u64 {
         ((self.out_sigs.len() + self.in_sigs.len()) * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// True byte footprint of the label store — CSR offsets, hop
+    /// arrays, *and* the signature arrays — split by backing.
+    pub fn memory(&self) -> MemorySplit {
+        let mut m = MemorySplit::default();
+        m.add(MemorySplit::of(&self.out_offsets));
+        m.add(MemorySplit::of(&self.out_hops));
+        m.add(MemorySplit::of(&self.in_offsets));
+        m.add(MemorySplit::of(&self.in_hops));
+        m.add(MemorySplit::of(&self.out_sigs));
+        m.add(MemorySplit::of(&self.in_sigs));
+        m
+    }
+
+    /// [`StoreBackend::Mapped`] iff the arrays live in a shared arena.
+    pub fn backend(&self) -> StoreBackend {
+        self.out_hops.backend()
     }
 
     /// The oracle query: `u` reaches `v` iff the labels intersect.
@@ -394,6 +418,33 @@ impl Labeling {
         };
         let out_sigs = fold(&out_offsets, &out_hops);
         let in_sigs = fold(&in_offsets, &in_hops);
+        Labeling {
+            out_offsets: out_offsets.into(),
+            out_hops: out_hops.into(),
+            in_offsets: in_offsets.into(),
+            in_hops: in_hops.into(),
+            out_sigs: out_sigs.into(),
+            in_sigs: in_sigs.into(),
+            sig_shift,
+        }
+    }
+
+    /// Assembles a labeling directly from stores — the HOPL v3 arena
+    /// path: nothing is copied and nothing is re-derived. The caller
+    /// (the arena reader) must have validated that offsets are
+    /// monotone and that the signatures/shift match the hop lists;
+    /// with a checksummed arena that is the writer's guarantee.
+    pub(crate) fn from_stores_unchecked(
+        out_offsets: Store<u32>,
+        out_hops: Store<u32>,
+        in_offsets: Store<u32>,
+        in_hops: Store<u32>,
+        out_sigs: Store<u64>,
+        in_sigs: Store<u64>,
+        sig_shift: u32,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        debug_assert_eq!(out_offsets.len(), out_sigs.len() + 1);
         Labeling {
             out_offsets,
             out_hops,

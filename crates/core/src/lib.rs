@@ -46,6 +46,7 @@ pub mod order;
 pub mod parallel;
 pub mod persist;
 pub mod stats;
+pub mod store;
 
 pub use backbone::Backbone;
 pub use distribution::{DistributionLabeling, DlConfig, Parallelism, Pruning};
@@ -62,5 +63,6 @@ pub use parallel::{
     par_count_reachable, par_query_batch, par_query_batch_mapped, par_query_batch_mapped_tallied,
     QueryTally, ThroughputReport,
 };
-pub use persist::PersistError;
+pub use persist::{OpenOptions, PersistError};
 pub use stats::LabelStats;
+pub use store::{ArenaBuf, MemorySplit, Store, StoreBackend};

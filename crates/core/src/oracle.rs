@@ -2,11 +2,14 @@
 //! workspace, and the batteries-included [`Oracle`] over arbitrary
 //! (cyclic) digraphs.
 
+use std::sync::OnceLock;
+
 use hoplite_graph::scc::Condensation;
 use hoplite_graph::{Dag, DiGraph, VertexId};
 
 use crate::distribution::{DistributionLabeling, DlConfig};
 use crate::filter::QueryFilters;
+use crate::store::{MemorySplit, Store, StoreBackend};
 
 /// A built reachability index over a fixed DAG.
 ///
@@ -65,15 +68,40 @@ pub trait ReachIndex: Send {
 /// ```
 ///
 /// A built oracle can be shipped to query-serving replicas with
-/// [`Oracle::save`]/[`Oracle::load`] (see [`crate::persist`]) and
-/// served over the network by `hoplite-server`.
+/// [`Oracle::save`]/[`Oracle::load`] (see [`crate::persist`]), opened
+/// zero-copy from a HOPL v3 arena with [`Oracle::open`], and served
+/// over the network by `hoplite-server`.
 #[derive(Clone, Debug)]
 pub struct Oracle {
-    cond: Condensation,
+    /// `comp_of[v]` = condensation component of original vertex `v`.
+    /// A [`Store`] so a mapped open addresses the table in place.
+    comp_of: Store<u32>,
+    /// Original vertices per component.
+    comp_sizes: Store<u32>,
+    /// The condensation DAG (component ids are topological:
+    /// `tail < head` on every edge). Queries never touch it — it
+    /// serves `save`/introspection — so a mapped open leaves it
+    /// unmaterialized and [`Oracle::dag`] builds it on first use from
+    /// `dag_csr`.
+    dag: OnceLock<Dag>,
+    /// The persisted condensation CSR sections backing a lazy
+    /// [`Oracle::dag`]; `None` when `dag` was built eagerly.
+    dag_csr: Option<DagCsr>,
     dl: DistributionLabeling,
-    /// O(1) pre-filters over the condensation DAG; derived state, never
-    /// persisted (see [`crate::persist`]).
+    /// O(1) pre-filters, projected into original-vertex space. Built
+    /// from the DAG on construction and on HOPL v1 loads; addressed
+    /// in place (no recomputation) on HOPL v3 opens.
     filters: QueryFilters,
+}
+
+/// The condensation DAG's four CSR sections as (usually mapped)
+/// stores — the raw material [`Oracle::dag`] materializes lazily.
+#[derive(Clone, Debug)]
+pub(crate) struct DagCsr {
+    pub(crate) out_offsets: Store<u32>,
+    pub(crate) out_targets: Store<u32>,
+    pub(crate) in_offsets: Store<u32>,
+    pub(crate) in_targets: Store<u32>,
 }
 
 impl Oracle {
@@ -100,7 +128,38 @@ impl Oracle {
     pub(crate) fn from_parts(cond: Condensation, dl: DistributionLabeling) -> Self {
         debug_assert_eq!(cond.num_components(), dl.labeling().num_vertices());
         let filters = QueryFilters::build(&cond.dag).project(&cond.comp_of);
-        Oracle { cond, dl, filters }
+        Oracle {
+            comp_of: cond.comp_of.into(),
+            comp_sizes: cond.comp_sizes.into(),
+            dag: OnceLock::from(cond.dag),
+            dag_csr: None,
+            dl,
+            filters,
+        }
+    }
+
+    /// Reassembles an oracle from fully persisted state — the HOPL v3
+    /// arena path: the filter records arrive ready-made (and possibly
+    /// mapped), so nothing is derived here — not even the DAG, which
+    /// materializes from its CSR sections on first [`Oracle::dag`]
+    /// use. The caller has validated the cross-array invariants.
+    pub(crate) fn from_open_parts(
+        comp_of: Store<u32>,
+        comp_sizes: Store<u32>,
+        dag_csr: DagCsr,
+        dl: DistributionLabeling,
+        filters: QueryFilters,
+    ) -> Self {
+        debug_assert_eq!(comp_sizes.len(), dl.labeling().num_vertices());
+        debug_assert_eq!(comp_of.len(), filters.num_vertices());
+        Oracle {
+            comp_of,
+            comp_sizes,
+            dag: OnceLock::new(),
+            dag_csr: Some(dag_csr),
+            dl,
+            filters,
+        }
     }
 
     /// Does `u` reach `v` in the original graph? Reflexive.
@@ -114,7 +173,7 @@ impl Oracle {
         match self.filters.check(u, v) {
             Some(answer) => answer,
             None => {
-                let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
+                let (cu, cv) = (self.comp_of[u as usize], self.comp_of[v as usize]);
                 self.dl.query(cu, cv)
             }
         }
@@ -124,7 +183,7 @@ impl Oracle {
     /// answers straight from the label intersection. Exists for the
     /// perf harness and equivalence tests; the answers are identical.
     pub fn reaches_unfiltered(&self, u: VertexId, v: VertexId) -> bool {
-        let (cu, cv) = (self.cond.comp_of[u as usize], self.cond.comp_of[v as usize]);
+        let (cu, cv) = (self.comp_of[u as usize], self.comp_of[v as usize]);
         cu == cv || self.dl.query(cu, cv)
     }
 
@@ -138,7 +197,7 @@ impl Oracle {
         crate::parallel::par_query_batch_mapped(
             self.dl.labeling(),
             Some(&self.filters),
-            &self.cond.comp_of,
+            &self.comp_of,
             pairs,
             threads,
         )
@@ -157,7 +216,7 @@ impl Oracle {
         crate::parallel::answer_tallied(
             self.dl.labeling(),
             Some(&self.filters),
-            &self.cond.comp_of,
+            &self.comp_of,
             u,
             v,
             tally,
@@ -174,7 +233,7 @@ impl Oracle {
         crate::parallel::par_query_batch_mapped_tallied(
             self.dl.labeling(),
             Some(&self.filters),
-            &self.cond.comp_of,
+            &self.comp_of,
             pairs,
             threads,
         )
@@ -190,7 +249,7 @@ impl Oracle {
         crate::parallel::par_query_batch_mapped(
             self.dl.labeling(),
             None,
-            &self.cond.comp_of,
+            &self.comp_of,
             pairs,
             threads,
         )
@@ -198,12 +257,12 @@ impl Oracle {
 
     /// Number of vertices of the original graph.
     pub fn num_vertices(&self) -> usize {
-        self.cond.comp_of.len()
+        self.comp_of.len()
     }
 
     /// Number of strongly connected components of the input.
     pub fn num_components(&self) -> usize {
-        self.cond.num_components()
+        self.comp_sizes.len()
     }
 
     /// Total hop-label entries of the underlying oracle (the paper's
@@ -212,9 +271,82 @@ impl Oracle {
         self.dl.labeling().total_entries()
     }
 
-    /// The condensation, for callers that need component structure.
-    pub fn condensation(&self) -> &Condensation {
-        &self.cond
+    /// `comp_of[v]` = condensation component of original vertex `v`.
+    pub fn comp_of(&self) -> &[VertexId] {
+        &self.comp_of
+    }
+
+    /// Original vertices per component.
+    pub fn comp_sizes(&self) -> &[u32] {
+        &self.comp_sizes
+    }
+
+    /// The condensation DAG (component ids topological: `tail < head`).
+    ///
+    /// On an [`Oracle::open`]ed index this materializes lazily from
+    /// the persisted CSR sections — queries never pay for it, only
+    /// `save`/introspection callers do, once.
+    ///
+    /// # Panics
+    /// On a mapped oracle, panics if the persisted CSR turns out
+    /// malformed — possible only for a file that passes its checksums
+    /// yet was not produced by [`Oracle::save_arena`] (the arena
+    /// reader's documented trust model; see [`crate::persist`]).
+    pub fn dag(&self) -> &Dag {
+        self.dag.get_or_init(|| {
+            let csr = self
+                .dag_csr
+                .as_ref()
+                .expect("an oracle holds its DAG or the CSR to build it");
+            let g = DiGraph::from_csr(
+                csr.out_offsets.to_vec(),
+                csr.out_targets.to_vec(),
+                csr.in_offsets.to_vec(),
+                csr.in_targets.to_vec(),
+            )
+            .expect("arena condensation CSR is malformed despite valid checksums");
+            for u in 0..g.num_vertices() as VertexId {
+                assert!(
+                    g.out_neighbors(u).first().is_none_or(|&t| t > u),
+                    "arena condensation edge from {u} is not topological"
+                );
+            }
+            Dag::new(g).expect("topological edges are acyclic")
+        })
+    }
+
+    /// True byte footprint of everything the oracle serves from —
+    /// labels, signatures, the rank order, filter records, the
+    /// component tables, and the (always owned) condensation DAG —
+    /// split into heap vs mapped-arena bytes. An index opened with
+    /// [`Oracle::open`] reports almost everything under
+    /// `mapped_bytes`, and those bytes are shared page cache across
+    /// every replica of the same file.
+    pub fn memory(&self) -> MemorySplit {
+        let mut m = self.dl.memory();
+        m.add(self.filters.memory());
+        m.add(MemorySplit::of(&self.comp_of));
+        m.add(MemorySplit::of(&self.comp_sizes));
+        if let Some(dag) = self.dag.get() {
+            m.add(MemorySplit {
+                heap_bytes: dag.graph().memory_bytes() as u64,
+                mapped_bytes: 0,
+            });
+        }
+        if let Some(csr) = &self.dag_csr {
+            m.add(MemorySplit::of(&csr.out_offsets));
+            m.add(MemorySplit::of(&csr.out_targets));
+            m.add(MemorySplit::of(&csr.in_offsets));
+            m.add(MemorySplit::of(&csr.in_targets));
+        }
+        m
+    }
+
+    /// [`StoreBackend::Mapped`] iff the hot arrays live in a shared
+    /// arena (the label store is the tell — every v3 section shares
+    /// one buffer).
+    pub fn backend(&self) -> StoreBackend {
+        self.dl.labeling().backend()
     }
 
     /// The O(1) query pre-filter stack, projected into

@@ -1,11 +1,15 @@
-//! Binary persistence for built oracles.
+//! Binary persistence for built oracles: the HOPL v1 streaming format
+//! and the HOPL v3 zero-copy arena.
 //!
 //! The paper's headline is cheap construction, but a production user
 //! still wants to build once and ship the index to query-serving
 //! replicas — the `hoplite-server` crate is that replica: `hoplited
 //! serve --index NAME=FILE` loads an [`Oracle::save`] payload and
-//! answers it over the wire. The format is a small, versioned
-//! little-endian layout:
+//! answers it over the wire.
+//!
+//! ## HOPL v1 — the streaming format
+//!
+//! The original format is a small, versioned little-endian layout:
 //!
 //! ```text
 //! magic   4 bytes  "HOPL"
@@ -33,11 +37,35 @@
 //! its list — a flipped signature bit would otherwise silently turn
 //! reachable pairs unreachable.
 //!
-//! The [`crate::QueryFilters`] pre-filter stage is **derived state**:
-//! [`Oracle::load`] rebuilds it in `O(n + m)` from the persisted
-//! condensation DAG, so the HOPL format is unchanged by the filter
-//! layer and indexes written before it exist keep loading (and gain
-//! the filters for free).
+//! Under v1 the [`crate::QueryFilters`] pre-filter stage is **derived
+//! state**: [`Oracle::load`] rebuilds it in `O(n + m)` from the
+//! persisted condensation DAG, so the v1 format is unchanged by the
+//! filter layer and indexes written before it exist keep loading (and
+//! gain the filters for free).
+//!
+//! ## HOPL v3 — the zero-copy arena
+//!
+//! v1 deserializes every array into fresh heap `Vec`s and then
+//! *recomputes* signatures (pre-`SIGS` files) and filter records on
+//! each load: a replica of a multi-GB index pays seconds of cold
+//! start and 2× transient memory before its first query. HOPL v3
+//! ([`Oracle::save_arena`] / [`Oracle::open`]) turns the file itself
+//! into the index: a 64-byte header, a checksummed section table, and
+//! raw little-endian arrays at 64-byte-aligned offsets — including
+//! the rank-band signatures **and the 32-byte filter records**, the
+//! state O'Reach observes is cheap to store and expensive to derive.
+//! [`Oracle::open`] maps the file ([`crate::store::ArenaBuf`]),
+//! validates the table, and serves straight out of the mapping: no
+//! array is copied (the condensation DAG, needed only for
+//! re-`save`/introspection, is the one owned exception) and nothing
+//! is recomputed. See [`Oracle::open_with`] for the knobs
+//! ([`OpenOptions`]: mmap vs read, prefault, checksum verification)
+//! and the README for the full section table.
+//!
+//! Version dispatch is automatic everywhere: [`Oracle::open`] and
+//! [`Oracle::load`] both sniff the header version, so v1 files (with
+//! or without the `SIGS` section) keep loading through the owned
+//! path while v3 files take the arena path.
 //!
 //! ```
 //! use hoplite_graph::Dag;
@@ -55,15 +83,19 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 use hoplite_graph::digraph::GraphBuilder;
 use hoplite_graph::scc::Condensation;
 use hoplite_graph::{Dag, VertexId};
 
 use crate::distribution::DistributionLabeling;
+use crate::filter::{QueryFilters, FILTER_RECORD_BYTES};
 use crate::hierarchical::HierarchicalLabeling;
 use crate::label::Labeling;
 use crate::oracle::Oracle;
+use crate::store::{checksum, ArenaBuf, Store};
 
 const MAGIC: &[u8; 4] = b"HOPL";
 const SIG_MAGIC: &[u8; 4] = b"SIGS";
@@ -430,12 +462,11 @@ impl Oracle {
     /// loads so it can answer original-vertex-id queries on an
     /// arbitrary cyclic digraph without rebuilding at startup.
     pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        let cond = self.condensation();
-        write_header(&mut w, KIND_ORACLE, cond.comp_of.len() as u64)?;
-        write_u32_slice(&mut w, &cond.comp_of)?;
-        write_u32_slice(&mut w, &cond.comp_sizes)?;
+        write_header(&mut w, KIND_ORACLE, self.comp_of().len() as u64)?;
+        write_u32_slice(&mut w, self.comp_of())?;
+        write_u32_slice(&mut w, self.comp_sizes())?;
         // Condensation DAG as CSR: offsets then concatenated targets.
-        let g = cond.dag.graph();
+        let g = self.dag().graph();
         let c = g.num_vertices();
         let mut offsets: Vec<u32> = Vec::with_capacity(c + 1);
         let mut targets: Vec<u32> = Vec::with_capacity(g.num_edges());
@@ -450,12 +481,43 @@ impl Oracle {
         write_signature_section(self.inner().labeling(), &mut w)
     }
 
-    /// Deserializes an oracle written by [`Self::save`], validating
-    /// every structural invariant (component mapping in range and
-    /// consistent with the size table, condensation edges strictly
-    /// topological `c1 < c2` — which also proves acyclicity — and the
-    /// labeling checks shared with [`DistributionLabeling::load`]).
+    /// Deserializes an oracle from any HOPL version: v1 payloads
+    /// stream through the owned path below, v3 arenas are read fully
+    /// into an aligned heap buffer and opened in place (an
+    /// [`Oracle::open`] without the mmap — callers holding a file
+    /// should prefer `open`, which maps instead of reading).
     pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        // Sniff magic + version, then hand the bytes back to the
+        // matching reader.
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        if &head[..4] == MAGIC
+            && u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) == ARENA_VERSION
+        {
+            // The header pins (and its checksum authenticates) the
+            // file length, so the whole arena lands in one aligned
+            // allocation — no intermediate Vec, no second copy.
+            let mut header = [0u8; ARENA_HEADER_LEN];
+            header[..8].copy_from_slice(&head);
+            r.read_exact(&mut header[8..])?;
+            let file_len = arena_header_file_len(&header)?;
+            let buf = ArenaBuf::from_prefix_and_reader(&header, file_len, &mut r)?;
+            let mut probe = [0u8; 1];
+            if r.read(&mut probe)? != 0 {
+                return Err(arena_err("trailing bytes after the arena"));
+            }
+            return open_arena(Arc::new(buf), true);
+        }
+        Self::load_v1(std::io::Cursor::new(head).chain(r))
+    }
+
+    /// The HOPL v1 streaming reader behind [`Oracle::load`],
+    /// validating every structural invariant (component mapping in
+    /// range and consistent with the size table, condensation edges
+    /// strictly topological `c1 < c2` — which also proves acyclicity —
+    /// and the labeling checks shared with
+    /// [`DistributionLabeling::load`]).
+    fn load_v1<R: Read>(mut r: R) -> Result<Self, PersistError> {
         let n = read_header(&mut r, KIND_ORACLE)?;
         let comp_of = read_u32_vec(&mut r, n)?;
         if comp_of.len() as u64 != n {
@@ -508,6 +570,516 @@ impl Oracle {
             dl,
         ))
     }
+}
+
+// ---------------------------------------------------------------------
+// HOPL v3: the zero-copy arena
+// ---------------------------------------------------------------------
+
+/// HOPL version of the arena format.
+pub const ARENA_VERSION: u32 = 3;
+/// Fixed arena header length; the section table starts right after.
+const ARENA_HEADER_LEN: usize = 64;
+/// One section-table entry: 8-byte tag + offset + length + checksum.
+const SECTION_ENTRY_LEN: usize = 32;
+/// Alignment of every section offset (and the whole file length).
+const SECTION_ALIGN: usize = crate::store::ARENA_ALIGN;
+/// Ceiling on the section count a reader accepts (14 today; slack for
+/// forward-compatible additions, tight enough that a corrupt count
+/// cannot drive a large allocation).
+const MAX_SECTIONS: u32 = 64;
+
+/// Section tags, in file order. 8 ASCII bytes, NUL-padded.
+const SEC_COMP_OF: &[u8; 8] = b"COMP_OF\0";
+const SEC_COMP_SZ: &[u8; 8] = b"COMP_SZ\0";
+const SEC_DAG_OOF: &[u8; 8] = b"DAG_OOF\0";
+const SEC_DAG_OTG: &[u8; 8] = b"DAG_OTG\0";
+const SEC_DAG_IOF: &[u8; 8] = b"DAG_IOF\0";
+const SEC_DAG_ITG: &[u8; 8] = b"DAG_ITG\0";
+const SEC_ORDER: &[u8; 8] = b"ORDER\0\0\0";
+const SEC_OUT_OFF: &[u8; 8] = b"OUT_OFF\0";
+const SEC_OUT_HOP: &[u8; 8] = b"OUT_HOP\0";
+const SEC_IN_OFF: &[u8; 8] = b"IN_OFF\0\0";
+const SEC_IN_HOP: &[u8; 8] = b"IN_HOP\0\0";
+const SEC_OUT_SIG: &[u8; 8] = b"OUT_SIG\0";
+const SEC_IN_SIG: &[u8; 8] = b"IN_SIG\0\0";
+const SEC_FILTREC: &[u8; 8] = b"FILTREC\0";
+
+fn align_up(x: usize, align: usize) -> usize {
+    x.div_ceil(align) * align
+}
+
+/// One section's payload, borrowed from the live index — sections are
+/// streamed to the writer (and into [`ChecksumStream`]) rather than
+/// materialized, so saving a multi-GB index costs O(1) extra memory.
+enum SectionData<'a> {
+    U32(&'a [u32]),
+    U64(&'a [u64]),
+    Raw(&'a [u8]),
+}
+
+impl SectionData<'_> {
+    fn byte_len(&self) -> usize {
+        match self {
+            SectionData::U32(xs) => xs.len() * 4,
+            SectionData::U64(xs) => xs.len() * 8,
+            SectionData::Raw(b) => b.len(),
+        }
+    }
+
+    /// The section's file bytes, borrowed in place. HOPL v3 is a
+    /// little-endian-only format served by reinterpreting mapped
+    /// bytes, so on LE targets (the only ones [`arena_endianness_ok`]
+    /// admits) the live arrays *are* the encoding — one borrow, zero
+    /// copies. The `Raw` records are byte-identical by the same
+    /// contract.
+    fn le_bytes(&self) -> &[u8] {
+        match self {
+            // SAFETY: Pod element types have no padding and the
+            // slice is live; on LE the byte view is the encoding.
+            SectionData::U32(xs) => unsafe {
+                std::slice::from_raw_parts(xs.as_ptr() as *const u8, xs.len() * 4)
+            },
+            SectionData::U64(xs) => unsafe {
+                std::slice::from_raw_parts(xs.as_ptr() as *const u8, xs.len() * 8)
+            },
+            SectionData::Raw(b) => b,
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum(self.le_bytes())
+    }
+}
+
+/// HOPL v3 serves typed slices straight out of the file bytes, so the
+/// format is little-endian-only end to end — a big-endian host must
+/// use the (byte-at-a-time decoded) v1 format instead of silently
+/// writing or reading byte-swapped arrays.
+fn arena_endianness_ok() -> Result<(), PersistError> {
+    if cfg!(target_endian = "little") {
+        Ok(())
+    } else {
+        Err(arena_err(
+            "HOPL v3 arenas are little-endian-only; use the v1 format on this host",
+        ))
+    }
+}
+
+/// How to open an on-disk index; see [`Oracle::open_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct OpenOptions {
+    /// `mmap` the file (unix) instead of reading it into an aligned
+    /// heap buffer. Mapped opens are O(header) in I/O and share page
+    /// cache across processes; the read fallback still shares one
+    /// buffer across in-process replicas. Default `true`.
+    pub mmap: bool,
+    /// Touch every page of the buffer at open so first queries do not
+    /// page-fault (cold-start latency moved from query time to open
+    /// time). Default `false`.
+    pub prefault: bool,
+    /// Verify the per-section checksums and the cheap structural
+    /// invariants (monotone offsets, in-range component ids) before
+    /// serving. One sequential pass over the file; disable only for
+    /// trusted files where a strictly O(header) open matters.
+    /// Default `true`.
+    pub verify: bool,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            mmap: true,
+            prefault: false,
+            verify: true,
+        }
+    }
+}
+
+impl Oracle {
+    /// Serializes the oracle as a HOPL v3 arena: header, checksummed
+    /// section table, then every array — component tables,
+    /// condensation-DAG CSR (both directions), rank order, label CSRs,
+    /// rank-band signatures, and the 32-byte filter records — as raw
+    /// little-endian bytes at 64-byte-aligned offsets. A file written
+    /// here opens in O(header) via [`Oracle::open`]: nothing needs to
+    /// be re-derived, re-validated element-by-element, or copied.
+    pub fn save_arena<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        arena_endianness_ok().map_err(std::io::Error::other)?;
+        let labeling = self.inner().labeling();
+        let (oo, oh, io_, ih) = labeling.csr_parts();
+        let (osig, isig, sig_shift) = labeling.signature_parts();
+        let (doo, dot, dio, dit) = self.dag().graph().csr_parts();
+        let sections: Vec<(&[u8; 8], SectionData)> = vec![
+            (SEC_COMP_OF, SectionData::U32(self.comp_of())),
+            (SEC_COMP_SZ, SectionData::U32(self.comp_sizes())),
+            (SEC_DAG_OOF, SectionData::U32(doo)),
+            (SEC_DAG_OTG, SectionData::U32(dot)),
+            (SEC_DAG_IOF, SectionData::U32(dio)),
+            (SEC_DAG_ITG, SectionData::U32(dit)),
+            (SEC_ORDER, SectionData::U32(self.inner().order())),
+            (SEC_OUT_OFF, SectionData::U32(oo)),
+            (SEC_OUT_HOP, SectionData::U32(oh)),
+            (SEC_IN_OFF, SectionData::U32(io_)),
+            (SEC_IN_HOP, SectionData::U32(ih)),
+            (SEC_OUT_SIG, SectionData::U64(osig)),
+            (SEC_IN_SIG, SectionData::U64(isig)),
+            (SEC_FILTREC, SectionData::Raw(self.filters().record_bytes())),
+        ];
+
+        // Layout: table right after the header, first section at the
+        // next 64-byte boundary, every later section likewise. The
+        // table pass borrows and checksums each section in place;
+        // nothing is materialized.
+        let table_len = sections.len() * SECTION_ENTRY_LEN;
+        let mut table = Vec::with_capacity(table_len);
+        let mut offset = align_up(ARENA_HEADER_LEN + table_len, SECTION_ALIGN);
+        let mut placed = Vec::with_capacity(sections.len());
+        for (tag, data) in &sections {
+            table.extend_from_slice(*tag);
+            table.extend_from_slice(&(offset as u64).to_le_bytes());
+            table.extend_from_slice(&(data.byte_len() as u64).to_le_bytes());
+            table.extend_from_slice(&data.checksum().to_le_bytes());
+            placed.push(offset);
+            offset = align_up(offset + data.byte_len(), SECTION_ALIGN);
+        }
+        let file_len = offset;
+
+        let mut header = Vec::with_capacity(ARENA_HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&ARENA_VERSION.to_le_bytes());
+        header.push(KIND_ORACLE);
+        header.extend_from_slice(&[0u8; 3]);
+        header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        header.extend_from_slice(&(self.num_vertices() as u64).to_le_bytes());
+        header.extend_from_slice(&(self.num_components() as u64).to_le_bytes());
+        header.extend_from_slice(&sig_shift.to_le_bytes());
+        header.extend_from_slice(&[0u8; 4]);
+        header.extend_from_slice(&(file_len as u64).to_le_bytes());
+        header.extend_from_slice(&checksum(&table).to_le_bytes());
+        debug_assert_eq!(header.len(), 56);
+        let header_sum = checksum(&header);
+        header.extend_from_slice(&header_sum.to_le_bytes());
+
+        w.write_all(&header)?;
+        w.write_all(&table)?;
+        let mut cursor = ARENA_HEADER_LEN + table_len;
+        const ZEROS: [u8; SECTION_ALIGN] = [0u8; SECTION_ALIGN];
+        for ((_, data), at) in sections.iter().zip(&placed) {
+            w.write_all(&ZEROS[..at - cursor])?;
+            w.write_all(data.le_bytes())?;
+            cursor = at + data.byte_len();
+        }
+        w.write_all(&ZEROS[..file_len - cursor])?;
+        // The writer is consumed, so a buffered caller could only
+        // flush in Drop, where errors vanish — surface them here.
+        w.flush()
+    }
+
+    /// Opens an on-disk index with the default [`OpenOptions`]: HOPL
+    /// v3 arenas are mapped (unix `mmap`, aligned read elsewhere) and
+    /// served zero-copy; v1 files fall back to the owned streaming
+    /// path of [`Oracle::load`]. Checksums are verified either way.
+    pub fn open(path: impl AsRef<Path>) -> Result<Oracle, PersistError> {
+        Self::open_with(path, &OpenOptions::default())
+    }
+
+    /// [`Oracle::open`] with explicit backend/prefault/verification
+    /// knobs. The options only affect v3 arenas; v1 files always load
+    /// owned (they have nothing to map).
+    pub fn open_with(path: impl AsRef<Path>, opts: &OpenOptions) -> Result<Oracle, PersistError> {
+        let path = path.as_ref();
+        let mut head = [0u8; 8];
+        {
+            let mut f = std::fs::File::open(path)?;
+            f.read_exact(&mut head)?;
+        }
+        if &head[..4] == MAGIC
+            && u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) == ARENA_VERSION
+        {
+            let buf = if !opts.mmap {
+                ArenaBuf::read_file(path)?
+            } else if opts.verify || opts.prefault {
+                // About to touch every page anyway — batched
+                // page-table population beats faulting one by one.
+                ArenaBuf::map_file_populated(path)?
+            } else {
+                ArenaBuf::map_file(path)?
+            };
+            if opts.prefault {
+                buf.prefault();
+            }
+            open_arena(Arc::new(buf), opts.verify)
+        } else {
+            Self::load_v1(std::io::BufReader::new(std::fs::File::open(path)?))
+        }
+    }
+
+    /// Opens a HOPL v3 arena already in memory (network-shipped
+    /// indexes, tests). The bytes are copied once into an aligned
+    /// buffer; everything else is identical to [`Oracle::open`].
+    pub fn open_arena_bytes(bytes: &[u8]) -> Result<Oracle, PersistError> {
+        open_arena(Arc::new(ArenaBuf::from_bytes(bytes)), true)
+    }
+}
+
+/// One parsed section-table entry.
+struct Section {
+    tag: [u8; 8],
+    offset: usize,
+    len: usize,
+    sum: u64,
+}
+
+fn arena_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+/// Authenticates a standalone 64-byte arena header (checksum) and
+/// returns the file length it pins — what a streaming loader needs to
+/// size its one allocation before the table is even in memory. The
+/// full [`parse_arena_table`] re-validates everything afterwards.
+fn arena_header_file_len(header: &[u8; ARENA_HEADER_LEN]) -> Result<usize, PersistError> {
+    let want = u64::from_le_bytes(header[56..64].try_into().expect("8 bytes"));
+    if checksum(&header[..56]) != want {
+        return Err(arena_err("header checksum mismatch"));
+    }
+    let file_len = u64::from_le_bytes(header[40..48].try_into().expect("8 bytes"));
+    if file_len < ARENA_HEADER_LEN as u64 {
+        return Err(arena_err("arena shorter than its 64-byte header"));
+    }
+    usize::try_from(file_len).map_err(|_| arena_err("arena exceeds the address space"))
+}
+
+/// Parses and validates the arena header + section table — the
+/// O(header) part every open pays: bounds, alignment, ordering,
+/// overlap, and the two table/header checksums.
+fn parse_arena_table(bytes: &[u8]) -> Result<(Vec<Section>, u64, u64, u32), PersistError> {
+    if bytes.len() < ARENA_HEADER_LEN {
+        return Err(arena_err("arena shorter than its 64-byte header"));
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    if &bytes[..4] != MAGIC {
+        return Err(arena_err("bad magic (not a hoplite index)"));
+    }
+    if u32_at(4) != ARENA_VERSION {
+        return Err(arena_err(format!(
+            "not a v{ARENA_VERSION} arena (version {})",
+            u32_at(4)
+        )));
+    }
+    if bytes[8] != KIND_ORACLE {
+        return Err(arena_err(format!(
+            "arena kind {} unsupported (only {KIND_ORACLE} = Oracle)",
+            bytes[8]
+        )));
+    }
+    let header_sum = u64_at(56);
+    if checksum(&bytes[..56]) != header_sum {
+        return Err(arena_err("header checksum mismatch"));
+    }
+    let n = u64_at(16);
+    let c = u64_at(24);
+    if n > u32::MAX as u64 || c > n.max(1) {
+        return Err(arena_err(format!(
+            "implausible vertex/component counts ({n}/{c})"
+        )));
+    }
+    let sig_shift = u32_at(32);
+    let file_len = u64_at(40);
+    if file_len != bytes.len() as u64 {
+        return Err(arena_err(format!(
+            "file length {} disagrees with the header's {file_len} (truncated or padded)",
+            bytes.len()
+        )));
+    }
+    let count = u32_at(12);
+    if count == 0 || count > MAX_SECTIONS {
+        return Err(arena_err(format!("section count {count} out of range")));
+    }
+    let table_end = ARENA_HEADER_LEN + count as usize * SECTION_ENTRY_LEN;
+    if table_end > bytes.len() {
+        return Err(arena_err("section table truncated"));
+    }
+    let table = &bytes[ARENA_HEADER_LEN..table_end];
+    if checksum(table) != u64_at(48) {
+        return Err(arena_err("section table checksum mismatch"));
+    }
+    let mut sections = Vec::with_capacity(count as usize);
+    let mut prev_end = table_end;
+    for entry in table.chunks_exact(SECTION_ENTRY_LEN) {
+        let tag: [u8; 8] = entry[..8].try_into().expect("8 bytes");
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+        let sum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+        if offset % SECTION_ALIGN as u64 != 0 {
+            return Err(arena_err(format!(
+                "section {} offset {offset} not {SECTION_ALIGN}-byte aligned",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        let (Ok(offset), Ok(len)) = (usize::try_from(offset), usize::try_from(len)) else {
+            return Err(arena_err("section beyond the address space"));
+        };
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| {
+                arena_err(format!(
+                    "section {} [{offset}; {len}) exceeds the {}-byte file",
+                    String::from_utf8_lossy(&tag),
+                    bytes.len()
+                ))
+            })?;
+        // Table order is file order; equal starts (two empty sections)
+        // are fine, overlap is not.
+        if offset < prev_end {
+            return Err(arena_err(format!(
+                "section {} overlaps its predecessor",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        prev_end = end;
+        sections.push(Section {
+            tag,
+            offset,
+            len,
+            sum,
+        });
+    }
+    Ok((sections, n, c, sig_shift))
+}
+
+/// Assembles a serving [`Oracle`] from a validated arena buffer.
+///
+/// With `verify` (the default) this makes one sequential pass over the
+/// section bytes to check their checksums plus the cheap structural
+/// invariants the query path indexes by (monotone offsets, in-range
+/// component ids); content invariants below that — sorted hop lists,
+/// signature/list agreement — are the writer's checksummed guarantee
+/// and are *not* re-derived (that recomputation is exactly what v1
+/// loads pay and v3 exists to avoid).
+fn open_arena(buf: Arc<ArenaBuf>, verify: bool) -> Result<Oracle, PersistError> {
+    arena_endianness_ok()?;
+    let bytes = buf.bytes();
+    let (sections, n, c, sig_shift) = parse_arena_table(bytes)?;
+    let (n, c) = (n as usize, c as usize);
+
+    let find = |tag: &[u8; 8]| -> Result<&Section, PersistError> {
+        let mut hits = sections.iter().filter(|s| &s.tag == tag);
+        let first = hits.next().ok_or_else(|| {
+            arena_err(format!(
+                "missing section {}",
+                String::from_utf8_lossy(tag).trim_end_matches('\0')
+            ))
+        })?;
+        if hits.next().is_some() {
+            return Err(arena_err(format!(
+                "duplicate section {}",
+                String::from_utf8_lossy(tag).trim_end_matches('\0')
+            )));
+        }
+        Ok(first)
+    };
+
+    if verify {
+        for s in &sections {
+            if checksum(&bytes[s.offset..s.offset + s.len]) != s.sum {
+                return Err(arena_err(format!(
+                    "section {} checksum mismatch",
+                    String::from_utf8_lossy(&s.tag).trim_end_matches('\0')
+                )));
+            }
+        }
+    }
+
+    /// Typed window with an exact element-count requirement.
+    fn typed<T: crate::store::Pod>(
+        buf: &Arc<ArenaBuf>,
+        s: &Section,
+        want: usize,
+    ) -> Result<Store<T>, PersistError> {
+        let size = std::mem::size_of::<T>();
+        if s.len != want * size {
+            return Err(arena_err(format!(
+                "section {} is {} bytes, expected {} ({want} × {size})",
+                String::from_utf8_lossy(&s.tag).trim_end_matches('\0'),
+                s.len,
+                want * size,
+            )));
+        }
+        Store::mapped(buf, s.offset, want).map_err(arena_err)
+    }
+
+    let comp_of: Store<u32> = typed(&buf, find(SEC_COMP_OF)?, n)?;
+    let comp_sizes: Store<u32> = typed(&buf, find(SEC_COMP_SZ)?, c)?;
+    let order: Store<u32> = typed(&buf, find(SEC_ORDER)?, c)?;
+    let out_offsets: Store<u32> = typed(&buf, find(SEC_OUT_OFF)?, c + 1)?;
+    let in_offsets: Store<u32> = typed(&buf, find(SEC_IN_OFF)?, c + 1)?;
+    let out_sigs: Store<u64> = typed(&buf, find(SEC_OUT_SIG)?, c)?;
+    let in_sigs: Store<u64> = typed(&buf, find(SEC_IN_SIG)?, c)?;
+    let filtrec = typed::<crate::filter::FilterRecord>(&buf, find(SEC_FILTREC)?, n)?;
+
+    // Entry arrays are sized by their offset arrays' final values —
+    // O(1) reads, no length field to disbelieve.
+    let hop_count = |offsets: &Store<u32>, what: &str| -> Result<usize, PersistError> {
+        if offsets.first() != Some(&0) {
+            return Err(arena_err(format!("{what}: offsets[0] != 0")));
+        }
+        Ok(*offsets.last().expect("nonempty") as usize)
+    };
+    let out_hops: Store<u32> = typed(&buf, find(SEC_OUT_HOP)?, hop_count(&out_offsets, "out")?)?;
+    let in_hops: Store<u32> = typed(&buf, find(SEC_IN_HOP)?, hop_count(&in_offsets, "in")?)?;
+
+    // The condensation DAG stays as its four (mapped) CSR sections:
+    // queries never touch it, so [`Oracle::dag`] materializes — and
+    // fully validates, including the transpose relation — on first
+    // `save`/introspection use instead of on the open critical path.
+    // Only the O(1) cross-section size relations are pinned here.
+    let dag_oof: Store<u32> = typed(&buf, find(SEC_DAG_OOF)?, c + 1)?;
+    let dag_iof: Store<u32> = typed(&buf, find(SEC_DAG_IOF)?, c + 1)?;
+    let edge_count = hop_count(&dag_oof, "dag out")?;
+    if hop_count(&dag_iof, "dag in")? != edge_count {
+        return Err(arena_err("dag CSR sides disagree on the edge count"));
+    }
+    let dag_otg: Store<u32> = typed(&buf, find(SEC_DAG_OTG)?, edge_count)?;
+    let dag_itg: Store<u32> = typed(&buf, find(SEC_DAG_ITG)?, edge_count)?;
+    let dag_csr = crate::oracle::DagCsr {
+        out_offsets: dag_oof,
+        out_targets: dag_otg,
+        in_offsets: dag_iof,
+        in_targets: dag_itg,
+    };
+
+    if verify {
+        // The structural invariants the query path indexes by; cheap
+        // relative to the checksum pass that already read these pages.
+        for (what, offsets) in [("out", &out_offsets), ("in", &in_offsets)] {
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(arena_err(format!("{what}: offsets not monotone")));
+            }
+        }
+        if comp_of.iter().any(|&comp| comp as usize >= c) {
+            return Err(arena_err("comp_of entry out of component range"));
+        }
+    }
+
+    let labeling = Labeling::from_stores_unchecked(
+        out_offsets,
+        out_hops,
+        in_offsets,
+        in_hops,
+        out_sigs,
+        in_sigs,
+        sig_shift,
+    );
+    let dl = DistributionLabeling::from_parts(labeling, order);
+    let filters = QueryFilters::from_store(filtrec);
+    debug_assert_eq!(FILTER_RECORD_BYTES, 32);
+    Ok(Oracle::from_open_parts(
+        comp_of, comp_sizes, dag_csr, dl, filters,
+    ))
 }
 
 impl HierarchicalLabeling {
@@ -846,6 +1418,151 @@ mod tests {
         buf[pos..pos + 8].copy_from_slice(&(claimed + 1).to_le_bytes());
         let err = read_labeling(Cursor::new(&buf)).unwrap_err();
         assert!(err.to_string().contains("plausible bound"), "{err}");
+    }
+
+    #[test]
+    fn arena_roundtrip_preserves_queries_and_structure() {
+        let g = random_cyclic_digraph(60, 200, 91);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save_arena(&mut buf).unwrap();
+        assert_eq!(buf.len() % 64, 0, "arena files are 64-byte padded");
+        let o2 = Oracle::open_arena_bytes(&buf).unwrap();
+        // In-memory arenas are heap-backed; the backend split reports
+        // RSS, so only a real file mapping may claim "mapped" (see
+        // `arena_open_from_disk_mapped_and_owned` for that side).
+        assert_eq!(o2.backend(), crate::store::StoreBackend::Heap);
+        assert_eq!(o.num_vertices(), o2.num_vertices());
+        assert_eq!(o.num_components(), o2.num_components());
+        assert_eq!(o.label_entries(), o2.label_entries());
+        assert_eq!(o.comp_of(), o2.comp_of());
+        for u in 0..60u32 {
+            for v in 0..60u32 {
+                assert_eq!(o.reaches(u, v), o2.reaches(u, v), "({u},{v})");
+            }
+        }
+        let pairs: Vec<(u32, u32)> = (0..60).flat_map(|u| (0..60).map(move |v| (u, v))).collect();
+        assert_eq!(o.reaches_batch(&pairs, 3), o2.reaches_batch(&pairs, 3));
+        // Every array is arena-addressed (nothing was deserialized),
+        // and a heap-backed arena accounts them all as heap RSS.
+        let m = o2.memory();
+        assert_eq!(m.mapped_bytes, 0, "{m:?}");
+        assert!(m.heap_bytes > 0, "{m:?}");
+        // A mapped oracle can be re-saved in either format.
+        let mut v1 = Vec::new();
+        o2.save(&mut v1).unwrap();
+        let o3 = Oracle::load(Cursor::new(&v1)).unwrap();
+        let mut v3 = Vec::new();
+        o2.save_arena(&mut v3).unwrap();
+        assert_eq!(v3, buf, "arena re-serialization is byte-identical");
+        assert_eq!(o3.reaches(0, 59), o.reaches(0, 59));
+    }
+
+    #[test]
+    fn oracle_load_dispatches_on_version() {
+        let g = random_cyclic_digraph(25, 80, 92);
+        let o = Oracle::new(&g);
+        let mut v3 = Vec::new();
+        o.save_arena(&mut v3).unwrap();
+        // The generic Read-based loader accepts an arena too.
+        let o2 = Oracle::load(Cursor::new(&v3)).unwrap();
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                assert_eq!(o.reaches(u, v), o2.reaches(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_corruption_is_rejected() {
+        let g = random_cyclic_digraph(30, 90, 93);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save_arena(&mut buf).unwrap();
+
+        // Truncation anywhere (header, table, sections).
+        for keep in [0, 8, 63, 64, 200, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                Oracle::open_arena_bytes(&buf[..keep]).is_err(),
+                "keep={keep}"
+            );
+        }
+        // Flipping any single byte must be caught by one of the
+        // checksums (header, table, or section).
+        for at in [0, 5, 9, 20, 70, 100, 600, buf.len() - 70] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            assert!(Oracle::open_arena_bytes(&bad).is_err(), "byte {at}");
+        }
+        // Misaligned section offset (entry 0's offset at header + 8).
+        let mut bad = buf.clone();
+        bad[64 + 8] = bad[64 + 8].wrapping_add(1);
+        let err = Oracle::open_arena_bytes(&bad).unwrap_err();
+        // Either the table checksum or the alignment check trips —
+        // both are format errors.
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        // Trailing garbage changes the file length the header pinned.
+        let mut bad = buf.clone();
+        bad.extend_from_slice(&[0u8; 64]);
+        let err = Oracle::open_arena_bytes(&bad).unwrap_err();
+        assert!(err.to_string().contains("length"), "{err}");
+    }
+
+    #[test]
+    fn arena_open_from_disk_mapped_and_owned() {
+        let g = random_cyclic_digraph(40, 130, 94);
+        let o = Oracle::new(&g);
+        let path = std::env::temp_dir().join(format!(
+            "hoplite-arena-test-{}-{:p}.hopl",
+            std::process::id(),
+            &o
+        ));
+        let mut bytes = Vec::new();
+        o.save_arena(&mut bytes).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mapped = Oracle::open(&path).unwrap();
+        #[cfg(unix)]
+        {
+            assert_eq!(mapped.backend(), crate::store::StoreBackend::Mapped);
+            let m = mapped.memory();
+            assert!(m.mapped_bytes > m.heap_bytes, "{m:?}");
+        }
+        let owned = Oracle::open_with(
+            &path,
+            &OpenOptions {
+                mmap: false,
+                prefault: true,
+                verify: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(owned.backend(), crate::store::StoreBackend::Heap);
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                assert_eq!(o.reaches(u, v), mapped.reaches(u, v), "mapped ({u},{v})");
+                assert_eq!(o.reaches(u, v), owned.reaches(u, v), "owned ({u},{v})");
+            }
+        }
+        // A v1 file through the same `open` entry point.
+        let mut v1 = Vec::new();
+        o.save(&mut v1).unwrap();
+        std::fs::write(&path, &v1).unwrap();
+        let legacy = Oracle::open(&path).unwrap();
+        assert_eq!(legacy.backend(), crate::store::StoreBackend::Heap);
+        assert_eq!(legacy.reaches(1, 30), o.reaches(1, 30));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_oracle_arena_roundtrips() {
+        let g = hoplite_graph::DiGraph::empty(0);
+        let o = Oracle::new(&g);
+        let mut buf = Vec::new();
+        o.save_arena(&mut buf).unwrap();
+        let o2 = Oracle::open_arena_bytes(&buf).unwrap();
+        assert_eq!(o2.num_vertices(), 0);
+        assert_eq!(o2.num_components(), 0);
     }
 
     #[test]

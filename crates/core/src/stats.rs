@@ -18,6 +18,12 @@ pub struct LabelStats {
     /// Bytes spent on the per-vertex rank-band signatures (16 per
     /// vertex: one `u64` per side).
     pub signature_bytes: u64,
+    /// Process-private heap bytes of the label store (CSR offsets,
+    /// hop arrays, signatures).
+    pub heap_bytes: u64,
+    /// Bytes addressed inside a shared mapped arena (a HOPL v3
+    /// [`crate::Oracle::open`]); 0 for owned labelings.
+    pub mapped_bytes: u64,
 }
 
 impl LabelStats {
@@ -39,6 +45,7 @@ impl LabelStats {
         } else {
             (total_out + total_in) as f64 / n as f64
         };
+        let memory = l.memory();
         LabelStats {
             num_vertices: n,
             total_out,
@@ -46,6 +53,8 @@ impl LabelStats {
             max_label,
             avg_per_vertex,
             signature_bytes: l.signature_bytes(),
+            heap_bytes: memory.heap_bytes,
+            mapped_bytes: memory.mapped_bytes,
         }
     }
 }
@@ -54,13 +63,15 @@ impl std::fmt::Display for LabelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} |Lout|={} |Lin|={} max={} avg/vertex={:.2} sig-bytes={}",
+            "n={} |Lout|={} |Lin|={} max={} avg/vertex={:.2} sig-bytes={} heap-bytes={} mapped-bytes={}",
             self.num_vertices,
             self.total_out,
             self.total_in,
             self.max_label,
             self.avg_per_vertex,
-            self.signature_bytes
+            self.signature_bytes,
+            self.heap_bytes,
+            self.mapped_bytes
         )
     }
 }

@@ -39,6 +39,101 @@ impl DiGraph {
         GraphBuilder::new(n).build()
     }
 
+    /// Reassembles a graph from the four canonical CSR arrays — the
+    /// zero-copy persistence path: a loader that already holds the
+    /// packed arrays (e.g. sections of a mapped index arena) skips the
+    /// edge-list round trip through [`GraphBuilder`] entirely.
+    ///
+    /// Validation is complete: offsets must be monotone and span their
+    /// target arrays, every adjacency list must be strictly ascending
+    /// and in range, and the `in` side must be exactly the transpose
+    /// of the `out` side — so a successful return is indistinguishable
+    /// from [`GraphBuilder::build`]'s output.
+    pub fn from_csr(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<VertexId>,
+        in_offsets: Vec<u32>,
+        in_targets: Vec<VertexId>,
+    ) -> Result<Self> {
+        fn check_side(offsets: &[u32], targets: &[VertexId], n: usize) -> Result<()> {
+            let ok = offsets.len() == n + 1
+                && offsets.first() == Some(&0)
+                && *offsets.last().expect("nonempty") as usize == targets.len()
+                && offsets.windows(2).all(|w| w[0] <= w[1]);
+            if !ok {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    msg: "CSR offsets are not a monotone cover of the target array".into(),
+                });
+            }
+            for w in offsets.windows(2) {
+                let list = &targets[w[0] as usize..w[1] as usize];
+                if list.windows(2).any(|p| p[0] >= p[1])
+                    || list.last().is_some_and(|&t| t as usize >= n)
+                {
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        msg: "CSR adjacency list not strictly ascending in range".into(),
+                    });
+                }
+            }
+            Ok(())
+        }
+        let n = out_offsets.len().saturating_sub(1);
+        check_side(&out_offsets, &out_targets, n)?;
+        check_side(&in_offsets, &in_targets, n)?;
+        // Transpose check: walking the out-edges in (u, v) order must
+        // visit each in-list in exactly its stored order (in-lists of
+        // a canonical CSR are ascending in u).
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for u in 0..n {
+            for &v in &out_targets[out_offsets[u] as usize..out_offsets[u + 1] as usize] {
+                if u as u32 == v {
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        msg: "CSR contains a self-loop".into(),
+                    });
+                }
+                let c = &mut cursor[v as usize];
+                if *c >= in_offsets[v as usize + 1] || in_targets[*c as usize] != u as u32 {
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        msg: "in-CSR is not the transpose of the out-CSR".into(),
+                    });
+                }
+                *c += 1;
+            }
+        }
+        if cursor
+            .iter()
+            .enumerate()
+            .any(|(v, &c)| c != in_offsets[v + 1])
+        {
+            return Err(GraphError::Parse {
+                line: 0,
+                msg: "in-CSR has edges the out-CSR lacks".into(),
+            });
+        }
+        Ok(DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        })
+    }
+
+    /// The four canonical CSR arrays
+    /// `(out_offsets, out_targets, in_offsets, in_targets)` — the
+    /// persistence layer's view, re-loadable via [`DiGraph::from_csr`].
+    pub fn csr_parts(&self) -> (&[u32], &[VertexId], &[u32], &[VertexId]) {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_targets,
+        )
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -325,6 +420,51 @@ mod tests {
         let g = DiGraph::empty(0);
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn from_csr_roundtrips_canonical_graphs() {
+        for g in [
+            diamond(),
+            DiGraph::empty(0),
+            DiGraph::empty(3),
+            DiGraph::from_edges(5, &[(0, 4), (0, 2), (2, 4), (1, 4), (3, 0)]).unwrap(),
+        ] {
+            let (oo, ot, io, it) = g.csr_parts();
+            let rebuilt =
+                DiGraph::from_csr(oo.to_vec(), ot.to_vec(), io.to_vec(), it.to_vec()).unwrap();
+            assert_eq!(rebuilt, g);
+        }
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_input() {
+        let g = diamond();
+        let (oo, ot, io, it) = g.csr_parts();
+        let (oo, ot, io, it) = (oo.to_vec(), ot.to_vec(), io.to_vec(), it.to_vec());
+        // Non-monotone offsets.
+        let mut bad = oo.clone();
+        bad[1] = 3;
+        bad[2] = 1;
+        assert!(DiGraph::from_csr(bad, ot.clone(), io.clone(), it.clone()).is_err());
+        // Target out of range.
+        let mut bad = ot.clone();
+        bad[0] = 9;
+        assert!(DiGraph::from_csr(oo.clone(), bad, io.clone(), it.clone()).is_err());
+        // Unsorted adjacency list.
+        let mut bad = ot.clone();
+        bad.swap(0, 1);
+        assert!(DiGraph::from_csr(oo.clone(), bad, io.clone(), it.clone()).is_err());
+        // In side not the transpose of the out side (vertex 3's
+        // in-list claims predecessor 3 instead of 2).
+        let mut bad = it.clone();
+        *bad.last_mut().unwrap() = 3;
+        assert!(DiGraph::from_csr(oo.clone(), ot.clone(), io.clone(), bad).is_err());
+        // Offsets/targets length mismatch.
+        assert!(DiGraph::from_csr(oo.clone(), ot[..2].to_vec(), io.clone(), it.clone()).is_err());
+        // Self-loop smuggled into both sides consistently.
+        let loops = DiGraph::from_csr(vec![0, 1], vec![0], vec![0, 1], vec![0]);
+        assert!(loops.is_err());
     }
 
     #[test]

@@ -44,7 +44,13 @@ SERVE:
     --batch-threads N      fan-out width for BATCH queries (default: cores, max 8)
     --frozen NAME=FILE     build a frozen namespace from a graph file
                            (.gra adjacency, anything else = edge list)
-    --index NAME=FILE      load a frozen namespace from a HOPL index (Oracle::save)
+    --index NAME=FILE      load a frozen namespace from a HOPL index
+                           (v1 streaming or v3 arena; Oracle::open)
+    --mmap                 serve v3 indexes zero-copy out of an mmap
+                           instead of reading them onto the heap
+                           (position-independent: applies to every --index)
+    --prefault             walk the mapping at open so first queries
+                           don't page-fault (pairs with --mmap)
     --dynamic NAME=FILE    load a DAG file as a mutable namespace
 
 BENCH (wire-level throughput on a synthetic power-law graph):
@@ -110,9 +116,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
     let mut config = ServerConfig::default();
     let registry = Arc::new(Registry::new());
-    let mut loaded = 0usize;
+    let mut open_opts = hoplite_core::OpenOptions {
+        mmap: false,
+        ..hoplite_core::OpenOptions::default()
+    };
+    enum Spec {
+        Frozen(String, String),
+        Index(String, String),
+        Dynamic(String, String),
+    }
 
-    let mut it = args.iter().peekable();
+    // Pass 1: parse every flag before loading anything, so `--mmap` /
+    // `--prefault` apply to all `--index` specs regardless of where
+    // they appear on the command line.
+    let mut specs: Vec<Spec> = Vec::new();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--listen" => listen = Some(it.next().ok_or("--listen needs a value")?.clone()),
@@ -120,9 +138,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--batch-threads" => {
                 config.batch_threads = parse_num("--batch-threads", it.next()).map(|n| n.max(1))?
             }
+            "--mmap" => open_opts.mmap = true,
+            "--prefault" => open_opts.prefault = true,
             "--frozen" => {
                 let (name, path) = split_spec(it.next().ok_or("--frozen needs NAME=FILE")?)?;
-                let graph = load_graph(path)?;
+                specs.push(Spec::Frozen(name.to_owned(), path.to_owned()));
+            }
+            "--index" => {
+                let (name, path) = split_spec(it.next().ok_or("--index needs NAME=FILE")?)?;
+                specs.push(Spec::Index(name.to_owned(), path.to_owned()));
+            }
+            "--dynamic" => {
+                let (name, path) = split_spec(it.next().ok_or("--dynamic needs NAME=FILE")?)?;
+                specs.push(Spec::Dynamic(name.to_owned(), path.to_owned()));
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+
+    // Pass 2: load namespaces in command-line order.
+    let mut loaded = 0usize;
+    for spec in specs {
+        match spec {
+            Spec::Frozen(name, path) => {
+                let graph = load_graph(&path)?;
                 let t = Instant::now();
                 let oracle = Oracle::new(&graph);
                 eprintln!(
@@ -134,30 +173,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     t.elapsed().as_secs_f64() * 1e3,
                 );
                 registry
-                    .insert_frozen(name, oracle)
+                    .insert_frozen(&name, oracle)
                     .map_err(|e| e.to_string())?;
                 loaded += 1;
             }
-            "--index" => {
-                let (name, path) = split_spec(it.next().ok_or("--index needs NAME=FILE")?)?;
-                let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-                let oracle = Oracle::load(BufReader::new(file))
-                    .map_err(|e| format!("load index {path}: {e}"))?;
+            Spec::Index(name, path) => {
+                let t = Instant::now();
+                let oracle = Oracle::open_with(&path, &open_opts)
+                    .map_err(|e| format!("open index {path}: {e}"))?;
+                let memory = oracle.memory();
                 eprintln!(
-                    "[hoplited] {name}: loaded prebuilt index from {path} \
-                     ({} vertices, {} components, {} label entries)",
+                    "[hoplited] {name}: opened prebuilt index from {path} in {:.1} ms \
+                     ({} vertices, {} components, {} label entries, backend {}, \
+                     {} heap B + {} mapped B)",
+                    t.elapsed().as_secs_f64() * 1e3,
                     oracle.num_vertices(),
                     oracle.num_components(),
                     oracle.label_entries(),
+                    oracle.backend(),
+                    memory.heap_bytes,
+                    memory.mapped_bytes,
                 );
                 registry
-                    .insert_frozen(name, oracle)
+                    .insert_frozen(&name, oracle)
                     .map_err(|e| e.to_string())?;
                 loaded += 1;
             }
-            "--dynamic" => {
-                let (name, path) = split_spec(it.next().ok_or("--dynamic needs NAME=FILE")?)?;
-                let graph = load_graph(path)?;
+            Spec::Dynamic(name, path) => {
+                let graph = load_graph(&path)?;
                 let dag = Dag::new(graph)
                     .map_err(|e| format!("{path}: dynamic namespaces need a DAG: {e}"))?;
                 eprintln!(
@@ -167,11 +210,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     dag.num_edges(),
                 );
                 registry
-                    .insert_dynamic(name, DynamicOracle::new(dag))
+                    .insert_dynamic(&name, DynamicOracle::new(dag))
                     .map_err(|e| e.to_string())?;
                 loaded += 1;
             }
-            other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
 

@@ -55,8 +55,8 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use pool::ThreadPool;
 pub use protocol::{
-    NamespaceInfo, NamespaceKind, NamespaceStats, Request, Response, WireError, MAX_BATCH_PAIRS,
-    MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
+    IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, Request, Response, WireError,
+    MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
 };
 pub use registry::{NamespaceHandle, Registry, ServeError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -38,11 +38,14 @@ use std::io::{self, Read, Write};
 ///
 /// Version history: `1` — the original opcode set; `2` — the `STATS`
 /// reply body grew four `u64` fields (signature bytes and the
-/// filter/signature/merge death counters). Decoding is strict on both
-/// sides, so the bump turns a cross-version `STATS` exchange into a
-/// clean [`WireError::Version`] instead of a confusing
+/// filter/signature/merge death counters); `3` — the `STATS` reply
+/// grew the storage-backend report (`backend:u8` +
+/// `heap_bytes`/`mapped_bytes:u64`, the heap-vs-mapped split of a
+/// namespace's index arrays). Decoding is strict on both sides, so
+/// the bump turns a cross-version `STATS` exchange into a clean
+/// [`WireError::Version`] instead of a confusing
 /// trailing-bytes/short-body error.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Hard ceiling on a frame payload; larger length prefixes are
 /// rejected before any allocation.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -348,6 +351,54 @@ impl fmt::Display for NamespaceKind {
     }
 }
 
+/// Which storage backing a namespace's index arrays live in — the
+/// wire twin of [`hoplite_core::StoreBackend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexBackend {
+    /// Process-private heap (built in process or HOPL v1 load).
+    Heap,
+    /// One shared HOPL v3 arena (`Oracle::open`), page-cache-shared
+    /// across replicas of the same file.
+    Mapped,
+}
+
+impl IndexBackend {
+    fn to_u8(self) -> u8 {
+        match self {
+            IndexBackend::Heap => 0,
+            IndexBackend::Mapped => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(IndexBackend::Heap),
+            1 => Ok(IndexBackend::Mapped),
+            other => Err(WireError::Malformed(format!(
+                "unknown index backend {other}"
+            ))),
+        }
+    }
+}
+
+impl From<hoplite_core::StoreBackend> for IndexBackend {
+    fn from(b: hoplite_core::StoreBackend) -> Self {
+        match b {
+            hoplite_core::StoreBackend::Heap => IndexBackend::Heap,
+            hoplite_core::StoreBackend::Mapped => IndexBackend::Mapped,
+        }
+    }
+}
+
+impl fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexBackend::Heap => write!(f, "heap"),
+            IndexBackend::Mapped => write!(f, "mapped"),
+        }
+    }
+}
+
 /// Per-namespace counters returned by `STATS`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NamespaceStats {
@@ -373,6 +424,15 @@ pub struct NamespaceStats {
     /// the operator's "where do my queries die" denominator together
     /// with the two hit counters above.
     pub merge_runs: u64,
+    /// Which backing the namespace's index arrays live in.
+    pub backend: IndexBackend,
+    /// Process-private heap bytes of the index (labels, signatures,
+    /// filter records, component tables, DAG, overlay).
+    pub heap_bytes: u64,
+    /// Bytes addressed inside a shared mapped arena (a HOPL v3
+    /// `Oracle::open`); these are page cache, shared across every
+    /// replica and namespace serving the same file.
+    pub mapped_bytes: u64,
 }
 
 /// One `LIST` entry.
@@ -601,6 +661,9 @@ impl Response {
                 put_u64(&mut out, s.filter_hits);
                 put_u64(&mut out, s.signature_hits);
                 put_u64(&mut out, s.merge_runs);
+                out.push(s.backend.to_u8());
+                put_u64(&mut out, s.heap_bytes);
+                put_u64(&mut out, s.mapped_bytes);
             }
             Response::List(infos) => {
                 out.push(RE_LIST);
@@ -647,6 +710,9 @@ impl Response {
                 filter_hits: r.u64()?,
                 signature_hits: r.u64()?,
                 merge_runs: r.u64()?,
+                backend: IndexBackend::from_u8(r.u8()?)?,
+                heap_bytes: r.u64()?,
+                mapped_bytes: r.u64()?,
             }),
             RE_LIST => {
                 let k = r.u32()?;
@@ -739,6 +805,9 @@ mod tests {
             filter_hits: 7,
             signature_hits: 5,
             merge_runs: 2,
+            backend: IndexBackend::Mapped,
+            heap_bytes: 4096,
+            mapped_bytes: 1 << 30,
         }));
         roundtrip_resp(Response::List(vec![
             NamespaceInfo {

@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use hoplite_core::{DynamicOracle, Oracle};
 use hoplite_graph::GraphError;
 
-use crate::protocol::{NamespaceInfo, NamespaceKind, NamespaceStats, MAX_NAME_LEN};
+use crate::protocol::{IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, MAX_NAME_LEN};
 
 /// Why a request against the registry could not be served.
 #[derive(Debug)]
@@ -80,7 +80,11 @@ impl From<GraphError> for ServeError {
 }
 
 struct FrozenNs {
-    oracle: Oracle,
+    /// The snapshot, behind its own `Arc` so `LIST`-able namespaces,
+    /// replicas, and reloads can *share* one index (and, for a mapped
+    /// HOPL v3 oracle, one arena) instead of cloning it — see
+    /// [`Registry::insert_frozen`].
+    oracle: Arc<Oracle>,
     queries: AtomicU64,
     /// Per-stage death counters ("where do my queries die"): decided
     /// by the pre-filter stack / rejected by the signature `AND` / ran
@@ -241,23 +245,33 @@ impl NamespaceHandle {
         }
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters, including the heap-vs-mapped storage
+    /// split of the namespace's index ([`hoplite_core::MemorySplit`]):
+    /// a replica opened with `--mmap` reports nearly everything under
+    /// `mapped_bytes` — shared page cache, not private RSS.
     pub fn stats(&self) -> NamespaceStats {
         match &self.inner {
-            Inner::Frozen(ns) => NamespaceStats {
-                kind: NamespaceKind::Frozen,
-                vertices: ns.oracle.num_vertices() as u64,
-                label_entries: ns.oracle.label_entries(),
-                pending_inserts: 0,
-                pending_deletions: 0,
-                queries: ns.queries.load(Ordering::Relaxed),
-                signature_bytes: ns.oracle.inner().labeling().signature_bytes(),
-                filter_hits: ns.filter_hits.load(Ordering::Relaxed),
-                signature_hits: ns.signature_hits.load(Ordering::Relaxed),
-                merge_runs: ns.merge_runs.load(Ordering::Relaxed),
-            },
+            Inner::Frozen(ns) => {
+                let memory = ns.oracle.memory();
+                NamespaceStats {
+                    kind: NamespaceKind::Frozen,
+                    vertices: ns.oracle.num_vertices() as u64,
+                    label_entries: ns.oracle.label_entries(),
+                    pending_inserts: 0,
+                    pending_deletions: 0,
+                    queries: ns.queries.load(Ordering::Relaxed),
+                    signature_bytes: ns.oracle.inner().labeling().signature_bytes(),
+                    filter_hits: ns.filter_hits.load(Ordering::Relaxed),
+                    signature_hits: ns.signature_hits.load(Ordering::Relaxed),
+                    merge_runs: ns.merge_runs.load(Ordering::Relaxed),
+                    backend: ns.oracle.backend().into(),
+                    heap_bytes: memory.heap_bytes,
+                    mapped_bytes: memory.mapped_bytes,
+                }
+            }
             Inner::Dynamic(ns) => {
                 let oracle = lock_unpoisoned(&ns.oracle);
+                let memory = oracle.memory();
                 NamespaceStats {
                     kind: NamespaceKind::Dynamic,
                     vertices: oracle.num_vertices() as u64,
@@ -271,6 +285,11 @@ impl NamespaceHandle {
                     filter_hits: 0,
                     signature_hits: 0,
                     merge_runs: 0,
+                    // Dynamic oracles always own their arrays (they
+                    // mutate them).
+                    backend: IndexBackend::Heap,
+                    heap_bytes: memory.heap_bytes,
+                    mapped_bytes: memory.mapped_bytes,
                 }
             }
         }
@@ -331,12 +350,23 @@ impl Registry {
     /// Registers (or atomically replaces — the "ship a fresh index to
     /// the replica" path) a frozen snapshot. Returns whether a previous
     /// namespace was replaced.
-    pub fn insert_frozen(&self, name: &str, oracle: Oracle) -> Result<bool, ServeError> {
+    ///
+    /// Takes anything that converts into an `Arc<Oracle>`: pass an
+    /// `Oracle` to move it in, or clone one `Arc<Oracle>` across many
+    /// namespaces/registries so every replica serves the **same**
+    /// snapshot — zero per-namespace copies, and for an
+    /// [`Oracle::open`]ed index one shared file mapping process-wide
+    /// (reloads that re-open the same file still share page cache).
+    pub fn insert_frozen(
+        &self,
+        name: &str,
+        oracle: impl Into<Arc<Oracle>>,
+    ) -> Result<bool, ServeError> {
         self.insert(
             name,
             NamespaceHandle {
                 inner: Inner::Frozen(Arc::new(FrozenNs {
-                    oracle,
+                    oracle: oracle.into(),
                     queries: AtomicU64::new(0),
                     filter_hits: AtomicU64::new(0),
                     signature_hits: AtomicU64::new(0),

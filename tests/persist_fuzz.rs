@@ -1,13 +1,16 @@
 //! Failure injection for the persistence layer: a loader fed hostile
 //! bytes must return a structured [`PersistError`] — never panic, never
-//! produce an oracle that violates label invariants.
+//! produce an oracle that violates label invariants. Covers both the
+//! HOPL v1 streaming format and the HOPL v3 zero-copy arena.
 
 use std::io::Cursor;
 
 use proptest::prelude::*;
 
+use hoplite::core::store::checksum;
 use hoplite::core::{DistributionLabeling, DlConfig, HierarchicalLabeling, HlConfig, ReachIndex};
-use hoplite::graph::{gen, Dag};
+use hoplite::graph::{gen, traversal, Dag, DiGraph, VertexId};
+use hoplite::Oracle;
 
 /// A serialized DL oracle over a small fixed DAG.
 fn serialized_fixture() -> (Dag, Vec<u8>) {
@@ -96,6 +99,135 @@ fn hl_roundtrip_preserves_queries() {
     }
 }
 
+// ---------------------------------------------------------------------
+// HOPL v3 arena failure injection
+// ---------------------------------------------------------------------
+
+fn random_cyclic_digraph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let mut rng = gen::Rng::new(seed);
+    let edges: Vec<(VertexId, VertexId)> = (0..m)
+        .filter_map(|_| {
+            let u = rng.gen_index(n) as VertexId;
+            let v = rng.gen_index(n) as VertexId;
+            (u != v).then_some((u, v))
+        })
+        .collect();
+    DiGraph::from_edges(n, &edges).expect("edges are in range")
+}
+
+/// A serialized v3 arena over a small cyclic digraph.
+fn arena_fixture() -> (DiGraph, Vec<u8>) {
+    let g = random_cyclic_digraph(36, 120, 15);
+    let oracle = Oracle::new(&g);
+    let mut buf = Vec::new();
+    oracle.save_arena(&mut buf).expect("in-memory write");
+    (g, buf)
+}
+
+/// After editing header or table bytes, re-seal the two covering
+/// checksums so the *semantic* validation under them is what trips.
+/// A table cut off by truncation is left unsealed — the reader must
+/// reject it before ever checking its sum.
+fn reseal_arena(buf: &mut [u8]) {
+    let count = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    let table_end = 64 + count * 32;
+    if table_end <= buf.len() {
+        let table_sum = checksum(&buf[64..table_end]);
+        buf[48..56].copy_from_slice(&table_sum.to_le_bytes());
+    }
+    let header_sum = checksum(&buf[..56]);
+    buf[56..64].copy_from_slice(&header_sum.to_le_bytes());
+}
+
+#[test]
+fn arena_truncated_section_table_rejected() {
+    let (_, buf) = arena_fixture();
+    // Cut inside the table, with the header's file_len re-pinned to
+    // the truncated size so the table-truncation check (not the
+    // length check) is what fires.
+    for cut in [65, 64 + 31, 64 + 5 * 32 + 7] {
+        let mut bad = buf[..cut].to_vec();
+        bad[40..48].copy_from_slice(&(cut as u64).to_le_bytes());
+        reseal_arena(&mut bad);
+        let err = Oracle::open_arena_bytes(&bad).unwrap_err();
+        assert!(err.to_string().contains("table"), "cut={cut}: {err}");
+    }
+    // And raw truncation anywhere must fail too (length pin).
+    for cut in [0, 7, 63, buf.len() / 2, buf.len() - 1] {
+        assert!(Oracle::open_arena_bytes(&buf[..cut]).is_err(), "cut={cut}");
+    }
+}
+
+#[test]
+fn arena_misaligned_section_offset_rejected() {
+    let (_, mut buf) = arena_fixture();
+    // Entry 0's offset field sits at table start + 8. Nudge it off
+    // the 64-byte grid and re-seal the checksums.
+    let at = 64 + 8;
+    let offset = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+    buf[at..at + 8].copy_from_slice(&(offset + 4).to_le_bytes());
+    reseal_arena(&mut buf);
+    let err = Oracle::open_arena_bytes(&buf).unwrap_err();
+    assert!(err.to_string().contains("aligned"), "{err}");
+}
+
+#[test]
+fn arena_overlapping_sections_rejected() {
+    let (_, mut buf) = arena_fixture();
+    // Point entry 1 at entry 0's bytes: same offset, still in bounds.
+    let e0_off = u64::from_le_bytes(buf[64 + 8..64 + 16].try_into().unwrap());
+    let at = 64 + 32 + 8;
+    buf[at..at + 8].copy_from_slice(&e0_off.to_le_bytes());
+    reseal_arena(&mut buf);
+    let err = Oracle::open_arena_bytes(&buf).unwrap_err();
+    assert!(err.to_string().contains("overlap"), "{err}");
+}
+
+#[test]
+fn arena_checksum_corruption_rejected() {
+    let (_, buf) = arena_fixture();
+    // A flipped bit anywhere — header, table, or section payload —
+    // must be caught by one of the three checksum layers.
+    for at in [10, 20, 50, 70, 64 + 3 * 32 + 25, 520, 600, buf.len() - 5] {
+        for bit in [0, 3, 7] {
+            let mut bad = buf.clone();
+            bad[at] ^= 1 << bit;
+            assert!(
+                Oracle::open_arena_bytes(&bad).is_err(),
+                "byte {at} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn v1_and_v2_files_upgrade_to_v3_and_answer_identically() {
+    // The upgrade path: a legacy index (v2 = v1 + SIGS section, and
+    // the older SIGS-less v1) loads through the owned reader, writes
+    // a v3 arena, and the reopened arena answers like the original.
+    let g = random_cyclic_digraph(30, 90, 16);
+    let oracle = Oracle::new(&g);
+    let mut v2 = Vec::new();
+    oracle.save(&mut v2).unwrap();
+    let mut v1 = v2.clone();
+    v1.truncate(v2.len() - (4 + 4 + 8 + 16 * oracle.num_components()));
+    for (what, legacy) in [("v2", v2), ("v1", v1)] {
+        let loaded = Oracle::load(Cursor::new(&legacy)).expect("legacy file loads");
+        let mut arena = Vec::new();
+        loaded.save_arena(&mut arena).expect("upgrade to v3");
+        let upgraded = Oracle::open_arena_bytes(&arena).expect("upgraded arena opens");
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                assert_eq!(
+                    upgraded.reaches(u, v),
+                    traversal::reaches(&g, u, v),
+                    "{what} ({u},{v})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -105,6 +237,47 @@ proptest! {
         let _ = DistributionLabeling::load(Cursor::new(&junk));
         let _ = HierarchicalLabeling::load(Cursor::new(&junk));
         let _ = hoplite::core::persist::read_labeling(Cursor::new(&junk));
+    }
+
+    /// Byte soup dressed as a v3 arena (valid magic + version) never
+    /// panics the arena reader either.
+    #[test]
+    fn arena_reader_never_panics_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Oracle::open_arena_bytes(&junk);
+        let mut dressed = b"HOPL\x03\x00\x00\x00".to_vec();
+        dressed.extend_from_slice(&junk);
+        let _ = Oracle::open_arena_bytes(&dressed);
+        let _ = Oracle::load(Cursor::new(&dressed));
+    }
+
+    /// On any random cyclic digraph, the mapped (mmap), owned-read,
+    /// and builder oracles agree with BFS ground truth pairwise — the
+    /// mmap ≡ owned ≡ BFS equivalence invariant.
+    #[test]
+    fn mapped_equals_owned_equals_bfs(seed in 0u64..500, n in 8usize..40, m in 10usize..120) {
+        let g = random_cyclic_digraph(n, m, seed);
+        let built = Oracle::new(&g);
+        let mut arena = Vec::new();
+        built.save_arena(&mut arena).expect("write arena");
+        let path = std::env::temp_dir().join(
+            format!("hoplite-fuzz-arena-{}-{seed}-{n}-{m}.hopl3", std::process::id()),
+        );
+        std::fs::write(&path, &arena).expect("write temp arena");
+        let mapped = Oracle::open(&path).expect("mapped open");
+        let owned = Oracle::open_with(
+            &path,
+            &hoplite::core::OpenOptions { mmap: false, ..Default::default() },
+        )
+        .expect("owned open");
+        std::fs::remove_file(&path).ok();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let truth = traversal::reaches(&g, u, v);
+                prop_assert_eq!(built.reaches(u, v), truth, "built ({},{})", u, v);
+                prop_assert_eq!(mapped.reaches(u, v), truth, "mapped ({},{})", u, v);
+                prop_assert_eq!(owned.reaches(u, v), truth, "owned ({},{})", u, v);
+            }
+        }
     }
 
     /// Single-byte corruption anywhere in a valid file either fails

@@ -138,7 +138,7 @@ fn oracle_label_metrics_exposed() {
     let oracle = Oracle::new(&g);
     assert!(oracle.label_entries() > 0);
     assert!(oracle.num_components() > 1);
-    assert_eq!(oracle.condensation().comp_of.len(), g.num_vertices());
+    assert_eq!(oracle.comp_of().len(), g.num_vertices());
     // The inner DL oracle is reachable for power users.
     assert!(oracle.inner().labeling().total_entries() == oracle.label_entries());
 }

@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn signature_query_paths_match_bfs_on_cyclic_digraphs(g in arb_digraph(30, 140)) {
         let oracle = hoplite::Oracle::new(&g);
-        let comp_of = &oracle.condensation().comp_of;
+        let comp_of = oracle.comp_of();
         let labeling = oracle.inner().labeling();
         let n = g.num_vertices() as u32;
         let mut scratch = traversal::TraversalScratch::new(g.num_vertices());

@@ -332,6 +332,70 @@ fn frozen_namespace_from_saved_index_serves_identically() {
 }
 
 #[test]
+fn mapped_arena_index_serves_and_reports_its_backend() {
+    // The zero-copy replica path: save a HOPL v3 arena, open it
+    // mapped, register ONE Arc'd snapshot under several namespaces
+    // (replica fan-out without cloning the index), serve over the
+    // wire, and cross-check against BFS ground truth. STATS must
+    // report the mapped backend and a mapped-byte footprint.
+    let g = random_cyclic_digraph(40, 130, 23);
+    let original = Oracle::new(&g);
+    let path =
+        std::env::temp_dir().join(format!("hoplite-server-arena-{}.hopl3", std::process::id()));
+    let mut blob = Vec::new();
+    original.save_arena(&mut blob).unwrap();
+    std::fs::write(&path, &blob).unwrap();
+    let snapshot = Arc::new(Oracle::open(&path).expect("mapped open"));
+    std::fs::remove_file(&path).ok();
+
+    let registry = Registry::new();
+    registry
+        .insert_frozen("web", Arc::clone(&snapshot))
+        .unwrap();
+    registry.insert_frozen("web-replica", snapshot).unwrap();
+    let handle = serve(registry);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    for ns in ["web", "web-replica"] {
+        let pairs: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|u| (0..40u32).map(move |v| (u, v)))
+            .collect();
+        let answers = client.reach_batch(ns, &pairs).unwrap();
+        for (&(u, v), &got) in pairs.iter().zip(&answers) {
+            assert_eq!(got, traversal::reaches(&g, u, v), "{ns} ({u},{v})");
+        }
+        let stats = client.stats(ns).unwrap();
+        // Only a real mmap may report "mapped" (the split is an RSS
+        // report); off unix, map_file falls back to a heap read and
+        // honestly reports heap.
+        #[cfg(unix)]
+        {
+            assert_eq!(stats.backend, hoplite::server::IndexBackend::Mapped);
+            assert!(stats.mapped_bytes > 0, "{stats:?}");
+            assert!(
+                stats.mapped_bytes > stats.heap_bytes,
+                "a mapped index keeps its bulk in the arena: {stats:?}"
+            );
+        }
+        assert_eq!(
+            stats.filter_hits + stats.signature_hits + stats.merge_runs,
+            pairs.len() as u64,
+            "every query dies in exactly one stage: {stats:?}"
+        );
+    }
+    // A built-in-process namespace reports heap, for contrast.
+    let registry = Registry::new();
+    registry.insert_frozen("heap", Oracle::new(&g)).unwrap();
+    let handle2 = serve(registry);
+    let mut client2 = Client::connect(handle2.local_addr()).unwrap();
+    let stats = client2.stats("heap").unwrap();
+    assert_eq!(stats.backend, hoplite::server::IndexBackend::Heap);
+    assert_eq!(stats.mapped_bytes, 0, "{stats:?}");
+    assert!(stats.heap_bytes > 0, "{stats:?}");
+    handle.shutdown();
+    handle2.shutdown();
+}
+
+#[test]
 fn pr3_era_index_without_signature_section_serves_over_the_wire() {
     // Backward compat: an index written before the rank-band signature
     // layer existed (byte-wise: today's format minus the trailing SIGS

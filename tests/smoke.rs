@@ -76,9 +76,20 @@ fn oracle_reports_nonempty_index_stats() {
     let g = random_cyclic_digraph(30, 70, 11);
     let oracle = Oracle::new(&g);
     assert!(oracle.label_entries() > 0, "labels were built");
+    // Three independent views of the component structure must agree:
+    // the size-table length, the DAG, and the labeled vertex count.
+    let c = oracle.num_components();
+    assert!(c > 0 && c <= oracle.num_vertices());
+    assert_eq!(oracle.dag().num_vertices(), c);
+    assert_eq!(oracle.inner().labeling().num_vertices(), c);
     assert_eq!(
-        oracle.condensation().num_components(),
-        oracle.num_components()
+        oracle
+            .comp_sizes()
+            .iter()
+            .map(|&s| s as usize)
+            .sum::<usize>(),
+        oracle.num_vertices(),
+        "components partition the vertices"
     );
     // The inner DL oracle answers condensation-level queries reflexively.
     assert!(oracle.inner().query(0, 0));
