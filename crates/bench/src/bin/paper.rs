@@ -66,8 +66,9 @@ commands:
   extras        small suite incl. DUAL + CHAIN (§2.1 references)
   throughput    multi-core DL query scaling
   scarab-depth  recursive SCARAB study (§2.3's open option)
-  perf          hot-path JSON benchmark: build engines + query filters
-                (flags: --quick --check --out=FILE --seed=N)
+  perf          hot-path JSON benchmark: build engines, query filters,
+                thread scaling, and a wire sweep through a reactor server
+                (flags: --quick --check --out=FILE --seed=N --no-wire)
   help          this text";
 
 fn main() {
@@ -82,6 +83,12 @@ fn main() {
     }
     if command == "perf" {
         perf_cmd(&args[1..]);
+        return;
+    }
+    // Hidden: the perf wire stage re-invokes this binary as the server
+    // side of the sweep (own process == own fd budget).
+    if command == "__wire-server" {
+        wire_server_cmd(&args[1..]);
         return;
     }
     let mut cfg = RunConfig::default();
@@ -142,24 +149,34 @@ fn main() {
     }
 }
 
-/// `paper perf [--quick] [--check] [--out=FILE] [--seed=N]` — runs the
-/// hot-path suite (`hoplite_bench::perf`), prints the JSON report to
-/// stdout (and `--out=FILE`), and with `--check` enforces the CI
-/// invariants: nonzero filter hit rate, filtered q/s ≥ unfiltered q/s.
+/// `paper perf [--quick] [--check] [--out=FILE] [--seed=N] [--no-wire]`
+/// — runs the hot-path suite (`hoplite_bench::perf`), prints the JSON
+/// report to stdout (and `--out=FILE`), and with `--check` enforces the
+/// CI invariants (filter/auto/scaling/wire gates; see
+/// `PerfReport::check`). `--no-wire` skips the wire sweep, for
+/// sandboxes without loopback TCP.
 fn perf_cmd(args: &[String]) {
     use hoplite_bench::perf::{run_perf, PerfOptions};
-    let mut opts = PerfOptions::default();
+    // The wire stage re-invokes this very binary as the server child.
+    let mut opts = PerfOptions {
+        wire_server: std::env::current_exe().ok(),
+        ..PerfOptions::default()
+    };
     let mut check = false;
     let mut out: Option<String> = None;
     for a in args {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--check" => check = true,
+            "--no-wire" => opts.wire_server = None,
             other => match other.split_once('=') {
                 Some(("--out", path)) => out = Some(path.to_string()),
                 Some(("--seed", val)) => opts.seed = parse(a, val),
                 _ => {
-                    eprintln!("unknown perf flag {a} (expected --quick, --check, --out=, --seed=)");
+                    eprintln!(
+                        "unknown perf flag {a} \
+                         (expected --quick, --check, --no-wire, --out=, --seed=)"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -209,6 +226,24 @@ fn perf_cmd(args: &[String]) {
         report.cold_start.v1_file_bytes,
         report.cold_start.v3_file_bytes,
     );
+    for s in &report.scaling {
+        eprintln!(
+            "# perf[scaling]: {} thr -> build {:.0} ms, query {:.2} Mq/s",
+            s.threads,
+            s.build_ms,
+            s.query_qps / 1e6
+        );
+    }
+    if let Some(wire) = &report.wire {
+        for s in &wire.steps {
+            eprintln!(
+                "# perf[wire]: {} conns -> {:.0} q/s over TCP ({} queries, {} errors)",
+                s.connections, s.qps, s.queries, s.errors
+            );
+        }
+    } else {
+        eprintln!("# perf[wire]: skipped (--no-wire)");
+    }
     if check {
         if let Err(msg) = report.check() {
             eprintln!("perf check FAILED: {msg}");
@@ -216,6 +251,50 @@ fn perf_cmd(args: &[String]) {
         }
         eprintln!("# perf: checks passed");
     }
+}
+
+/// `paper __wire-server <vertices> <edges> <seed>` — the server side
+/// of the perf wire sweep. Builds an oracle over the same
+/// `random_dag` family the headline numbers use, binds a reactor-mode
+/// server (thread pool where no reactor exists) on an ephemeral
+/// loopback port, prints `ADDR <addr>` so the parent can connect, and
+/// serves until stdin reaches EOF — which is how the parent says
+/// "done" without signals.
+fn wire_server_cmd(args: &[String]) {
+    use hoplite_core::Oracle;
+    use hoplite_server::{Registry, ServeMode, Server, ServerConfig};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    if args.len() != 3 {
+        eprintln!("usage: paper __wire-server <vertices> <edges> <seed>");
+        std::process::exit(2);
+    }
+    let n: usize = parse("vertices", &args[0]);
+    let m: usize = parse("edges", &args[1]);
+    let seed: u64 = parse("seed", &args[2]);
+
+    let dag = hoplite_graph::gen::random_dag(n, m, seed);
+    let oracle = Oracle::new(dag.graph());
+    let registry = Arc::new(Registry::new());
+    registry
+        .insert_frozen("bench", oracle)
+        .expect("fresh registry accepts one namespace");
+    let config = ServerConfig {
+        mode: if cfg!(unix) {
+            ServeMode::Reactor
+        } else {
+            ServeMode::ThreadPool
+        },
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback server");
+    println!("ADDR {}", handle.local_addr());
+    std::io::stdout().flush().expect("flush address line");
+
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    handle.shutdown();
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, val: &str) -> T {

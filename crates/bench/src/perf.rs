@@ -19,20 +19,34 @@
 //!   doubled interval cuts carry it) and a `kronecker` R-MAT DAG
 //!   (scale-free degrees, the signature layer's best case on raw
 //!   labels), each with its own build/query/stage numbers.
+//! * **Thread scaling** — build time and batch-query throughput on the
+//!   headline index at 1/2/4/8 threads, the curve the CI
+//!   `perf-multicore` job records so a parallelism regression shows up
+//!   as a flat line instead of staying invisible on 1-core runners.
+//! * **Wire** — QPS vs concurrent-connection count through a *real*
+//!   reactor-mode [`hoplite_server::Server`] in a child process, driven
+//!   by [`hoplite_server::loadgen`] over loopback TCP (child process
+//!   because one process's fd budget cannot hold both ends of a
+//!   10k-socket sweep). Skipped (`"wire": null`) when the caller does
+//!   not supply a server executable — i.e. under `cargo test`.
 //!
 //! Every timed path is also cross-checked for answer equivalence, so a
 //! fast-but-wrong regression fails the run instead of producing a
 //! flattering number. `--check` additionally enforces the CI
 //! invariants (nonzero filter hit rate, filtered throughput at least
-//! matching unfiltered, and `Parallelism::Auto` landing within 10% of
+//! matching unfiltered, `Parallelism::Auto` landing within 10% of
 //! the best individual engine on the host — Auto must never pick a
-//! loser).
+//! loser — plus, on multi-core hosts, parallel build/query at least
+//! matching sequential, and a wire-QPS floor with zero error replies
+//! on every sweep step).
 //!
 //! In full (non-`--quick`) mode the report carries a `vs_prev` block
 //! comparing the headline numbers against the committed
-//! `BENCH_4.json` (same 48k/192k random-DAG workload, same seed).
+//! `BENCH_5.json` (same 48k/192k random-DAG workload, same seed).
 
 use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use hoplite_core::{
@@ -40,18 +54,28 @@ use hoplite_core::{
     QueryTally,
 };
 use hoplite_graph::{gen, Dag};
+use hoplite_server::{loadgen, LoadSpec};
 
 /// Chunked-engine widths timed individually.
 const TIMED_WIDTHS: [usize; 2] = [2, 4];
 /// Widths whose output is verified byte-identical to the seed engine.
 const IDENTITY_WIDTHS: [usize; 5] = [1, 2, 3, 4, 8];
+/// Thread counts the scaling stage records build + query numbers for.
+const SCALING_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
-/// Headline numbers of the committed `BENCH_4.json` (48k/192k
+/// Headline numbers of the committed `BENCH_5.json` (48k/192k
 /// random-DAG workload, seed 7, full mode) — the `vs_prev` baseline.
-const PREV_BENCH: &str = "BENCH_4.json";
-const PREV_FILTERED_QPS: f64 = 12_198_740.0;
-const PREV_UNFILTERED_QPS: f64 = 10_437_031.0;
-const PREV_BUILD_AUTO_MS: f64 = 249.50;
+const PREV_BENCH: &str = "BENCH_5.json";
+const PREV_FILTERED_QPS: f64 = 13_155_425.0;
+const PREV_UNFILTERED_QPS: f64 = 10_831_159.0;
+const PREV_BUILD_AUTO_MS: f64 = 257.04;
+
+/// Wire-stage QPS floor per sweep step. Deliberately far below
+/// observed numbers (a 1-core box sustains > 160k q/s even at 10k
+/// connections) — the gate exists to catch a serving tier that falls
+/// off a cliff, not to chase the noise on shared runners.
+const WIRE_FLOOR_QUICK_QPS: f64 = 25_000.0;
+const WIRE_FLOOR_FULL_QPS: f64 = 50_000.0;
 
 /// Options for [`run_perf`], parsed by the `paper` binary.
 #[derive(Clone, Debug)]
@@ -60,6 +84,11 @@ pub struct PerfOptions {
     pub quick: bool,
     /// Generator and workload seed.
     pub seed: u64,
+    /// Executable serving the hidden `__wire-server` subcommand (the
+    /// `paper` binary passes its own path). `None` skips the wire
+    /// stage — the only option under `cargo test`, where the test
+    /// binary cannot serve the subcommand.
+    pub wire_server: Option<PathBuf>,
 }
 
 impl Default for PerfOptions {
@@ -67,6 +96,7 @@ impl Default for PerfOptions {
         PerfOptions {
             quick: false,
             seed: 7,
+            wire_server: None,
         }
     }
 }
@@ -160,6 +190,49 @@ impl FamilyReport {
     }
 }
 
+/// One point of the thread-scaling curve on the headline workload.
+#[derive(Clone, Debug)]
+pub struct ScalingStep {
+    /// Threads used for both measurements.
+    pub threads: usize,
+    /// Rank-bitmap build wall clock at this width (sequential engine
+    /// at `threads == 1`, chunked otherwise — the same engines the
+    /// construction stage verifies byte-identical).
+    pub build_ms: f64,
+    /// Filtered batch-query throughput at this width.
+    pub query_qps: f64,
+}
+
+/// One point of the wire sweep: QPS at a concurrent-connection count.
+#[derive(Clone, Debug)]
+pub struct WireStep {
+    /// Concurrent sockets held open for the whole step.
+    pub connections: usize,
+    /// Reachability queries per second over the wire.
+    pub qps: f64,
+    /// Queries answered.
+    pub queries: u64,
+    /// `ERROR` replies observed (`--check` requires zero).
+    pub errors: u64,
+}
+
+/// The wire stage: a reactor-mode server in a child process, swept
+/// over connection counts by [`hoplite_server::loadgen`].
+#[derive(Clone, Debug)]
+pub struct WireReport {
+    /// Serve mode of the child (`"reactor"` on unix).
+    pub mode: &'static str,
+    /// Frames in flight per connection within a round.
+    pub pipeline: usize,
+    /// Pairs per frame (1 ⇒ single `REACH` frames, the coalescer's
+    /// target shape).
+    pub batch: usize,
+    /// Load-generator worker threads.
+    pub loadgen_threads: usize,
+    /// One entry per swept connection count, ascending.
+    pub steps: Vec<WireStep>,
+}
+
 /// One measured suite; serializes with [`PerfReport::to_json`].
 #[derive(Clone, Debug)]
 pub struct PerfReport {
@@ -188,6 +261,12 @@ pub struct PerfReport {
     pub families: Vec<FamilyReport>,
     /// Cold-start stage on the headline index (owned vs mapped open).
     pub cold_start: ColdStart,
+    /// Thread-scaling curve (build + query) on the headline workload,
+    /// one step per [`SCALING_WIDTHS`] entry.
+    pub scaling: Vec<ScalingStep>,
+    /// Wire sweep through a child-process server; `None` when no
+    /// server executable was supplied (e.g. under `cargo test`).
+    pub wire: Option<WireReport>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -427,11 +506,31 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         }
     }
     let dl_seed = dl_seed.expect("at least one round ran");
+    // Build leg of the thread-scaling curve. Widths 1/2/4 reuse the
+    // numbers measured above (1 thread == the sequential rank-bitmap
+    // engine); widths not already timed are measured — and label
+    // identity-checked — here.
+    let mut scaling_build_ms = Vec::with_capacity(SCALING_WIDTHS.len());
+    let mut scaling_verified: Vec<usize> = Vec::new();
+    for &t in &SCALING_WIDTHS {
+        let ms = if t == 1 {
+            bitmap_seq_ms
+        } else if let Some(&(_, ms)) = chunked_ms.iter().find(|&&(w, _)| w == t) {
+            ms
+        } else {
+            eprintln!("# perf[scaling]: timing rank-bitmap build at {t} threads ...");
+            let (dl, ms) = best_ms(rounds, build(Pruning::RankBitmap, Parallelism::Threads(t)));
+            assert_identical_labels(&format!("chunked-t{t}"), &dl, &dl_seed);
+            scaling_verified.push(t);
+            ms
+        };
+        scaling_build_ms.push(ms);
+    }
     // The full identity matrix the acceptance criteria call for:
     // every tested chunked width emits byte-identical labels.
     let mut identity_widths = Vec::new();
     for width in IDENTITY_WIDTHS {
-        if TIMED_WIDTHS.contains(&width) {
+        if TIMED_WIDTHS.contains(&width) || scaling_verified.contains(&width) {
             identity_widths.push(width); // already built and verified
             continue;
         }
@@ -484,6 +583,30 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     // --- Cold start: save → drop → open, owned vs mapped. -----------
     let cold_start = run_cold_start(&oracle, &pairs, rounds, opts.seed);
 
+    // --- Query leg of the thread-scaling curve, same index + pairs
+    // as the headline numbers so the curve is comparable.
+    let mut scaling = Vec::with_capacity(SCALING_WIDTHS.len());
+    for (&t, &build_ms) in SCALING_WIDTHS.iter().zip(&scaling_build_ms) {
+        eprintln!("# perf[scaling]: filtered batch at {t} thread(s) ...");
+        let (answers, ms) = best_ms(rounds, || oracle.reaches_batch(&pairs, t));
+        assert_eq!(
+            answers.iter().filter(|&&b| b).count(),
+            main.reachable,
+            "scaling run at {t} threads changed the answers"
+        );
+        scaling.push(ScalingStep {
+            threads: t,
+            build_ms,
+            query_qps: queries as f64 / (ms / 1e3).max(f64::MIN_POSITIVE),
+        });
+    }
+
+    // --- Wire sweep through a child-process reactor server. ---------
+    let wire = opts.wire_server.as_deref().map(|exe| {
+        run_wire(exe, opts.quick, opts.seed, host_cores)
+            .unwrap_or_else(|e| panic!("wire stage failed: {e}"))
+    });
+
     PerfReport {
         quick: opts.quick,
         seed: opts.seed,
@@ -497,7 +620,104 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         verdict_counts,
         families,
         cold_start,
+        scaling,
+        wire,
     }
+}
+
+/// The wire stage. Spawns `server_exe __wire-server <n> <m> <seed>` —
+/// the `paper` binary's hidden subcommand that builds an oracle over
+/// the same `random_dag` family, binds a reactor-mode server on an
+/// ephemeral loopback port, prints `ADDR <addr>`, and serves until its
+/// stdin closes. A child process rather than an in-process server
+/// because the full sweep holds 10k concurrent connections: each
+/// connection costs one fd on *both* ends, and splitting the ends
+/// across two processes gives each its own fd budget. Then sweeps
+/// [`loadgen::run_load`] over the connection counts.
+fn run_wire(
+    server_exe: &std::path::Path,
+    quick: bool,
+    seed: u64,
+    host_cores: usize,
+) -> Result<WireReport, String> {
+    use std::process::{Command, Stdio};
+    // Quick mode stays under the 1024-fd default soft limit of stock
+    // CI runners; the full sweep assumes `ulimit -n` has been raised
+    // (the perf workflow does so explicitly).
+    let (n, m) = if quick {
+        (20_000, 60_000)
+    } else {
+        (48_000, 192_000)
+    };
+    let (sweep, queries_per_step): (&[usize], u64) = if quick {
+        (&[64, 512], 100_000)
+    } else {
+        (&[100, 1_000, 10_000], 300_000)
+    };
+    let pipeline = 8;
+    let loadgen_threads = host_cores.clamp(1, 8);
+
+    eprintln!("# perf[wire]: spawning reactor server ({n} vertices, {m} edges) ...");
+    let mut child = Command::new(server_exe)
+        .arg("__wire-server")
+        .arg(n.to_string())
+        .arg(m.to_string())
+        .arg(seed.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", server_exe.display()))?;
+    let result = (|| {
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read server address: {e}"))?;
+        let addr = line
+            .trim()
+            .strip_prefix("ADDR ")
+            .ok_or_else(|| format!("wire server said {line:?}, expected \"ADDR <addr>\""))?
+            .parse()
+            .map_err(|e| format!("parse server address {line:?}: {e}"))?;
+        let mut steps = Vec::with_capacity(sweep.len());
+        for &connections in sweep {
+            eprintln!("# perf[wire]: sweeping {connections} connections ...");
+            let report = loadgen::run_load(&LoadSpec {
+                addr,
+                ns: "bench".to_string(),
+                vertices: n as u32,
+                connections,
+                threads: loadgen_threads,
+                pipeline_depth: pipeline,
+                batch: 1,
+                queries: queries_per_step,
+                seed,
+            })
+            .map_err(|e| format!("wire sweep at {connections} connections: {e}"))?;
+            steps.push(WireStep {
+                connections,
+                qps: report.qps(),
+                queries: report.queries,
+                errors: report.errors,
+            });
+        }
+        Ok(WireReport {
+            mode: "reactor",
+            pipeline,
+            batch: 1,
+            loadgen_threads,
+            steps,
+        })
+    })();
+    // Closing stdin is the shutdown signal; on the error path make
+    // sure the child dies rather than outliving the benchmark.
+    drop(child.stdin.take());
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+    result
 }
 
 impl PerfReport {
@@ -557,6 +777,61 @@ impl PerfReport {
                 self.cold_start.owned_open_ms
             ));
         }
+        // Scaling sanity: on a multi-core host, the best parallel
+        // width must at least match sequential (same 5% / small-ms
+        // noise allowances as above). On a 1-core host extra threads
+        // are pure overhead, so the curve is recorded but not gated —
+        // the CI `perf-multicore` job is where this gate has teeth.
+        if self.host_cores >= 2 {
+            let seq = self
+                .scaling
+                .iter()
+                .find(|s| s.threads == 1)
+                .ok_or("scaling curve is missing the 1-thread point")?;
+            let parallel = self.scaling.iter().filter(|s| s.threads > 1);
+            let best_qps = parallel.clone().map(|s| s.query_qps).fold(0.0, f64::max);
+            if best_qps < seq.query_qps * 0.95 {
+                return Err(format!(
+                    "parallel batch query never matched sequential: best {:.0} q/s \
+                     vs 1-thread {:.0} q/s",
+                    best_qps, seq.query_qps
+                ));
+            }
+            let best_build = parallel.map(|s| s.build_ms).fold(f64::INFINITY, f64::min);
+            if best_build > seq.build_ms * 1.05 + 25.0 {
+                return Err(format!(
+                    "parallel build never matched sequential: best {:.1} ms \
+                     vs 1-thread {:.1} ms",
+                    best_build, seq.build_ms
+                ));
+            }
+        }
+        // Wire floor: every sweep step — including the 10k-socket one —
+        // must clear a deliberately low QPS bar with zero error
+        // replies. Catches a serving tier that collapses or starts
+        // refusing under connection pressure.
+        if let Some(wire) = &self.wire {
+            let floor = if self.quick {
+                WIRE_FLOOR_QUICK_QPS
+            } else {
+                WIRE_FLOOR_FULL_QPS
+            };
+            for step in &wire.steps {
+                if step.errors > 0 {
+                    return Err(format!(
+                        "wire sweep at {} connections saw {} error replies",
+                        step.connections, step.errors
+                    ));
+                }
+                if step.qps < floor {
+                    return Err(format!(
+                        "wire sweep at {} connections fell to {:.0} q/s \
+                         (floor {:.0} q/s)",
+                        step.connections, step.qps, floor
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -600,8 +875,57 @@ impl PerfReport {
         )
     }
 
-    /// The machine-readable report (`BENCH_5.json`, schema 3).
+    /// The machine-readable report (`BENCH_6.json`, schema 4).
     pub fn to_json(&self) -> String {
+        let scaling = self
+            .scaling
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{ \"threads\": {}, \"build_ms\": {:.2}, \"query_qps\": {:.0} }}",
+                    s.threads, s.build_ms, s.query_qps
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let wire = match &self.wire {
+            None => "null".to_string(),
+            Some(w) => {
+                let steps = w
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "      {{ \"connections\": {}, \"qps\": {:.0}, \
+                             \"queries\": {}, \"errors\": {} }}",
+                            s.connections, s.qps, s.queries, s.errors
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    r#"{{
+    "mode": "{mode}",
+    "pipeline": {pipeline},
+    "batch": {batch},
+    "loadgen_threads": {threads},
+    "qps_floor": {floor:.0},
+    "steps": [
+{steps}
+    ]
+  }}"#,
+                    mode = w.mode,
+                    pipeline = w.pipeline,
+                    batch = w.batch,
+                    threads = w.loadgen_threads,
+                    floor = if self.quick {
+                        WIRE_FLOOR_QUICK_QPS
+                    } else {
+                        WIRE_FLOOR_FULL_QPS
+                    },
+                )
+            }
+        };
         let verdicts = self
             .verdict_counts
             .iter()
@@ -649,7 +973,7 @@ impl PerfReport {
         format!(
             r#"{{
   "bench": "perf",
-  "schema": 3,
+  "schema": 4,
   "quick": {quick},
   "seed": {seed},
   "host_cores": {host_cores},
@@ -701,6 +1025,10 @@ impl PerfReport {
     "mapped_unverified_open_ms": {mapped_unverified:.3},
     "mapped_vs_owned_speedup": {cold_speedup:.2}
   }},
+  "scaling": [
+{scaling}
+  ],
+  "wire": {wire},
   "vs_prev": {vs_prev}
 }}"#,
             quick = self.quick,
@@ -767,6 +1095,9 @@ mod tests {
             "\"owned_open_ms\"",
             "\"mapped_open_ms\"",
             "\"mapped_vs_owned_speedup\"",
+            "\"scaling\"",
+            "\"query_qps\"",
+            "\"wire\": null",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -775,6 +1106,80 @@ mod tests {
             json.matches('}').count(),
             "unbalanced JSON braces"
         );
+    }
+
+    #[test]
+    fn wire_report_serializes_and_check_gates_floor_and_errors() {
+        let mut report = run_perf_tiny_for_tests();
+        report.main.filtered_qps = report.main.filtered_qps.max(report.main.unfiltered_qps);
+        report.wire = Some(WireReport {
+            mode: "reactor",
+            pipeline: 8,
+            batch: 1,
+            loadgen_threads: 2,
+            steps: vec![
+                WireStep {
+                    connections: 64,
+                    qps: 200_000.0,
+                    queries: 100_000,
+                    errors: 0,
+                },
+                WireStep {
+                    connections: 512,
+                    qps: 150_000.0,
+                    queries: 100_000,
+                    errors: 0,
+                },
+            ],
+        });
+        report.check().expect("healthy wire sweep passes");
+        let json = report.to_json();
+        for key in [
+            "\"qps_floor\"",
+            "\"connections\": 512",
+            "\"mode\": \"reactor\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        report.wire.as_mut().unwrap().steps[1].qps = 10.0;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("fell to"), "{err}");
+
+        report.wire.as_mut().unwrap().steps[1].qps = 150_000.0;
+        report.wire.as_mut().unwrap().steps[0].errors = 3;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("error replies"), "{err}");
+    }
+
+    #[test]
+    fn check_gates_a_flat_scaling_curve_on_multicore_hosts() {
+        let mut report = run_perf_tiny_for_tests();
+        report.main.filtered_qps = report.main.filtered_qps.max(report.main.unfiltered_qps);
+        // 1-core hosts record the curve but never gate it.
+        report.scaling = vec![
+            ScalingStep {
+                threads: 1,
+                build_ms: 10.0,
+                query_qps: 1_000_000.0,
+            },
+            ScalingStep {
+                threads: 4,
+                build_ms: 40.0,
+                query_qps: 200_000.0,
+            },
+        ];
+        report.host_cores = 1;
+        report.check().expect("1-core host is not gated");
+        // On a multi-core host the same flat curve fails.
+        report.host_cores = 4;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("parallel batch query"), "{err}");
+        // A healthy curve passes.
+        report.scaling[1].query_qps = 2_000_000.0;
+        report.scaling[1].build_ms = 6.0;
+        report.check().expect("healthy curve passes");
     }
 
     #[test]
@@ -827,6 +1232,15 @@ mod tests {
                 .collect(),
             families,
             cold_start,
+            scaling: SCALING_WIDTHS
+                .iter()
+                .map(|&t| ScalingStep {
+                    threads: t,
+                    build_ms: 4.0 / t as f64 + 1.0,
+                    query_qps: 1_000_000.0 * t as f64,
+                })
+                .collect(),
+            wire: None,
         }
     }
 }

@@ -27,7 +27,7 @@ use std::time::Instant;
 use hoplite_core::{DynamicOracle, Oracle};
 use hoplite_graph::gen::{self, Rng};
 use hoplite_graph::{io as gio, Dag, DiGraph};
-use hoplite_server::{Client, Registry, Server, ServerConfig};
+use hoplite_server::{loadgen, Client, LoadSpec, Registry, ServeMode, Server, ServerConfig};
 
 const USAGE: &str = "\
 hoplited — hoplite reachability query daemon
@@ -40,7 +40,12 @@ USAGE:
 
 SERVE:
     --listen ADDR          bind address, e.g. 127.0.0.1:7411 (port 0 = ephemeral)
-    --workers N            connection-handler threads (default: cores)
+    --reactor              epoll/kqueue event loop instead of the thread
+                           pool: one thread multiplexes every socket and
+                           coalesces queries across connections; clients
+                           are never refused below the fd limit
+    --workers N            connection-handler threads (thread-pool mode;
+                           default: cores)
     --batch-threads N      fan-out width for BATCH queries (default: cores, max 8)
     --frozen NAME=FILE     build a frozen namespace from a graph file
                            (.gra adjacency, anything else = edge list)
@@ -58,8 +63,23 @@ BENCH (wire-level throughput on a synthetic power-law graph):
     --edges M              edge count            (default 150000)
     --queries Q            total queries         (default 200000)
     --clients C            concurrent clients    (default 4)
-    --batch K              pairs per BATCH frame (default 512; 1 = single REACH)
+    --batch K              pairs per frame       (default 512; 1 = single REACH)
     --workers N            server worker threads (default: cores)
+    --reactor              benchmark the reactor serving loop
+    --connections LIST     comma-separated connection counts to sweep,
+                           e.g. 100,1000,10000 — each step holds that
+                           many sockets open and drives pipelined load
+                           through all of them via a bounded worker pool
+                           (loadgen), instead of one thread per client
+    --pipeline D           frames in flight per connection (sweep mode;
+                           default 8)
+    --threads W            loadgen worker threads (sweep mode; default:
+                           cores, max 8)
+    --addr HOST:PORT       drive an already-running server (namespace
+                           \"bench\", pairs drawn from 0..--vertices)
+                           instead of spawning one in-process — the way
+                           to push a 10k-socket sweep when one process's
+                           fd limit cannot hold both ends
 
 SMOKE:
     self-contained serving-path check: ephemeral server, PING, REACH,
@@ -134,6 +154,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--listen" => listen = Some(it.next().ok_or("--listen needs a value")?.clone()),
+            "--reactor" => config.mode = ServeMode::Reactor,
             "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
             "--batch-threads" => {
                 config.batch_threads = parse_num("--batch-threads", it.next()).map(|n| n.max(1))?
@@ -221,10 +242,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
         .map_err(|e| format!("bind {listen}: {e}"))?;
     println!("hoplited listening on {}", handle.local_addr());
-    eprintln!(
-        "[hoplited] {loaded} namespace(s), {} workers, batch fan-out {}",
-        config.workers, config.batch_threads
-    );
+    match config.mode {
+        ServeMode::ThreadPool => eprintln!(
+            "[hoplited] {loaded} namespace(s), {} workers, batch fan-out {}",
+            config.workers, config.batch_threads
+        ),
+        ServeMode::Reactor => eprintln!(
+            "[hoplited] {loaded} namespace(s), reactor event loop, batch fan-out {}",
+            config.batch_threads
+        ),
+    }
     // Serve until killed; the accept/worker threads do all the work.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -232,11 +259,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut vertices = 50_000usize;
     let mut edges = 150_000usize;
     let mut queries = 200_000usize;
     let mut clients = 4usize;
     let mut batch = 512usize;
+    let mut connections: Option<Vec<usize>> = None;
+    let mut pipeline = 8usize;
+    let mut threads = cores.clamp(1, 8);
+    let mut addr: Option<String> = None;
     let mut config = ServerConfig::default();
 
     let mut it = args.iter();
@@ -248,8 +282,33 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--clients" => clients = parse_num("--clients", it.next()).map(|n| n.max(1))?,
             "--batch" => batch = parse_num("--batch", it.next()).map(|n| n.max(1))?,
             "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
+            "--reactor" => config.mode = ServeMode::Reactor,
+            "--pipeline" => pipeline = parse_num("--pipeline", it.next()).map(|n| n.max(1))?,
+            "--threads" => threads = parse_num("--threads", it.next()).map(|n| n.max(1))?,
+            "--connections" => {
+                let list = it.next().ok_or("--connections needs a value")?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                connections = Some(parsed.map_err(|e| format!("--connections: {e}"))?);
+            }
+            "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
             other => return Err(format!("unknown bench flag {other:?}")),
         }
+    }
+
+    if let Some(addr) = addr {
+        let sweep = connections.unwrap_or_else(|| vec![100]);
+        let addr: std::net::SocketAddr =
+            addr.parse().map_err(|e| format!("--addr {addr:?}: {e}"))?;
+        run_sweep(
+            addr, "external", vertices, queries, batch, &sweep, pipeline, threads, None,
+        )?;
+        return Ok(());
+    }
+    if let Some(sweep) = connections {
+        return bench_sweep(
+            vertices, edges, queries, batch, &sweep, pipeline, threads, config,
+        );
     }
 
     eprintln!("[bench] generating power-law DAG: {vertices} vertices, {edges} edges");
@@ -329,6 +388,117 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         stats.queries,
     );
     handle.shutdown();
+    Ok(())
+}
+
+/// The connection-count sweep: builds one oracle, serves it, then for
+/// each requested connection count holds that many sockets open and
+/// drives pipelined load through *all* of them with a bounded worker
+/// pool — measuring how wire QPS behaves as sockets grow from hundreds
+/// to tens of thousands (the reactor's reason to exist; the thread
+/// pool refuses anything beyond its worker count, so sweeping it past
+/// that is only meaningful with `--workers` raised to match).
+#[allow(clippy::too_many_arguments)]
+fn bench_sweep(
+    vertices: usize,
+    edges: usize,
+    queries: usize,
+    batch: usize,
+    sweep: &[usize],
+    pipeline: usize,
+    threads: usize,
+    mut config: ServerConfig,
+) -> Result<(), String> {
+    eprintln!("[bench] generating power-law DAG: {vertices} vertices, {edges} edges");
+    let dag = gen::power_law_dag(vertices, edges, 42);
+    let t = Instant::now();
+    let oracle = Oracle::new(&dag.into_graph());
+    eprintln!(
+        "[bench] oracle built in {:.0} ms ({} label entries)",
+        t.elapsed().as_secs_f64() * 1e3,
+        oracle.label_entries(),
+    );
+    let registry = Arc::new(Registry::new());
+    registry
+        .insert_frozen("bench", oracle)
+        .map_err(|e| e.to_string())?;
+    if config.mode == ServeMode::ThreadPool {
+        // Give the pool a fighting chance to hold the sweep's sockets.
+        let peak = sweep.iter().copied().max().unwrap_or(0);
+        config.workers = config.workers.max(peak + 2);
+    }
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&registry), config.clone())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    let mode = match config.mode {
+        ServeMode::ThreadPool => "thread-pool",
+        ServeMode::Reactor => "reactor",
+    };
+    run_sweep(
+        addr,
+        mode,
+        vertices,
+        queries,
+        batch,
+        sweep,
+        pipeline,
+        threads,
+        Some(&handle),
+    )?;
+    handle.shutdown();
+    Ok(())
+}
+
+/// Runs the connection-count sweep against `addr`, printing one line
+/// per step; coalescing counters are reported when the server handle
+/// is in-process.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep(
+    addr: std::net::SocketAddr,
+    mode: &str,
+    vertices: usize,
+    queries: usize,
+    batch: usize,
+    sweep: &[usize],
+    pipeline: usize,
+    threads: usize,
+    handle: Option<&hoplite_server::ServerHandle>,
+) -> Result<(), String> {
+    eprintln!(
+        "[bench] {mode} server on {addr}; sweep {sweep:?} connections, \
+         pipeline {pipeline}, batch {batch}, {threads} loadgen threads"
+    );
+    for &conns in sweep {
+        let spec = LoadSpec {
+            addr,
+            ns: "bench".into(),
+            vertices: vertices as u32,
+            connections: conns,
+            threads,
+            pipeline_depth: pipeline,
+            batch,
+            queries: queries as u64,
+            seed: 0xB0B0 ^ conns as u64,
+        };
+        let report = loadgen::run_load(&spec).map_err(|e| format!("{conns} conns: {e}"))?;
+        let coalesced = match handle {
+            Some(h) => format!(
+                ", coalesced {} frames over {} calls",
+                h.frames_coalesced(),
+                h.coalesce_calls()
+            ),
+            None => String::new(),
+        };
+        println!(
+            "bench[{mode}]: {:>6} conns → {:>12.0} queries/s \
+             ({} queries in {:.1} ms, {} errors{coalesced})",
+            report.connections,
+            report.qps(),
+            report.queries,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.errors,
+        );
+    }
     Ok(())
 }
 

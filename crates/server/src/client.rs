@@ -1,9 +1,15 @@
 //! A blocking client for the hoplite wire protocol.
 //!
-//! One [`Client`] owns one TCP connection and issues one request at a
-//! time (the protocol is strictly request/response per connection;
-//! open more clients for concurrency — they are cheap, and the server
-//! multiplexes them across its thread pool).
+//! One [`Client`] owns one TCP connection. The convenience methods
+//! ([`Client::reach`], [`Client::reach_batch`], …) issue one request
+//! at a time; the **pipelined** trio [`Client::send`] /
+//! [`Client::flush`] / [`Client::recv`] puts N frames on the wire
+//! before reading any reply. The server answers each connection's
+//! frames in arrival order, so pipelined replies come back in send
+//! order — and a reactor-mode server can coalesce the in-flight
+//! frames of *many* pipelined clients into shared batch-kernel calls,
+//! which is how the wire benchmarks reach kernel-level throughput.
+//! Open more clients for concurrency across threads.
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -185,5 +191,76 @@ impl Client {
             Response::List(infos) => Ok(infos),
             _ => Err(ClientError::Unexpected("LIST")),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined mode
+    // ------------------------------------------------------------------
+
+    /// Queues one request frame into the write buffer without waiting
+    /// for its reply. Call [`Client::flush`] to put the batch on the
+    /// wire, then [`Client::recv`] exactly once per `send` — replies
+    /// arrive in send order. Keep the pipeline depth bounded (dozens,
+    /// not millions): replies you have not `recv`ed occupy socket and
+    /// server buffers, and a reactor-mode server will stop reading
+    /// from a connection whose unread replies exceed its backpressure
+    /// budget.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let payload = request.encode()?;
+        write_frame(&mut self.writer, &payload)?;
+        Ok(())
+    }
+
+    /// Flushes every queued frame to the wire.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next in-order reply for a pipelined [`Client::send`].
+    /// An `ERROR` reply surfaces as [`ClientError::Server`] and
+    /// consumes the reply slot — keep `recv`ing for the rest of the
+    /// pipeline.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let reply = read_frame(&mut self.reader, MAX_FRAME_LEN)?;
+        match Response::decode(&reply)? {
+            Response::Error(message) => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Pipelined convenience: sends every pair as its own `REACH`
+    /// frame, flushes once, then collects the replies in order —
+    /// exactly the many-small-frames shape the reactor's coalescer
+    /// turns into one deep batch call.
+    ///
+    /// ```no_run
+    /// # use hoplite_server::Client;
+    /// let mut client = Client::connect("127.0.0.1:7411")?;
+    /// let answers = client.pipeline_reach("web", &[(0, 1), (1, 2), (2, 0)])?;
+    /// assert_eq!(answers.len(), 3);
+    /// # Ok::<(), hoplite_server::ClientError>(())
+    /// ```
+    pub fn pipeline_reach(
+        &mut self,
+        ns: &str,
+        pairs: &[(u32, u32)],
+    ) -> Result<Vec<bool>, ClientError> {
+        for &(u, v) in pairs {
+            self.send(&Request::Reach {
+                ns: ns.to_owned(),
+                u,
+                v,
+            })?;
+        }
+        self.flush()?;
+        let mut answers = Vec::with_capacity(pairs.len());
+        for _ in pairs {
+            match self.recv()? {
+                Response::Bool(b) => answers.push(b),
+                _ => return Err(ClientError::Unexpected("BOOL")),
+            }
+        }
+        Ok(answers)
     }
 }

@@ -10,8 +10,11 @@
 //! that replica. A [`Registry`] holds many named graphs at once —
 //! frozen [`hoplite_core::Oracle`] snapshots (loaded from `HOPL` files
 //! or built at startup) and mutable [`hoplite_core::DynamicOracle`]
-//! namespaces — and a thread-pool [`Server`] answers the length-
-//! prefixed binary protocol of [`protocol`]: `PING`, `REACH`, `BATCH`,
+//! namespaces — and a [`Server`] (per-connection thread pool, or an
+//! epoll/kqueue reactor via [`ServeMode::Reactor`] that multiplexes
+//! 10k+ sockets on one thread and coalesces queries across them)
+//! answers the length-prefixed binary protocol of [`protocol`]:
+//! `PING`, `REACH`, `BATCH`,
 //! `ADD_EDGE`, `REMOVE_EDGE`, `STATS`, `LIST`. Frozen labels are
 //! immutable, so the query fast path takes no lock; `REACH` and
 //! `BATCH` run the [`hoplite_core::QueryFilters`] O(1) pre-filter
@@ -47,16 +50,20 @@
 //! wire-level QPS, `hoplited smoke` is a self-contained CI check.
 
 pub mod client;
+pub mod loadgen;
 pub mod pool;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 pub mod registry;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use loadgen::{LoadReport, LoadSpec};
 pub use pool::ThreadPool;
 pub use protocol::{
-    IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, Request, Response, WireError,
-    MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
+    FrameAccumulator, IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, Request,
+    Response, WireError, MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
 };
 pub use registry::{NamespaceHandle, Registry, ServeError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{ServeMode, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,302 @@
+//! A many-connection wire load generator.
+//!
+//! Driving 10k sockets with 10k blocking client threads would
+//! benchmark the OS scheduler, not the server. This module drives `C`
+//! connections from `W` worker threads instead: each worker owns a
+//! disjoint slice of connections and runs rounds of *pipelined* load —
+//! queue `depth` frames on every connection, flush, then collect every
+//! reply in order. At any instant a worker's whole slice has frames in
+//! flight, which is exactly the traffic shape the reactor's
+//! cross-connection coalescer feeds on, and replies are small (≤ 9
+//! bytes for `BOOL`) so a bounded depth can never deadlock against
+//! socket buffers.
+//!
+//! Both `hoplited bench` and the `paper perf` wire stage use this one
+//! implementation, so the committed BENCH numbers and the ad-hoc CLI
+//! measure the same thing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::client::ClientError;
+use crate::protocol::{FrameAccumulator, Request, Response, MAX_FRAME_LEN};
+
+/// What load to offer; see [`run_load`].
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Server to connect to.
+    pub addr: SocketAddr,
+    /// Namespace every query targets.
+    pub ns: String,
+    /// Vertex-id space to draw random pairs from (`0..vertices`).
+    pub vertices: u32,
+    /// Concurrent connections to hold open.
+    pub connections: usize,
+    /// Worker threads driving those connections (clamped to
+    /// `connections`).
+    pub threads: usize,
+    /// Frames in flight per connection within a round.
+    pub pipeline_depth: usize,
+    /// Pairs per frame: 1 sends single `REACH` frames (the coalescer's
+    /// favorite food); > 1 sends `BATCH` frames of this size.
+    pub batch: usize,
+    /// Total reachability queries to issue (rounded up to fill whole
+    /// rounds).
+    pub queries: u64,
+    /// Seed for the deterministic query-pair stream.
+    pub seed: u64,
+}
+
+/// What [`run_load`] measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Connections actually opened.
+    pub connections: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Reachability queries answered (pairs, not frames).
+    pub queries: u64,
+    /// Frames that came back as wire-level `ERROR` replies.
+    pub errors: u64,
+    /// `true` answers observed (a cheap checksum against a ground
+    /// truth run of the same seed).
+    pub positives: u64,
+    /// Wall time of the query phase (connection setup excluded).
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Queries per second over the measured phase.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// SplitMix64: deterministic, seekable pair stream shared by every
+/// worker without coordination.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The `i`-th query pair of the stream for `seed`.
+pub fn pair_at(seed: u64, i: u64, vertices: u32) -> (u32, u32) {
+    let r = mix(seed ^ mix(i));
+    let u = (r as u32) % vertices.max(1);
+    let v = ((r >> 32) as u32) % vertices.max(1);
+    (u, v)
+}
+
+/// One benchmark socket. Exactly **one** fd per connection — a
+/// `BufReader`/`BufWriter` split over `try_clone` would double the fd
+/// cost and halve the largest sweep a given `ulimit -n` allows — with
+/// a [`FrameAccumulator`] standing in for read buffering.
+struct WireConn {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+}
+
+impl WireConn {
+    /// Blocking read of the next whole reply frame.
+    fn next_frame(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.acc.next_frame().map_err(ClientError::from)? {
+                return Ok(frame);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "reply stream closed mid-pipeline",
+                    )))
+                }
+                Ok(k) => self.acc.extend(&buf[..k]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<WireConn, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(WireConn {
+        stream,
+        acc: FrameAccumulator::new(MAX_FRAME_LEN),
+    })
+}
+
+/// Opens `spec.connections` sockets, drives `spec.queries` pipelined
+/// queries through them, and reports throughput. Connection setup is
+/// excluded from the timed phase. Fails fast if any connection cannot
+/// be established — an fd-limit refusal should fail the benchmark, not
+/// silently shrink it.
+pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
+    let connections = spec.connections.max(1);
+    let threads = spec.threads.clamp(1, connections);
+    let depth = spec.pipeline_depth.max(1);
+    let batch = spec.batch.max(1);
+
+    // Partition connections across workers as evenly as possible.
+    let mut slices: Vec<usize> = vec![connections / threads; threads];
+    for slice in slices.iter_mut().take(connections % threads) {
+        *slice += 1;
+    }
+
+    // Every connection sends `depth` frames of `batch` pairs per
+    // round; run enough rounds to cover the requested query count.
+    let per_round = (connections * depth * batch) as u64;
+    let rounds = spec.queries.div_ceil(per_round).max(1);
+
+    // Open every socket up front (the "sustains C concurrent sockets"
+    // part of the measurement) before the clock starts.
+    let mut conns: Vec<Vec<WireConn>> = Vec::with_capacity(threads);
+    for slice in &slices {
+        let mut owned = Vec::with_capacity(*slice);
+        for _ in 0..*slice {
+            owned.push(connect(spec.addr)?);
+        }
+        conns.push(owned);
+    }
+
+    let started = Instant::now();
+    let results: Vec<Result<(u64, u64, u64), ClientError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (worker, owned) in conns.into_iter().enumerate() {
+            let spec = &*spec;
+            handles.push(
+                scope.spawn(move || worker_loop(owned, spec, worker as u64, rounds, depth, batch)),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed();
+    let mut queries = 0;
+    let mut errors = 0;
+    let mut positives = 0;
+    for result in results {
+        let (q, e, p) = result?;
+        queries += q;
+        errors += e;
+        positives += p;
+    }
+    Ok(LoadReport {
+        connections,
+        threads,
+        queries,
+        errors,
+        positives,
+        elapsed,
+    })
+}
+
+/// One worker's rounds over its connection slice. Returns
+/// `(queries_answered, error_replies, true_answers)`.
+fn worker_loop(
+    mut conns: Vec<WireConn>,
+    spec: &LoadSpec,
+    worker: u64,
+    rounds: u64,
+    depth: usize,
+    batch: usize,
+) -> Result<(u64, u64, u64), ClientError> {
+    let mut queries = 0u64;
+    let mut errors = 0u64;
+    let mut positives = 0u64;
+    // Disjoint per-worker region of the shared pair stream.
+    let mut next_pair = worker << 40;
+
+    let mut wbuf: Vec<u8> = Vec::with_capacity(depth * 64);
+    for _round in 0..rounds {
+        // Send phase: every connection gets `depth` frames in one
+        // write — so the whole slice has frames in flight at once.
+        for conn in conns.iter_mut() {
+            wbuf.clear();
+            for _ in 0..depth {
+                let pairs: Vec<(u32, u32)> = (0..batch)
+                    .map(|_| {
+                        let p = pair_at(spec.seed, next_pair, spec.vertices);
+                        next_pair += 1;
+                        p
+                    })
+                    .collect();
+                let request = if batch == 1 {
+                    Request::Reach {
+                        ns: spec.ns.clone(),
+                        u: pairs[0].0,
+                        v: pairs[0].1,
+                    }
+                } else {
+                    Request::Batch {
+                        ns: spec.ns.clone(),
+                        pairs,
+                    }
+                };
+                let payload = request.encode()?;
+                wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                wbuf.extend_from_slice(&payload);
+            }
+            conn.stream.write_all(&wbuf)?;
+        }
+        // Collect phase: replies come back in send order per
+        // connection.
+        for conn in conns.iter_mut() {
+            for _ in 0..depth {
+                let reply = conn.next_frame()?;
+                match Response::decode(&reply)? {
+                    Response::Bool(b) => {
+                        queries += 1;
+                        positives += b as u64;
+                    }
+                    Response::Bools(bs) => {
+                        queries += bs.len() as u64;
+                        positives += bs.iter().filter(|&&b| b).count() as u64;
+                    }
+                    Response::Error(_) => errors += 1,
+                    _ => errors += 1,
+                }
+            }
+        }
+    }
+    Ok((queries, errors, positives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_stream_is_deterministic_and_in_range() {
+        for i in 0..1000 {
+            let (u, v) = pair_at(42, i, 100);
+            assert!(u < 100 && v < 100);
+            assert_eq!((u, v), pair_at(42, i, 100));
+        }
+        assert_ne!(pair_at(42, 0, 1000), pair_at(43, 0, 1000));
+    }
+
+    #[test]
+    fn load_report_qps_math() {
+        let report = LoadReport {
+            connections: 4,
+            threads: 2,
+            queries: 1000,
+            errors: 0,
+            positives: 10,
+            elapsed: Duration::from_millis(500),
+        };
+        assert!((report.qps() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,12 +1,16 @@
 //! A small fixed-size thread pool over `std::sync::mpsc`.
 //!
-//! The server hands each accepted connection to the pool, bounding the
-//! number of concurrent connection-handler threads regardless of how
-//! many clients connect. Jobs that panic are contained
-//! (`catch_unwind`), so one poisoned connection cannot shrink the
-//! pool. Dropping the pool is a graceful shutdown: the job channel
-//! closes, workers drain what was already queued, then exit and are
-//! joined.
+//! In [`ServeMode::ThreadPool`](crate::server::ServeMode) the server
+//! hands each accepted connection to the pool, bounding the number of
+//! concurrent connection-handler threads regardless of how many
+//! clients connect — the latency-optimal mode when the persistent
+//! client count is small and known. (The reactor mode in
+//! `crate::reactor` inverts the trade: every socket multiplexed on
+//! one thread, for connection counts a thread-per-connection design
+//! cannot hold.) Jobs that panic are contained (`catch_unwind`), so
+//! one poisoned connection cannot shrink the pool. Dropping the pool
+//! is a graceful shutdown: the job channel closes, workers drain what
+//! was already queued, then exit and are joined.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};

@@ -148,6 +148,93 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, WireError
     Ok(buf)
 }
 
+/// Incremental frame decoder for nonblocking transports.
+///
+/// [`read_frame`] needs a blocking reader; the reactor gets bytes in
+/// arbitrary slices (half a length prefix now, three frames at once
+/// later). An accumulator buffers whatever arrives and yields complete
+/// payloads as they materialize, tolerating byte-at-a-time input:
+///
+/// ```
+/// use hoplite_server::protocol::{FrameAccumulator, Request};
+///
+/// let payload = Request::Ping.encode().unwrap();
+/// let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+/// frame.extend_from_slice(&payload);
+///
+/// let mut acc = FrameAccumulator::new(1024);
+/// for &byte in &frame[..frame.len() - 1] {
+///     acc.extend(&[byte]);
+///     assert!(acc.next_frame().unwrap().is_none(), "frame not complete yet");
+/// }
+/// acc.extend(&frame[frame.len() - 1..]);
+/// assert_eq!(acc.next_frame().unwrap().unwrap(), payload);
+/// ```
+///
+/// A length prefix over the limit is a [`WireError::FrameTooLarge`];
+/// after that error the stream can no longer be trusted (the oversized
+/// body was never consumed) and the connection must close once the
+/// error reply flushes.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Bytes before `pos` belong to already-yielded frames.
+    pos: usize,
+    max_len: u32,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator enforcing `max_len` on every frame.
+    pub fn new(max_len: u32) -> FrameAccumulator {
+        FrameAccumulator {
+            buf: Vec::new(),
+            pos: 0,
+            max_len,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its in-flight
+        // data, not its lifetime traffic.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yields the next complete frame payload, `None` if more bytes
+    /// are needed, or [`WireError::FrameTooLarge`] if the pending
+    /// length prefix exceeds the limit.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > self.max_len {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        let len = len as usize;
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Body reader/writer primitives
 // ---------------------------------------------------------------------
@@ -970,6 +1057,70 @@ mod tests {
             ns: "x".repeat(MAX_NAME_LEN + 1),
         };
         assert!(req.encode().is_err());
+    }
+
+    #[test]
+    fn accumulator_yields_frames_across_arbitrary_splits() {
+        let payloads: Vec<Vec<u8>> = vec![
+            Request::Ping.encode().unwrap(),
+            Request::Reach {
+                ns: "g".into(),
+                u: 3,
+                v: 9,
+            }
+            .encode()
+            .unwrap(),
+            vec![],
+            Request::List.encode().unwrap(),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            stream.extend_from_slice(p);
+        }
+        // Every split granularity from byte-at-a-time to one big write
+        // must yield the identical frame sequence.
+        for chunk in [1usize, 2, 3, 5, 7, stream.len()] {
+            let mut acc = FrameAccumulator::new(MAX_FRAME_LEN);
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                acc.extend(piece);
+                while let Some(frame) = acc.next_frame().unwrap() {
+                    got.push(frame);
+                }
+            }
+            assert_eq!(got, payloads, "chunk size {chunk}");
+            assert_eq!(acc.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn accumulator_rejects_oversized_prefix_before_buffering_the_body() {
+        let mut acc = FrameAccumulator::new(64);
+        acc.extend(&100u32.to_le_bytes());
+        assert!(matches!(
+            acc.next_frame(),
+            Err(WireError::FrameTooLarge { len: 100, max: 64 })
+        ));
+        // The error is sticky: the prefix is still pending, so the
+        // caller sees it again until it closes the connection.
+        assert!(acc.next_frame().is_err());
+    }
+
+    #[test]
+    fn accumulator_compacts_consumed_prefix() {
+        let payload = Request::Ping.encode().unwrap();
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        let mut acc = FrameAccumulator::new(MAX_FRAME_LEN);
+        for round in 0..5_000 {
+            acc.extend(&frame);
+            assert_eq!(acc.next_frame().unwrap().unwrap(), payload, "{round}");
+        }
+        assert_eq!(acc.pending_bytes(), 0);
+        // 5k frames of 6 bytes each passed through; the buffer must not
+        // have accumulated them.
+        assert!(acc.buf.len() < 4 * 4096, "buffer grew to {}", acc.buf.len());
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! The event-driven serving loop: one epoll/kqueue reactor thread
+//! multiplexing every connection, with cross-connection batch
+//! coalescing.
+//!
+//! The thread-pool server ([`crate::server`]) pins one OS thread per
+//! connection, so concurrency is capped at the worker count and
+//! over-capacity clients are refused. The reactor inverts that: a
+//! single thread owns *all* sockets through an OS readiness queue
+//! (`epoll(7)` on Linux, `kqueue(2)` on the BSDs/macOS — declared as a
+//! std-only `extern "C"` shim, the same pattern as the
+//! `hoplite_core::store` mmap shim), so 10k mostly-idle connections
+//! cost file descriptors and buffer bytes, not threads, and nobody is
+//! ever refused below the fd limit.
+//!
+//! Per tick the reactor:
+//!
+//! 1. drains readiness events — accepting new sockets, pulling
+//!    whatever bytes each readable connection has (a
+//!    [`FrameAccumulator`] tolerates half frames; a slow client can
+//!    trickle one byte per tick without desynchronizing framing), and
+//!    flushing writable connections' buffered replies;
+//! 2. decodes the complete frames. `PING`/`LIST`/`STATS`/mutations and
+//!    malformed payloads are answered inline; `REACH`/`BATCH` against
+//!    **frozen** namespaces are *coalesced* — their pairs from every
+//!    connection are gathered into one shared batch per namespace;
+//! 3. runs each namespace's gathered batch through one
+//!    [`NamespaceHandle::reach_batch`] call (i.e.
+//!    `hoplite_core::parallel::par_query_batch_mapped` at the
+//!    configured fan-out), so the prefetch-pipelined adaptive kernel
+//!    sees deep batches even when every client sends one-pair frames;
+//! 4. scatters the answers back, encoding each connection's replies
+//!    **in its own request order** (the protocol guarantee; across
+//!    connections replies may complete in any order), then writes as
+//!    much as each socket accepts. Unwritten bytes stay in a
+//!    per-connection buffer; a connection whose buffered replies
+//!    exceed [`ServerConfig::write_backpressure`] stops being *read*
+//!    until the peer drains — backpressure instead of unbounded
+//!    memory.
+//!
+//! Shutdown is a graceful drain: stop accepting, answer everything
+//! already decoded, briefly flush buffered replies, close.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{FrameAccumulator, Request, Response, MAX_BATCH_PAIRS};
+use crate::registry::{NamespaceHandle, Registry, ServeError};
+use crate::server::{ServerConfig, ServerCounters};
+
+pub(crate) mod sys;
+
+/// The listener's token; connection tokens are slab `index | gen<<32`
+/// and an index never reaches `u32::MAX`.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Read-chunk size per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------
+// Connection slab
+// ---------------------------------------------------------------------
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Incremental frame parser over whatever bytes have arrived.
+    acc: FrameAccumulator,
+    /// Encoded-but-unwritten reply bytes; `out_pos` marks the
+    /// already-written prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Close once `out` flushes (EOF seen, or framing broke).
+    close_after_flush: bool,
+    /// Interest currently registered with the poller.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// Generation-stamped connection storage: tokens from a previous
+/// occupant of a slot never resolve, so a reply can never be scattered
+/// to a connection that closed (and whose fd was reused) mid-tick.
+struct Slab {
+    entries: Vec<(u32, Option<Conn>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> u64 {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            entry.1 = Some(conn);
+            token(index, entry.0)
+        } else {
+            let index = self.entries.len() as u32;
+            self.entries.push((0, Some(conn)));
+            token(index, 0)
+        }
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let (index, gen) = untoken(token);
+        match self.entries.get_mut(index as usize) {
+            Some((g, slot)) if *g == gen => slot.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the connection; bumps the generation so the
+    /// token (and any copy of it in this tick's slots) goes stale.
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let (index, gen) = untoken(token);
+        match self.entries.get_mut(index as usize) {
+            Some((g, slot)) if *g == gen && slot.is_some() => {
+                *g = g.wrapping_add(1);
+                self.free.push(index);
+                self.live -= 1;
+                slot.take()
+            }
+            _ => None,
+        }
+    }
+
+    fn drain_live(&mut self) -> impl Iterator<Item = Conn> + '_ {
+        self.live = 0;
+        self.entries.iter_mut().filter_map(|(_, slot)| slot.take())
+    }
+}
+
+fn token(index: u32, gen: u32) -> u64 {
+    index as u64 | (gen as u64) << 32
+}
+
+fn untoken(token: u64) -> (u32, u32) {
+    (token as u32, (token >> 32) as u32)
+}
+
+// ---------------------------------------------------------------------
+// Per-tick coalescing state
+// ---------------------------------------------------------------------
+
+/// Where one coalesced frame's answers live in its namespace's shared
+/// pair vector, and what reply shape it expects.
+struct Target {
+    slot: usize,
+    start: usize,
+    len: usize,
+    /// `BATCH` (bit-packed `BOOLS`) vs single `REACH` (`BOOL`).
+    batch: bool,
+}
+
+/// One frozen namespace's gathered queries for this tick.
+struct Job {
+    handle: NamespaceHandle,
+    pairs: Vec<(u32, u32)>,
+    targets: Vec<Target>,
+}
+
+/// Everything decoded this tick: per-connection replies are emitted in
+/// `slots` order, which is arrival order, so pipelined clients read
+/// replies in the order they sent requests.
+#[derive(Default)]
+struct Tick {
+    slots: Vec<(u64, Option<Response>)>,
+    jobs: HashMap<String, Job>,
+    /// Connections touched this tick (deduplicated coarsely); flushed
+    /// and swept after scatter.
+    dirty: Vec<u64>,
+}
+
+impl Tick {
+    fn push_dirty(&mut self, token: u64) {
+        if self.dirty.last() != Some(&token) {
+            self.dirty.push(token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor loop
+// ---------------------------------------------------------------------
+
+/// Runs the reactor until `stop`; the server's background thread body.
+pub(crate) fn reactor_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: Arc<ServerConfig>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) {
+    if let Err(e) = run(&listener, &registry, &config, &stop, &counters) {
+        // A reactor that cannot poll cannot serve; surface the reason
+        // rather than spinning. (Poller construction is the only
+        // fallible step that lands here — per-connection errors are
+        // handled inline by dropping the connection.)
+        eprintln!("[hoplited] reactor failed: {e}");
+    }
+}
+
+fn run(
+    listener: &TcpListener,
+    registry: &Registry,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    counters: &ServerCounters,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = sys::Poller::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+    let mut slab = Slab::new();
+    let mut events: Vec<sys::Event> = Vec::new();
+    let mut tick = Tick::default();
+
+    while !stop.load(Ordering::SeqCst) {
+        poller.wait(&mut events, config.poll_interval)?;
+        for event in &events {
+            if event.token == LISTENER_TOKEN {
+                accept_ready(listener, &poller, &mut slab, config, counters);
+                continue;
+            }
+            if event.readable {
+                read_ready(
+                    event.token,
+                    &mut slab,
+                    &mut tick,
+                    registry,
+                    config,
+                    counters,
+                );
+            }
+            if event.writable {
+                tick.push_dirty(event.token);
+            }
+        }
+        run_jobs(&mut tick, config, counters);
+        scatter(&mut tick, &mut slab, counters);
+        for token in std::mem::take(&mut tick.dirty) {
+            flush_and_sweep(token, &mut slab, &poller, config, counters);
+        }
+        tick.slots.clear();
+    }
+
+    drain(&mut slab, counters);
+    poller.remove(listener.as_raw_fd());
+    Ok(())
+}
+
+/// Accepts everything the listen queue holds. The reactor never
+/// refuses a connection: an idle socket costs one fd and a few hundred
+/// bytes, so capacity is the fd limit, not a thread count.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &sys::Poller,
+    slab: &mut Slab,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // peer already gone
+                }
+                let _ = stream.set_nodelay(true);
+                let fd = stream.as_raw_fd();
+                let token = slab.insert(Conn {
+                    stream,
+                    fd,
+                    acc: FrameAccumulator::new(config.max_frame_len),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    close_after_flush: false,
+                    interest: (true, false),
+                });
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                counters.active.fetch_add(1, Ordering::SeqCst);
+                if poller.add(fd, token, true, false).is_err() {
+                    // Registration failure (fd limit pressure inside
+                    // the poller): drop the connection cleanly.
+                    drop_conn(token, slab, counters);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (EMFILE…): back off briefly
+                // instead of spinning on a hot listener.
+                std::thread::sleep(Duration::from_millis(5));
+                break;
+            }
+        }
+    }
+}
+
+fn drop_conn(token: u64, slab: &mut Slab, counters: &ServerCounters) {
+    if slab.remove(token).is_some() {
+        // The poller forgets a closed fd automatically; dropping the
+        // stream closes it.
+        counters.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Pulls every available byte from a readable connection and decodes
+/// the complete frames into this tick's slots/jobs.
+fn read_ready(
+    token: u64,
+    slab: &mut Slab,
+    tick: &mut Tick,
+    registry: &Registry,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+) {
+    let Some(conn) = slab.get_mut(token) else {
+        return;
+    };
+    if conn.close_after_flush || conn.backlog() > config.write_backpressure {
+        // Closing, or backpressured: leave the bytes in the kernel
+        // buffer (level-triggered readiness re-reports them once the
+        // peer drains our replies).
+        return;
+    }
+    let mut buf = [0u8; READ_CHUNK];
+    let mut eof = false;
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(k) => {
+                conn.acc.extend(&buf[..k]);
+                if conn.acc.pending_bytes() as u64 > config.max_frame_len as u64 + 4 {
+                    break; // one frame's worth is buffered; parse first
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                drop_conn(token, slab, counters);
+                return;
+            }
+        }
+    }
+
+    // Decode every complete frame in arrival order.
+    loop {
+        let Some(conn) = slab.get_mut(token) else {
+            return;
+        };
+        match conn.acc.next_frame() {
+            Ok(Some(payload)) => {
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                decode_frame(&payload, token, tick, registry, config);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Oversized length prefix: framing can no longer be
+                // trusted; final error reply, then close after flush.
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                conn.close_after_flush = true;
+                tick.slots
+                    .push((token, Some(Response::Error(format!("bad request: {e}")))));
+                break;
+            }
+        }
+    }
+    if eof {
+        // Peer half-closed: answer what it already sent, then close.
+        if let Some(conn) = slab.get_mut(token) {
+            conn.close_after_flush = true;
+        }
+    }
+    tick.push_dirty(token);
+}
+
+/// Decodes one frame into an inline reply or a coalesced-job target.
+fn decode_frame(
+    payload: &[u8],
+    token: u64,
+    tick: &mut Tick,
+    registry: &Registry,
+    config: &ServerConfig,
+) {
+    let slot = tick.slots.len();
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            tick.slots
+                .push((token, Some(Response::Error(format!("bad request: {e}")))));
+            return;
+        }
+    };
+    // Queries against frozen namespaces coalesce; everything else is
+    // cheap (or lock-bound anyway) and answered inline through the
+    // same dispatcher the thread-pool server uses.
+    let (ns, pairs, batch): (&str, Vec<(u32, u32)>, bool) = match &request {
+        Request::Reach { ns, u, v } => (ns, vec![(*u, *v)], false),
+        Request::Batch { ns, pairs } => (ns, pairs.clone(), true),
+        _ => {
+            tick.slots.push((
+                token,
+                Some(crate::server::handle_request(request, registry, config)),
+            ));
+            return;
+        }
+    };
+    let response = match registry.get(ns) {
+        None => Some(Response::Error(
+            ServeError::UnknownNamespace(ns.to_owned()).to_string(),
+        )),
+        Some(handle) if handle.is_frozen() => {
+            match pairs
+                .iter()
+                .try_for_each(|&(u, v)| handle.validate_pair(u, v))
+            {
+                Err(e) => Some(Response::Error(e.to_string())),
+                Ok(()) => {
+                    let job = tick.jobs.entry(ns.to_owned()).or_insert_with(|| Job {
+                        handle,
+                        pairs: Vec::new(),
+                        targets: Vec::new(),
+                    });
+                    job.targets.push(Target {
+                        slot,
+                        start: job.pairs.len(),
+                        len: pairs.len(),
+                        batch,
+                    });
+                    job.pairs.extend_from_slice(&pairs);
+                    None
+                }
+            }
+        }
+        // Dynamic namespaces serialize through their mutex regardless;
+        // answer inline.
+        Some(handle) => Some(match handle.reach_batch(&pairs, 1) {
+            Ok(answers) if batch => Response::Bools(answers),
+            Ok(answers) => Response::Bool(answers[0]),
+            Err(e) => Response::Error(e.to_string()),
+        }),
+    };
+    tick.slots.push((token, response));
+}
+
+/// Runs every namespace's coalesced batch through one kernel call
+/// (chunked at the protocol's `MAX_BATCH_PAIRS` so a tick of many
+/// maximal batches cannot force one unbounded allocation), then fills
+/// the targets' slots.
+fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters) {
+    let jobs = std::mem::take(&mut tick.jobs);
+    for (_, job) in jobs {
+        let mut answers: Vec<bool> = Vec::with_capacity(job.pairs.len());
+        let mut failed = None;
+        for chunk in job
+            .pairs
+            .chunks(MAX_BATCH_PAIRS as usize)
+            .filter(|c| !c.is_empty())
+        {
+            match job.handle.reach_batch(chunk, config.batch_threads) {
+                Ok(mut a) => answers.append(&mut a),
+                Err(e) => {
+                    // Unreachable in practice: every pair was
+                    // validated at decode time. Fail the frames of
+                    // this namespace rather than the whole tick.
+                    failed = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if job.targets.len() > 1 {
+            counters.coalesced_calls.fetch_add(1, Ordering::Relaxed);
+            counters
+                .coalesced_frames
+                .fetch_add(job.targets.len() as u64, Ordering::Relaxed);
+        }
+        for target in job.targets {
+            let response = match &failed {
+                Some(message) => Response::Error(message.clone()),
+                None => {
+                    let slice = &answers[target.start..target.start + target.len];
+                    if target.batch {
+                        Response::Bools(slice.to_vec())
+                    } else {
+                        Response::Bool(slice[0])
+                    }
+                }
+            };
+            tick.slots[target.slot].1 = Some(response);
+        }
+    }
+}
+
+/// Appends every slot's encoded reply to its connection's write
+/// buffer, in slot order — which is per-connection arrival order.
+fn scatter(tick: &mut Tick, slab: &mut Slab, counters: &ServerCounters) {
+    for (token, response) in tick.slots.drain(..) {
+        let Some(conn) = slab.get_mut(token) else {
+            continue; // connection died mid-tick; drop its replies
+        };
+        let response =
+            response.unwrap_or_else(|| Response::Error("internal: request went unanswered".into()));
+        if matches!(response, Response::Error(_)) {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        encode_into(&mut conn.out, &response);
+    }
+}
+
+/// Encodes `response` as one length-prefixed frame appended to `out`.
+fn encode_into(out: &mut Vec<u8>, response: &Response) {
+    let payload = response.encode().unwrap_or_else(|e| {
+        Response::Error(format!("internal encode failure: {e}"))
+            .encode()
+            .expect("plain error replies always encode")
+    });
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Writes as much of a connection's buffer as the socket accepts, then
+/// reconciles poller interest: write interest while a backlog remains,
+/// read interest unless closing or backpressured.
+fn flush_and_sweep(
+    token: u64,
+    slab: &mut Slab,
+    poller: &sys::Poller,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+) {
+    let Some(conn) = slab.get_mut(token) else {
+        return;
+    };
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                drop_conn(token, slab, counters);
+                return;
+            }
+            Ok(k) => conn.out_pos += k,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                drop_conn(token, slab, counters);
+                return;
+            }
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_flush {
+            drop_conn(token, slab, counters);
+            return;
+        }
+    } else if conn.out_pos >= 64 * 1024 {
+        // Reclaim the written prefix of a large backlog.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    let want_write = conn.backlog() > 0;
+    let want_read = !conn.close_after_flush && conn.backlog() <= config.write_backpressure;
+    if conn.interest != (want_read, want_write) {
+        conn.interest = (want_read, want_write);
+        if poller
+            .modify(conn.fd, token, want_read, want_write)
+            .is_err()
+        {
+            drop_conn(token, slab, counters);
+        }
+    }
+}
+
+/// Graceful-drain tail of a shutdown: briefly flush whatever replies
+/// are still buffered (bounded per connection *and* overall, so a
+/// wedged peer cannot hold the process), then close everything.
+fn drain(slab: &mut Slab, counters: &ServerCounters) {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut closed = 0u64;
+    for conn in slab.drain_live() {
+        closed += 1;
+        if conn.backlog() > 0 && Instant::now() < deadline {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(100)));
+            let mut stream = conn.stream;
+            let _ = stream.write_all(&conn.out[conn.out_pos..]);
+        }
+    }
+    // drain_live consumed the gauge's connections in one sweep.
+    counters.active.fetch_sub(closed as usize, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_conn() -> Conn {
+        // A loopback socket pair gives the slab something real to own.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let fd = stream.as_raw_fd();
+        Conn {
+            stream,
+            fd,
+            acc: FrameAccumulator::new(1024),
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_flush: false,
+            interest: (true, false),
+        }
+    }
+
+    #[test]
+    fn slab_tokens_go_stale_on_removal_and_slots_are_reused() {
+        let mut slab = Slab::new();
+        let t1 = slab.insert(dummy_conn());
+        assert!(slab.get_mut(t1).is_some());
+        assert!(slab.remove(t1).is_some());
+        assert!(slab.get_mut(t1).is_none(), "stale token must not resolve");
+        assert!(slab.remove(t1).is_none(), "double remove is a no-op");
+
+        let t2 = slab.insert(dummy_conn());
+        let (i1, g1) = untoken(t1);
+        let (i2, g2) = untoken(t2);
+        assert_eq!(i1, i2, "slot is reused");
+        assert_ne!(g1, g2, "generation advanced");
+        assert!(slab.get_mut(t1).is_none(), "old token still stale");
+        assert!(slab.get_mut(t2).is_some());
+        assert_eq!(slab.live, 1);
+    }
+
+    #[test]
+    fn poller_reports_readable_loopback_data() {
+        let poller = sys::Poller::new().expect("poller");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(b.as_raw_fd(), 7, true, false).unwrap();
+
+        // Nothing pending: the wait times out empty.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+
+        a.write_all(b"ping").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "readiness never reported");
+        }
+        poller.remove(b.as_raw_fd());
+    }
+}

@@ -134,12 +134,28 @@ impl NamespaceHandle {
         }
     }
 
+    /// Is this a frozen (lock-free, batch-coalescable) snapshot?
+    pub fn is_frozen(&self) -> bool {
+        matches!(&self.inner, Inner::Frozen(_))
+    }
+
     /// Vertices addressable by queries.
     pub fn num_vertices(&self) -> usize {
         match &self.inner {
             Inner::Frozen(ns) => ns.oracle.num_vertices(),
             Inner::Dynamic(ns) => lock_unpoisoned(&ns.oracle).num_vertices(),
         }
+    }
+
+    /// Range-checks one query pair without answering it. The reactor's
+    /// coalescing layer validates every frame *before* admitting its
+    /// pairs into the shared per-tick batch, so one client's
+    /// out-of-range vertex fails that client's frame alone — never the
+    /// super-batch carrying everyone else's queries.
+    pub fn validate_pair(&self, u: u32, v: u32) -> Result<(), ServeError> {
+        let n = self.num_vertices();
+        self.check(u, n)?;
+        self.check(v, n)
     }
 
     fn check(&self, vertex: u32, vertices: usize) -> Result<(), ServeError> {

@@ -1,15 +1,23 @@
-//! The TCP serving loop: accept thread + connection thread pool.
+//! The TCP serving loop, in two flavors selected by
+//! [`ServerConfig::mode`]:
 //!
-//! Each connection speaks the length-prefixed protocol of
-//! [`crate::protocol`]: read a frame, decode, dispatch against the
-//! [`Registry`], reply. Malformed payloads get an `ERROR` reply and
-//! the connection stays usable (the length prefix already delimited
-//! the bad bytes); an oversized length prefix gets a final `ERROR`
-//! and the connection is closed, because framing can no longer be
-//! trusted. Reads poll with a short timeout so idle connections notice
-//! shutdown promptly without racing partially read frames. Connections
-//! beyond the worker count are refused with an explicit `ERROR` reply
-//! — never silently queued behind long-lived peers.
+//! - [`ServeMode::ThreadPool`] (default): accept thread + connection
+//!   thread pool, one blocking worker per connection. Connections
+//!   beyond the worker count are refused with an explicit `ERROR`
+//!   reply — never silently queued behind long-lived peers.
+//! - [`ServeMode::Reactor`] (unix): a single epoll/kqueue event loop
+//!   multiplexing every connection ([`crate::reactor`]), with
+//!   cross-connection batch coalescing. Connections are never refused
+//!   below the fd limit; a slow reader gets backpressure instead.
+//!
+//! Both speak the length-prefixed protocol of [`crate::protocol`]:
+//! read a frame, decode, dispatch against the [`Registry`], reply.
+//! Malformed payloads get an `ERROR` reply and the connection stays
+//! usable (the length prefix already delimited the bad bytes); an
+//! oversized length prefix gets a final `ERROR` and the connection is
+//! closed, because framing can no longer be trusted. Reads poll with a
+//! short timeout (or `epoll_wait` timeout) so idle connections notice
+//! shutdown promptly without racing partially read frames.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -22,23 +30,49 @@ use crate::pool::ThreadPool;
 use crate::protocol::{Request, Response, WireError, MAX_FRAME_LEN};
 use crate::registry::{Registry, ServeError};
 
+/// Which serving loop [`Server::bind`] starts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One blocking worker thread per connection; concurrency capped
+    /// at [`ServerConfig::workers`], over-capacity clients refused.
+    #[default]
+    ThreadPool,
+    /// One event-loop thread multiplexing every connection via
+    /// epoll/kqueue, coalescing in-flight frozen `REACH`/`BATCH`
+    /// frames across connections into shared batch-kernel calls.
+    /// Unix only; `bind` fails with `ErrorKind::Unsupported`
+    /// elsewhere.
+    Reactor,
+}
+
 /// Tunables for [`Server::bind`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Connection-handler threads — also the cap on concurrently
-    /// *connected* clients: a connection occupies its worker for its
-    /// whole lifetime, so connections beyond this are refused with an
-    /// explicit `ERROR` reply rather than queued (a queued connection
-    /// would hang silently behind long-lived peers). Size it for the
-    /// expected number of persistent clients, not for CPU cores alone.
+    /// Thread-pool vs reactor serving loop.
+    pub mode: ServeMode,
+    /// Connection-handler threads (thread-pool mode) — also the cap on
+    /// concurrently *connected* clients: a connection occupies its
+    /// worker for its whole lifetime, so connections beyond this are
+    /// refused with an explicit `ERROR` reply rather than queued (a
+    /// queued connection would hang silently behind long-lived peers).
+    /// Size it for the expected number of persistent clients, not for
+    /// CPU cores alone. Reactor mode ignores it: connections there
+    /// cost fds, not threads.
     pub workers: usize,
     /// Fan-out width for `BATCH` on frozen namespaces
-    /// ([`hoplite_core::parallel::par_query_batch_mapped`]).
+    /// ([`hoplite_core::parallel::par_query_batch_mapped`]) — in
+    /// reactor mode, for each *coalesced* per-tick super-batch.
     pub batch_threads: usize,
     /// Largest accepted frame payload.
     pub max_frame_len: u32,
-    /// How often a blocked read re-checks the shutdown flag.
+    /// How often a blocked read (thread-pool) or an idle `epoll_wait`
+    /// (reactor) re-checks the shutdown flag.
     pub poll_interval: Duration,
+    /// Reactor mode: once a connection's buffered unwritten replies
+    /// exceed this many bytes, the reactor stops *reading* from it
+    /// until the peer drains — bounding per-connection memory with
+    /// backpressure instead of unbounded queueing.
+    pub write_backpressure: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,23 +81,30 @@ impl Default for ServerConfig {
             .map(|n| n.get())
             .unwrap_or(4);
         ServerConfig {
+            mode: ServeMode::ThreadPool,
             workers: cores.clamp(2, 16),
             batch_threads: cores.clamp(1, 8),
             max_frame_len: MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(25),
+            write_backpressure: 256 * 1024,
         }
     }
 }
 
-/// Monotonic serving counters, shared by every connection thread.
+/// Monotonic serving counters, shared by every serving thread.
 #[derive(Default)]
-struct ServerCounters {
-    connections: AtomicU64,
-    frames: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    /// Connections currently occupying a pool worker.
-    active: AtomicUsize,
+pub(crate) struct ServerCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    /// Connections currently held open (a pool worker in thread-pool
+    /// mode; a slab slot in reactor mode).
+    pub(crate) active: AtomicUsize,
+    /// Frames answered through a shared (≥ 2-frame) coalesced batch
+    /// call, and how many such calls ran (reactor mode only).
+    pub(crate) coalesced_frames: AtomicU64,
+    pub(crate) coalesced_calls: AtomicU64,
 }
 
 /// The server entry point; see [`Server::bind`].
@@ -99,14 +140,36 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
+        let mode = config.mode;
         let config = Arc::new(config);
         let counters = Arc::new(ServerCounters::default());
         let accept_counters = Arc::clone(&counters);
-        let accept = std::thread::Builder::new()
-            .name("hoplited-accept".into())
-            .spawn(move || {
-                accept_loop(listener, registry, config, accept_stop, accept_counters);
-            })?;
+        let accept = match mode {
+            ServeMode::ThreadPool => std::thread::Builder::new()
+                .name("hoplited-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, registry, config, accept_stop, accept_counters);
+                })?,
+            #[cfg(unix)]
+            ServeMode::Reactor => std::thread::Builder::new()
+                .name("hoplited-reactor".into())
+                .spawn(move || {
+                    crate::reactor::reactor_loop(
+                        listener,
+                        registry,
+                        config,
+                        accept_stop,
+                        accept_counters,
+                    );
+                })?,
+            #[cfg(not(unix))]
+            ServeMode::Reactor => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "ServeMode::Reactor needs epoll/kqueue; use ServeMode::ThreadPool",
+                ))
+            }
+        };
         Ok(ServerHandle {
             local_addr,
             stop,
@@ -145,9 +208,29 @@ impl ServerHandle {
         self.counters.errors.load(Ordering::Relaxed)
     }
 
-    /// Connections refused because every worker was occupied.
+    /// Connections refused because every worker was occupied
+    /// (thread-pool mode only; the reactor never refuses).
     pub fn connections_rejected(&self) -> u64 {
         self.counters.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently held open.
+    pub fn connections_active(&self) -> usize {
+        self.counters.active.load(Ordering::SeqCst)
+    }
+
+    /// Frames answered through a shared coalesced batch call — i.e. a
+    /// per-tick kernel invocation that served ≥ 2 frames (reactor
+    /// mode).
+    pub fn frames_coalesced(&self) -> u64 {
+        self.counters.coalesced_frames.load(Ordering::Relaxed)
+    }
+
+    /// Coalesced batch-kernel calls that served ≥ 2 frames (reactor
+    /// mode). `frames_coalesced / coalesce_calls` is the mean
+    /// cross-connection batch depth the kernel actually saw.
+    pub fn coalesce_calls(&self) -> u64 {
+        self.counters.coalesced_calls.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests
@@ -365,7 +448,11 @@ fn lookup(registry: &Registry, ns: &str) -> Result<crate::registry::NamespaceHan
         .ok_or_else(|| ServeError::UnknownNamespace(ns.to_owned()))
 }
 
-fn handle_request(request: Request, registry: &Registry, config: &ServerConfig) -> Response {
+pub(crate) fn handle_request(
+    request: Request,
+    registry: &Registry,
+    config: &ServerConfig,
+) -> Response {
     fn reply<T>(result: Result<T, ServeError>, ok: impl FnOnce(T) -> Response) -> Response {
         match result {
             Ok(v) => ok(v),

@@ -490,6 +490,320 @@ fn over_capacity_connections_get_an_explicit_refusal_not_a_hang() {
     handle.shutdown();
 }
 
+/// Edge cases specific to the epoll/kqueue reactor serving mode:
+/// partial frames, idle sockets, write backpressure, a 1k-connection
+/// sweep against ground truth, and shutdown with a frame in flight.
+#[cfg(unix)]
+mod reactor {
+    use super::*;
+    use hoplite::server::{FrameAccumulator, Request, ServeMode, ServerHandle};
+    use std::time::{Duration, Instant};
+
+    fn serve_reactor(registry: Registry, config: ServerConfig) -> ServerHandle {
+        let config = ServerConfig {
+            mode: ServeMode::Reactor,
+            ..config
+        };
+        Server::bind("127.0.0.1:0", Arc::new(registry), config).expect("bind reactor server")
+    }
+
+    /// One length-prefixed wire frame for `req`.
+    fn frame(req: &Request) -> Vec<u8> {
+        let payload = req.encode().expect("encode request");
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    fn reach(u: u32, v: u32) -> Request {
+        Request::Reach {
+            ns: "g".into(),
+            u,
+            v,
+        }
+    }
+
+    /// A single-fd raw connection (no `try_clone`, so a thousand of
+    /// these cost a thousand fds, not two thousand).
+    struct RawConn {
+        stream: TcpStream,
+        acc: FrameAccumulator,
+    }
+
+    impl RawConn {
+        fn connect(addr: std::net::SocketAddr) -> RawConn {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            stream.set_nodelay(true).unwrap();
+            RawConn {
+                stream,
+                acc: FrameAccumulator::new(MAX_FRAME_LEN),
+            }
+        }
+
+        fn recv(&mut self) -> Response {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(frame) = self.acc.next_frame().expect("well-formed reply") {
+                    return Response::decode(&frame).expect("decodable reply");
+                }
+                let k = self.stream.read(&mut buf).expect("reply bytes");
+                assert!(k > 0, "connection closed while a reply was pending");
+                self.acc.extend(&buf[..k]);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_half_frames_are_reassembled() {
+        let g = random_cyclic_digraph(30, 90, 0xD1CE);
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        let handle = serve_reactor(registry, ServerConfig::default());
+
+        let mut conn = RawConn::connect(handle.local_addr());
+        for &(u, v) in &[(0u32, 17u32), (5, 5), (29, 3), (12, 28)] {
+            // Dribble the frame one byte per write; the reactor must
+            // accumulate across however many readiness events that
+            // takes and answer exactly once.
+            for &byte in &frame(&reach(u, v)) {
+                conn.stream.write_all(&[byte]).unwrap();
+            }
+            match conn.recv() {
+                Response::Bool(got) => {
+                    assert_eq!(got, traversal::reaches(&g, u, v), "({u},{v})")
+                }
+                other => panic!("({u},{v}) got {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_idle_sockets_do_not_starve_active_clients() {
+        let g = random_cyclic_digraph(30, 90, 0x510);
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        let handle = serve_reactor(registry, ServerConfig::default());
+        let addr = handle.local_addr();
+
+        // 64 connections that never complete a request: half send
+        // nothing at all, half park a half-written frame and stall.
+        let mut idle = Vec::new();
+        for i in 0..64 {
+            let mut conn = RawConn::connect(addr);
+            if i % 2 == 1 {
+                let bytes = frame(&reach(1, 2));
+                conn.stream.write_all(&bytes[..bytes.len() / 2]).unwrap();
+            }
+            idle.push(conn);
+        }
+
+        // An active client arriving *after* the loris flood must still
+        // get every answer — idle sockets cost the reactor nothing but
+        // their fds.
+        let mut client = Client::connect(addr).unwrap();
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                assert_eq!(
+                    client.reach("g", u, v).unwrap(),
+                    traversal::reaches(&g, u, v),
+                    "({u},{v})"
+                );
+            }
+        }
+
+        // The parked half-frames are still half a frame, not garbage:
+        // completing one now gets its answer.
+        let loris = &mut idle[1];
+        let bytes = frame(&reach(1, 2));
+        loris.stream.write_all(&bytes[bytes.len() / 2..]).unwrap();
+        match loris.recv() {
+            Response::Bool(got) => assert_eq!(got, traversal::reaches(&g, 1, 2)),
+            other => panic!("completed loris frame got {other:?}"),
+        }
+
+        assert!(
+            handle.connections_active() >= 65,
+            "held {} active connections, expected the loris flood + client",
+            handle.connections_active()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn write_backpressure_on_oversized_batch_replies_stalls_and_recovers() {
+        let n = 50u32;
+        let g = random_cyclic_digraph(n as usize, 170, 0xBACC);
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        // A deliberately tiny write budget: a couple of BATCH replies
+        // overflow it, so the reactor must stop reading this
+        // connection mid-pipeline and resume once the client drains.
+        let handle = serve_reactor(
+            registry,
+            ServerConfig {
+                write_backpressure: 2 * 1024,
+                ..ServerConfig::default()
+            },
+        );
+
+        let frames = 32usize;
+        let per_batch = 4096usize;
+        let mut rng = Rng::new(0x5EED);
+        let batches: Vec<Vec<(u32, u32)>> = (0..frames)
+            .map(|_| {
+                (0..per_batch)
+                    .map(|_| {
+                        (
+                            rng.gen_index(n as usize) as u32,
+                            rng.gen_index(n as usize) as u32,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut writer = TcpStream::connect(handle.local_addr()).unwrap();
+        writer.set_nodelay(true).unwrap();
+        let reader_stream = writer.try_clone().unwrap();
+        reader_stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let replies: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            // Reader on its own thread: with the server stalled on
+            // backpressure, writer and reader must overlap or the test
+            // itself would deadlock against the kernel buffers.
+            let reader = scope.spawn(move || {
+                let mut conn = RawConn {
+                    stream: reader_stream,
+                    acc: FrameAccumulator::new(MAX_FRAME_LEN),
+                };
+                (0..frames)
+                    .map(|i| match conn.recv() {
+                        Response::Bools(bs) => bs,
+                        other => panic!("batch {i} got {other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for pairs in &batches {
+                writer
+                    .write_all(&frame(&Request::Batch {
+                        ns: "g".into(),
+                        pairs: pairs.clone(),
+                    }))
+                    .unwrap();
+            }
+            reader.join().expect("reader thread")
+        });
+
+        for (i, (pairs, bools)) in batches.iter().zip(&replies).enumerate() {
+            assert_eq!(bools.len(), pairs.len(), "batch {i}");
+            for (&(u, v), &got) in pairs.iter().zip(bools) {
+                assert_eq!(got, traversal::reaches(&g, u, v), "batch {i}: ({u},{v})");
+            }
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn a_thousand_concurrent_connections_agree_with_bfs_ground_truth() {
+        let n = 40u32;
+        let g = random_cyclic_digraph(n as usize, 130, 0x1000);
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        let handle = serve_reactor(registry, ServerConfig::default());
+        let addr = handle.local_addr();
+
+        // 1000 single-fd connections, all open at once (2000 fds with
+        // the server's ends — CI raises `ulimit -n` for this). Each
+        // pipelines 2 REACH frames from a disjoint slice of the n×n
+        // matrix before anything is read back, so the reactor sees
+        // cross-connection bursts it can coalesce.
+        let conns_total = 1000usize;
+        let per_conn = 2usize;
+        let pairs: Vec<(u32, u32)> = (0..conns_total * per_conn)
+            .map(|i| {
+                let i = i as u32;
+                (i / per_conn as u32 % n, i % n)
+            })
+            .collect();
+        let mut conns: Vec<RawConn> = (0..conns_total).map(|_| RawConn::connect(addr)).collect();
+        for (c, conn) in conns.iter_mut().enumerate() {
+            let mut burst = Vec::new();
+            for k in 0..per_conn {
+                let (u, v) = pairs[c * per_conn + k];
+                burst.extend_from_slice(&frame(&reach(u, v)));
+            }
+            conn.stream.write_all(&burst).unwrap();
+        }
+        for (c, conn) in conns.iter_mut().enumerate() {
+            for k in 0..per_conn {
+                let (u, v) = pairs[c * per_conn + k];
+                match conn.recv() {
+                    Response::Bool(got) => {
+                        assert_eq!(got, traversal::reaches(&g, u, v), "conn {c}: ({u},{v})")
+                    }
+                    other => panic!("conn {c}: ({u},{v}) got {other:?}"),
+                }
+            }
+        }
+
+        assert_eq!(
+            handle.connections_active(),
+            conns_total,
+            "all connections stay registered until dropped"
+        );
+        assert!(
+            handle.connections_accepted() >= conns_total as u64,
+            "accepted {}",
+            handle.connections_accepted()
+        );
+        drop(conns);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_a_half_frame_in_flight_is_prompt_and_clean() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let registry = Registry::new();
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        let handle = serve_reactor(registry, ServerConfig::default());
+
+        // A healthy connection first, so the half-frame below is
+        // parked on a connection the reactor has fully registered.
+        let mut conn = RawConn::connect(handle.local_addr());
+        conn.stream.write_all(&frame(&Request::Ping)).unwrap();
+        assert!(matches!(conn.recv(), Response::Pong));
+        let bytes = frame(&reach(0, 2));
+        conn.stream.write_all(&bytes[..bytes.len() - 3]).unwrap();
+        // Give the reactor a tick to pull the partial bytes in.
+        std::thread::sleep(Duration::from_millis(60));
+
+        let started = Instant::now();
+        handle.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown must not wait on the unfinished frame"
+        );
+        // The parked connection observes the close instead of hanging.
+        let mut probe = [0u8; 16];
+        match conn.stream.read(&mut probe) {
+            Ok(0) => {}
+            Ok(k) => panic!("server invented {k} bytes of reply to half a frame"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+}
+
 #[test]
 fn list_reflects_registry_contents() {
     let registry = Registry::new();
