@@ -152,7 +152,7 @@ fn main() {
 /// `paper perf [--quick] [--check] [--out=FILE] [--seed=N] [--no-wire]`
 /// — runs the hot-path suite (`hoplite_bench::perf`), prints the JSON
 /// report to stdout (and `--out=FILE`), and with `--check` enforces the
-/// CI invariants (filter/auto/scaling/wire gates; see
+/// CI invariants (filter/auto/scaling/metrics-overhead/wire gates; see
 /// `PerfReport::check`). `--no-wire` skips the wire sweep, for
 /// sandboxes without loopback TCP.
 fn perf_cmd(args: &[String]) {
@@ -234,11 +234,25 @@ fn perf_cmd(args: &[String]) {
             s.query_qps / 1e6
         );
     }
+    eprintln!(
+        "# perf[metrics]: chunked query {:.2} Mq/s plain -> {:.2} Mq/s instrumented \
+         ({:.1}% retained)",
+        report.metrics_overhead.plain_qps / 1e6,
+        report.metrics_overhead.instrumented_qps / 1e6,
+        report.metrics_overhead.ratio() * 100.0,
+    );
     if let Some(wire) = &report.wire {
         for s in &wire.steps {
             eprintln!(
-                "# perf[wire]: {} conns -> {:.0} q/s over TCP ({} queries, {} errors)",
-                s.connections, s.qps, s.queries, s.errors
+                "# perf[wire]: {} conns -> {:.0} q/s over TCP ({} queries, {} errors; \
+                 reply p50/p99/p99.9 = {:.0}/{:.0}/{:.0} µs)",
+                s.connections,
+                s.qps,
+                s.queries,
+                s.errors,
+                s.p50_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.p999_ns as f64 / 1e3,
             );
         }
     } else {

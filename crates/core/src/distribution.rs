@@ -69,6 +69,7 @@ use hoplite_graph::traversal::VisitedSet;
 use hoplite_graph::{Dag, DiGraph, VertexId};
 
 use crate::label::{sorted_intersect, Labeling, LabelingBuilder};
+use crate::metrics::BuildTrace;
 use crate::oracle::ReachIndex;
 use crate::order::OrderKind;
 use crate::store::Store;
@@ -219,6 +220,20 @@ impl DistributionLabeling {
         Self::build_ordered(dag, cfg.order.compute(dag), cfg)
     }
 
+    /// [`Self::build`] with construction-phase span tracing: the order
+    /// computation, the hop-distribution loop, and the label freeze
+    /// each record a span into `trace`, and the sequential rank-bitmap
+    /// engine additionally records a per-hop duration histogram. With
+    /// `trace = None` this is exactly [`Self::build`] — the engines
+    /// take one dead branch per hop and record nothing.
+    pub fn build_traced(dag: &Dag, cfg: &DlConfig, trace: Option<&BuildTrace>) -> Self {
+        let order = match trace {
+            Some(t) => t.span("order", || cfg.order.compute(dag)),
+            None => cfg.order.compute(dag),
+        };
+        Self::build_ordered_traced(dag, order, cfg, trace)
+    }
+
     /// Runs Algorithm 2 with an explicit processing order (`order[0]`
     /// is the highest-ranked hop). The order must be a permutation of
     /// the vertices; domain-specific orders can beat the degree
@@ -239,6 +254,20 @@ impl DistributionLabeling {
     /// # Panics
     /// Panics if `order` is not a permutation of `0..n`.
     pub fn build_ordered(dag: &Dag, order: Vec<VertexId>, cfg: &DlConfig) -> Self {
+        Self::build_ordered_traced(dag, order, cfg, None)
+    }
+
+    /// [`Self::build_ordered`] with optional span tracing (see
+    /// [`Self::build_traced`]).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn build_ordered_traced(
+        dag: &Dag,
+        order: Vec<VertexId>,
+        cfg: &DlConfig,
+        trace: Option<&BuildTrace>,
+    ) -> Self {
         let n = dag.num_vertices();
         assert_eq!(order.len(), n, "order must cover every vertex");
         debug_assert!({
@@ -253,14 +282,22 @@ impl DistributionLabeling {
         // code path is reachable at every width, including t = 1);
         // `Auto`/`Sequential` resolving to one thread use the leaner
         // sequential loop.
-        let b = match (cfg.pruning, cfg.parallelism) {
+        let engine = || match (cfg.pruning, cfg.parallelism) {
             (Pruning::SortedMerge, _) => build_merge(dag, &order),
             (Pruning::RankBitmap, Parallelism::Threads(_)) => build_chunked(dag, &order, threads),
-            (Pruning::RankBitmap, _) if threads == 1 => build_bitmap_sequential(dag, &order),
+            (Pruning::RankBitmap, _) if threads == 1 => build_bitmap_sequential(dag, &order, trace),
             (Pruning::RankBitmap, _) => build_chunked(dag, &order, threads),
         };
+        let b = match trace {
+            Some(t) => t.span("distribute", engine),
+            None => engine(),
+        };
+        let labeling = match trace {
+            Some(t) => t.span("freeze", || b.finish()),
+            None => b.finish(),
+        };
         DistributionLabeling {
-            labeling: b.finish(),
+            labeling,
             order: order.into(),
         }
     }
@@ -373,8 +410,13 @@ fn build_merge(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
 /// hop the membership snapshot equals the list the merge would scan
 /// (the reverse BFS never mutates `L_in(v_i)`, and the forward test
 /// can never observe its own rank `r` in any `L_in(w)`, so snapshot
-/// timing is irrelevant).
-fn build_bitmap_sequential(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
+/// timing is irrelevant). With a trace, each hop's full distribution
+/// (both BFS sides) lands in the trace's per-hop histogram.
+fn build_bitmap_sequential(
+    dag: &Dag,
+    order: &[VertexId],
+    trace: Option<&BuildTrace>,
+) -> LabelingBuilder {
     let g = dag.graph();
     let n = dag.num_vertices();
     let mut b = LabelingBuilder::new(n);
@@ -383,6 +425,7 @@ fn build_bitmap_sequential(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
     let mut members = RankSet::new(n);
 
     for (rank, &vi) in order.iter().enumerate() {
+        let hop_started = trace.map(|_| std::time::Instant::now());
         let r = rank as u32;
         members.load(&b.in_[vi as usize]);
         distribute(
@@ -404,6 +447,9 @@ fn build_bitmap_sequential(dag: &Dag, order: &[VertexId]) -> LabelingBuilder {
             &mut visited,
             &mut queue,
         );
+        if let (Some(t), Some(started)) = (trace, hop_started) {
+            t.record_hop(started.elapsed().as_nanos() as u64);
+        }
     }
     b
 }
@@ -1153,6 +1199,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Tracing must be an observer: a traced build emits exactly the
+    /// labels of the untraced one and records the expected spans and
+    /// per-hop samples.
+    #[test]
+    fn traced_build_is_label_identical_and_records_spans() {
+        use crate::metrics::BuildTrace;
+        let dag = gen::random_dag(120, 360, 9);
+        let plain = DistributionLabeling::build(&dag, &DlConfig::default());
+        let trace = BuildTrace::new();
+        let cfg = DlConfig {
+            parallelism: Parallelism::Sequential,
+            ..DlConfig::default()
+        };
+        let traced = DistributionLabeling::build_traced(&dag, &cfg, Some(&trace));
+        assert_eq!(traced.order(), plain.order());
+        for v in 0..dag.num_vertices() as VertexId {
+            assert_eq!(
+                traced.labeling().out_label(v),
+                plain.labeling().out_label(v)
+            );
+            assert_eq!(traced.labeling().in_label(v), plain.labeling().in_label(v));
+        }
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["order", "distribute", "freeze"]);
+        // The sequential engine records one hop sample per vertex.
+        assert_eq!(trace.hop_snapshot().count(), dag.num_vertices() as u64);
+        // The chunked engine records spans but no per-hop histogram.
+        let trace_par = BuildTrace::new();
+        let cfg_par = DlConfig {
+            parallelism: Parallelism::Threads(2),
+            ..DlConfig::default()
+        };
+        let chunked = DistributionLabeling::build_traced(&dag, &cfg_par, Some(&trace_par));
+        assert_eq!(
+            chunked.labeling().total_entries(),
+            plain.labeling().total_entries()
+        );
+        assert_eq!(trace_par.spans().len(), 3);
+        assert_eq!(trace_par.hop_snapshot().count(), 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod filter;
 pub mod hierarchical;
 pub mod hierarchy;
 pub mod label;
+pub mod metrics;
 pub mod oracle;
 pub mod order;
 pub mod parallel;
@@ -57,6 +58,7 @@ pub use hierarchy::Hierarchy;
 pub use label::{
     sorted_intersect, sorted_intersect_adaptive, LabelPath, Labeling, LabelingBuilder,
 };
+pub use metrics::{BuildTrace, Counter, Histogram, HistogramSnapshot, TraceSpan};
 pub use oracle::{Oracle, ReachIndex};
 pub use order::OrderKind;
 pub use parallel::{

@@ -118,6 +118,20 @@ impl Oracle {
         Self::from_parts(cond, dl)
     }
 
+    /// [`Self::with_config`] with construction-phase span tracing: the
+    /// SCC condensation, the labeling's order/distribute/freeze phases
+    /// (see [`DistributionLabeling::build_traced`]), and the final
+    /// filter assembly each record a span into `trace`.
+    pub fn with_config_traced(
+        g: &DiGraph,
+        cfg: &DlConfig,
+        trace: &crate::metrics::BuildTrace,
+    ) -> Self {
+        let cond = trace.span("scc_condense", || Dag::condense(g));
+        let dl = DistributionLabeling::build_traced(&cond.dag, cfg, Some(trace));
+        trace.span("filters", || Self::from_parts(cond, dl))
+    }
+
     /// Reassembles an oracle from a deserialized condensation and
     /// labeling. The caller ([`crate::persist`]) has validated that the
     /// labeling covers exactly the condensation's components; the

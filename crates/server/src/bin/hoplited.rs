@@ -24,10 +24,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hoplite_core::{DynamicOracle, Oracle};
+use hoplite_core::{BuildTrace, DlConfig, DynamicOracle, HistogramSnapshot, Oracle};
 use hoplite_graph::gen::{self, Rng};
 use hoplite_graph::{io as gio, Dag, DiGraph};
-use hoplite_server::{loadgen, Client, LoadSpec, Registry, ServeMode, Server, ServerConfig};
+use hoplite_server::{
+    loadgen, log_error, log_info, Client, LoadSpec, Registry, ServeMode, Server, ServerConfig,
+};
 
 const USAGE: &str = "\
 hoplited — hoplite reachability query daemon
@@ -57,6 +59,13 @@ SERVE:
     --prefault             walk the mapping at open so first queries
                            don't page-fault (pairs with --mmap)
     --dynamic NAME=FILE    load a DAG file as a mutable namespace
+    --metrics-addr ADDR    also serve Prometheus-style text on
+                           http://ADDR/metrics (HTTP/1.0 GET; port 0 =
+                           ephemeral) — counters, latency quantiles,
+                           and the slow-query log as comment lines
+    --trace-out FILE       write one JSON build-trace line per --frozen
+                           namespace (SCC/order/distribute/freeze span
+                           timings and the per-hop labeling histogram)
 
 BENCH (wire-level throughput on a synthetic power-law graph):
     --vertices N           graph size            (default 50000)
@@ -83,7 +92,11 @@ BENCH (wire-level throughput on a synthetic power-law graph):
 
 SMOKE:
     self-contained serving-path check: ephemeral server, PING, REACH,
-    BATCH, STATS, LIST, dynamic ADD/REMOVE_EDGE, graceful shutdown.
+    BATCH, STATS, LIST, dynamic ADD/REMOVE_EDGE, METRICS, a /metrics
+    scrape, graceful shutdown.
+
+Logging goes to stderr; set HOPLITE_LOG=debug|info|warn|error
+(default info).
 ";
 
 fn main() -> ExitCode {
@@ -101,7 +114,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("hoplited: {message}");
+            log_error!("hoplited", "{message}");
             ExitCode::from(2)
         }
     }
@@ -134,6 +147,8 @@ fn parse_num(flag: &str, value: Option<&String>) -> Result<usize, String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut config = ServerConfig::default();
     let registry = Arc::new(Registry::new());
     let mut open_opts = hoplite_core::OpenOptions {
@@ -154,6 +169,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--listen" => listen = Some(it.next().ok_or("--listen needs a value")?.clone()),
+            "--metrics-addr" => {
+                metrics_addr = Some(it.next().ok_or("--metrics-addr needs a value")?.clone())
+            }
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("--trace-out needs a value")?.clone())
+            }
             "--reactor" => config.mode = ServeMode::Reactor,
             "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
             "--batch-threads" => {
@@ -179,14 +200,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     // Pass 2: load namespaces in command-line order.
     let mut loaded = 0usize;
+    let mut traces: Vec<String> = Vec::new();
     for spec in specs {
         match spec {
             Spec::Frozen(name, path) => {
                 let graph = load_graph(&path)?;
                 let t = Instant::now();
-                let oracle = Oracle::new(&graph);
-                eprintln!(
-                    "[hoplited] {name}: built frozen oracle from {path} \
+                let oracle = if trace_out.is_some() {
+                    let trace = BuildTrace::new();
+                    let oracle = Oracle::with_config_traced(&graph, &DlConfig::default(), &trace);
+                    traces.push(trace.to_json(&name));
+                    oracle
+                } else {
+                    Oracle::new(&graph)
+                };
+                log_info!(
+                    "serve",
+                    "{name}: built frozen oracle from {path} \
                      ({} vertices, {} edges, {} label entries, {:.0} ms)",
                     graph.num_vertices(),
                     graph.num_edges(),
@@ -203,8 +233,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let oracle = Oracle::open_with(&path, &open_opts)
                     .map_err(|e| format!("open index {path}: {e}"))?;
                 let memory = oracle.memory();
-                eprintln!(
-                    "[hoplited] {name}: opened prebuilt index from {path} in {:.1} ms \
+                log_info!(
+                    "serve",
+                    "{name}: opened prebuilt index from {path} in {:.1} ms \
                      ({} vertices, {} components, {} label entries, backend {}, \
                      {} heap B + {} mapped B)",
                     t.elapsed().as_secs_f64() * 1e3,
@@ -224,9 +255,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let graph = load_graph(&path)?;
                 let dag = Dag::new(graph)
                     .map_err(|e| format!("{path}: dynamic namespaces need a DAG: {e}"))?;
-                eprintln!(
-                    "[hoplited] {name}: built dynamic oracle from {path} \
-                     ({} vertices, {} edges)",
+                log_info!(
+                    "serve",
+                    "{name}: built dynamic oracle from {path} ({} vertices, {} edges)",
                     dag.num_vertices(),
                     dag.num_edges(),
                 );
@@ -237,18 +268,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    if let Some(path) = &trace_out {
+        let mut body = traces.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+        log_info!("serve", "wrote {} build trace(s) to {path}", traces.len());
+    }
 
     let listen = listen.ok_or("serve needs --listen ADDR")?;
-    let handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
+    let mut handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
         .map_err(|e| format!("bind {listen}: {e}"))?;
     println!("hoplited listening on {}", handle.local_addr());
+    if let Some(addr) = &metrics_addr {
+        let bound = handle
+            .serve_metrics(addr.as_str())
+            .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+        log_info!("serve", "metrics exposition on http://{bound}/metrics");
+    }
     match config.mode {
-        ServeMode::ThreadPool => eprintln!(
-            "[hoplited] {loaded} namespace(s), {} workers, batch fan-out {}",
-            config.workers, config.batch_threads
+        ServeMode::ThreadPool => log_info!(
+            "serve",
+            "{loaded} namespace(s), {} workers, batch fan-out {}",
+            config.workers,
+            config.batch_threads
         ),
-        ServeMode::Reactor => eprintln!(
-            "[hoplited] {loaded} namespace(s), reactor event loop, batch fan-out {}",
+        ServeMode::Reactor => log_info!(
+            "serve",
+            "{loaded} namespace(s), reactor event loop, batch fan-out {}",
             config.batch_threads
         ),
     }
@@ -311,12 +359,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
 
-    eprintln!("[bench] generating power-law DAG: {vertices} vertices, {edges} edges");
+    log_info!(
+        "bench",
+        "generating power-law DAG: {vertices} vertices, {edges} edges"
+    );
     let dag = gen::power_law_dag(vertices, edges, 42);
     let t = Instant::now();
     let oracle = Oracle::new(&dag.into_graph());
-    eprintln!(
-        "[bench] oracle built in {:.0} ms ({} label entries)",
+    log_info!(
+        "bench",
+        "oracle built in {:.0} ms ({} label entries)",
         t.elapsed().as_secs_f64() * 1e3,
         oracle.label_entries(),
     );
@@ -331,11 +383,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let handle = Server::bind("127.0.0.1:0", Arc::clone(&registry), config)
         .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.local_addr();
-    eprintln!("[bench] serving on {addr}; {clients} clients × {queries} queries, batch {batch}");
+    log_info!(
+        "bench",
+        "serving on {addr}; {clients} clients × {queries} queries, batch {batch}"
+    );
 
     let per_client = queries / clients;
     let start = Instant::now();
-    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    let totals: Vec<(u64, u64, HistogramSnapshot)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
@@ -343,6 +398,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     let mut rng = Rng::new(0xB0B0 + c as u64);
                     let mut positive = 0u64;
                     let mut sent = 0u64;
+                    let mut latency = HistogramSnapshot::empty();
                     while (sent as usize) < per_client {
                         let k = batch.min(per_client - sent as usize);
                         let pairs: Vec<(u32, u32)> = (0..k)
@@ -353,6 +409,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                                 )
                             })
                             .collect();
+                        let frame_started = Instant::now();
                         if k == 1 {
                             let (u, v) = pairs[0];
                             if client.reach("bench", u, v).expect("reach") {
@@ -362,9 +419,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                             let answers = client.reach_batch("bench", &pairs).expect("batch");
                             positive += answers.iter().filter(|&&b| b).count() as u64;
                         }
+                        latency.record(frame_started.elapsed().as_nanos() as u64);
                         sent += k as u64;
                     }
-                    (sent, positive)
+                    (sent, positive, latency)
                 })
             })
             .collect();
@@ -375,20 +433,35 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     });
     let elapsed = start.elapsed();
 
-    let sent: u64 = totals.iter().map(|&(s, _)| s).sum();
-    let positive: u64 = totals.iter().map(|&(_, p)| p).sum();
+    let sent: u64 = totals.iter().map(|(s, _, _)| s).sum();
+    let positive: u64 = totals.iter().map(|(_, p, _)| p).sum();
+    let mut latency = HistogramSnapshot::empty();
+    for (_, _, l) in &totals {
+        latency.merge(l);
+    }
     let qps = sent as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
     let mut probe = Client::connect(addr).map_err(|e| e.to_string())?;
     let stats = probe.stats("bench").map_err(|e| e.to_string())?;
     println!(
         "bench: {sent} queries in {:.1} ms over {clients} clients (batch {batch}) → {:.0} queries/s \
-         ({positive} positive; server counted {} queries)",
+         ({positive} positive; server counted {} queries; frame latency {})",
         elapsed.as_secs_f64() * 1e3,
         qps,
         stats.queries,
+        fmt_latency(&latency),
     );
     handle.shutdown();
     Ok(())
+}
+
+/// `p50/p99/p99.9 = a/b/c µs` for a latency snapshot.
+fn fmt_latency(latency: &HistogramSnapshot) -> String {
+    format!(
+        "p50/p99/p99.9 = {:.1}/{:.1}/{:.1} µs",
+        latency.p50() as f64 / 1e3,
+        latency.p99() as f64 / 1e3,
+        latency.p999() as f64 / 1e3,
+    )
 }
 
 /// The connection-count sweep: builds one oracle, serves it, then for
@@ -409,12 +482,16 @@ fn bench_sweep(
     threads: usize,
     mut config: ServerConfig,
 ) -> Result<(), String> {
-    eprintln!("[bench] generating power-law DAG: {vertices} vertices, {edges} edges");
+    log_info!(
+        "bench",
+        "generating power-law DAG: {vertices} vertices, {edges} edges"
+    );
     let dag = gen::power_law_dag(vertices, edges, 42);
     let t = Instant::now();
     let oracle = Oracle::new(&dag.into_graph());
-    eprintln!(
-        "[bench] oracle built in {:.0} ms ({} label entries)",
+    log_info!(
+        "bench",
+        "oracle built in {:.0} ms ({} label entries)",
         t.elapsed().as_secs_f64() * 1e3,
         oracle.label_entries(),
     );
@@ -464,8 +541,9 @@ fn run_sweep(
     threads: usize,
     handle: Option<&hoplite_server::ServerHandle>,
 ) -> Result<(), String> {
-    eprintln!(
-        "[bench] {mode} server on {addr}; sweep {sweep:?} connections, \
+    log_info!(
+        "bench",
+        "{mode} server on {addr}; sweep {sweep:?} connections, \
          pipeline {pipeline}, batch {batch}, {threads} loadgen threads"
     );
     for &conns in sweep {
@@ -491,12 +569,13 @@ fn run_sweep(
         };
         println!(
             "bench[{mode}]: {:>6} conns → {:>12.0} queries/s \
-             ({} queries in {:.1} ms, {} errors{coalesced})",
+             ({} queries in {:.1} ms, {} errors, reply {}{coalesced})",
             report.connections,
             report.qps(),
             report.queries,
             report.elapsed.as_secs_f64() * 1e3,
             report.errors,
+            fmt_latency(&report.latency),
         );
     }
     Ok(())
@@ -520,10 +599,13 @@ fn cmd_smoke() -> Result<(), String> {
         .insert_dynamic("live", DynamicOracle::new(dag))
         .map_err(|e| e.to_string())?;
 
-    let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())
+    let mut handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())
         .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.local_addr();
-    println!("smoke: serving on {addr}");
+    let metrics_addr = handle
+        .serve_metrics("127.0.0.1:0")
+        .map_err(|e| format!("bind metrics: {e}"))?;
+    println!("smoke: serving on {addr} (metrics on {metrics_addr})");
 
     let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
     client.ping().map_err(fail("PING"))?;
@@ -592,6 +674,61 @@ fn cmd_smoke() -> Result<(), String> {
         }
     }
     client.ping().map_err(fail("PING after corrupt frame"))?;
+
+    // METRICS over the wire: the queries above must have been counted,
+    // split by outcome, with latency quantiles attached.
+    let report = client.metrics("").map_err(fail("METRICS"))?;
+    let web_queries = report
+        .counter("ns_queries_total{ns=\"web\"}")
+        .ok_or("METRICS missing ns_queries_total for web")?;
+    if web_queries < 4 {
+        return Err(format!("METRICS counted only {web_queries} web queries"));
+    }
+    if report.counter("server_frames_total").unwrap_or(0) == 0 {
+        return Err("METRICS reports zero frames served".into());
+    }
+    let outcomes: u64 = ["filter", "signature", "merge"]
+        .iter()
+        .filter_map(|o| {
+            report.counter(&format!(
+                "ns_query_outcome_total{{ns=\"web\",outcome={o:?}}}"
+            ))
+        })
+        .sum();
+    if outcomes == 0 {
+        return Err("METRICS outcome counters are all zero".into());
+    }
+    if report.histogram("server_reply_latency_ns").is_none() {
+        return Err("METRICS missing server_reply_latency_ns summary".into());
+    }
+
+    // And the same data over the text exposition endpoint.
+    {
+        use std::io::Write as _;
+        let mut http = std::net::TcpStream::connect(metrics_addr).map_err(|e| e.to_string())?;
+        http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .map_err(|e| e.to_string())?;
+        let mut body = String::new();
+        http.read_to_string(&mut body).map_err(|e| e.to_string())?;
+        if !body.starts_with("HTTP/1.0 200") {
+            return Err(format!("GET /metrics: unexpected status: {body:.60}"));
+        }
+        if !body.contains("# TYPE ns_queries_total counter") {
+            return Err("exposition missing ns_queries_total TYPE line".into());
+        }
+        let counted = body
+            .lines()
+            .find(|l| l.starts_with("ns_queries_total{ns=\"web\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or("exposition missing ns_queries_total{ns=\"web\"} sample")?;
+        if counted < 4 {
+            return Err(format!("exposition counted only {counted} web queries"));
+        }
+        if !body.contains("reactor_coalesce_batch_pairs") {
+            return Err("exposition missing coalesce batch-size summary".into());
+        }
+    }
 
     handle.shutdown();
     println!("smoke: OK");

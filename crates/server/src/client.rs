@@ -16,8 +16,8 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, write_frame, NamespaceInfo, NamespaceStats, Request, Response, WireError,
-    MAX_FRAME_LEN,
+    read_frame, write_frame, MetricsReport, NamespaceInfo, NamespaceStats, Request, Response,
+    WireError, MAX_FRAME_LEN,
 };
 
 /// Anything that can go wrong on the client side of a request.
@@ -182,6 +182,18 @@ impl Client {
         match self.roundtrip(&request)? {
             Response::Stats(s) => Ok(s),
             _ => Err(ClientError::Unexpected("STATS")),
+        }
+    }
+
+    /// The server's metrics report (protocol v4): server-wide
+    /// counters, serving-loop latency summaries, and per-namespace
+    /// query-path series. Pass `""` for every namespace, or a name to
+    /// restrict the per-namespace section.
+    pub fn metrics(&mut self, ns: &str) -> Result<MetricsReport, ClientError> {
+        let request = Request::Metrics { ns: ns.to_owned() };
+        match self.roundtrip(&request)? {
+            Response::Metrics(report) => Ok(report),
+            _ => Err(ClientError::Unexpected("METRICS")),
         }
     }
 

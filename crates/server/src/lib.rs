@@ -51,6 +51,7 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod obs;
 pub mod pool;
 pub mod protocol;
 #[cfg(unix)]
@@ -60,10 +61,12 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use loadgen::{LoadReport, LoadSpec};
+pub use obs::{LogLevel, QueryObs, ServerObs, SlowLog, SlowQuery};
 pub use pool::ThreadPool;
 pub use protocol::{
-    FrameAccumulator, IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, Request,
-    Response, WireError, MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN, PROTOCOL_VERSION,
+    FrameAccumulator, IndexBackend, MetricsReport, MetricsSummary, NamespaceInfo, NamespaceKind,
+    NamespaceStats, Request, Response, WireError, MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
 };
 pub use registry::{NamespaceHandle, Registry, ServeError};
 pub use server::{ServeMode, Server, ServerConfig, ServerHandle};

@@ -19,6 +19,8 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use hoplite_core::HistogramSnapshot;
+
 use crate::client::ClientError;
 use crate::protocol::{FrameAccumulator, Request, Response, MAX_FRAME_LEN};
 
@@ -64,6 +66,12 @@ pub struct LoadReport {
     pub positives: u64,
     /// Wall time of the query phase (connection setup excluded).
     pub elapsed: Duration,
+    /// Per-reply wire latency (nanoseconds, measured from a
+    /// connection's pipelined send to each of its replies arriving),
+    /// merged across every worker. The same histogram type the server
+    /// records with, so client- and server-side percentiles compare
+    /// directly.
+    pub latency: HistogramSnapshot,
 }
 
 impl LoadReport {
@@ -168,7 +176,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
     }
 
     let started = Instant::now();
-    let results: Vec<Result<(u64, u64, u64), ClientError>> = std::thread::scope(|scope| {
+    let results: Vec<Result<WorkerTotals, ClientError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (worker, owned) in conns.into_iter().enumerate() {
             let spec = &*spec;
@@ -186,11 +194,13 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
     let mut queries = 0;
     let mut errors = 0;
     let mut positives = 0;
+    let mut latency = HistogramSnapshot::empty();
     for result in results {
-        let (q, e, p) = result?;
-        queries += q;
-        errors += e;
-        positives += p;
+        let totals = result?;
+        queries += totals.queries;
+        errors += totals.errors;
+        positives += totals.positives;
+        latency.merge(&totals.latency);
     }
     Ok(LoadReport {
         connections,
@@ -199,11 +209,19 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
         errors,
         positives,
         elapsed,
+        latency,
     })
 }
 
-/// One worker's rounds over its connection slice. Returns
-/// `(queries_answered, error_replies, true_answers)`.
+/// One worker's accumulated results.
+struct WorkerTotals {
+    queries: u64,
+    errors: u64,
+    positives: u64,
+    latency: HistogramSnapshot,
+}
+
+/// One worker's rounds over its connection slice.
 fn worker_loop(
     mut conns: Vec<WireConn>,
     spec: &LoadSpec,
@@ -211,10 +229,15 @@ fn worker_loop(
     rounds: u64,
     depth: usize,
     batch: usize,
-) -> Result<(u64, u64, u64), ClientError> {
+) -> Result<WorkerTotals, ClientError> {
     let mut queries = 0u64;
     let mut errors = 0u64;
     let mut positives = 0u64;
+    let mut latency = HistogramSnapshot::empty();
+    // Each connection's send-phase flush instant; replies measure
+    // against it, so a reply's latency covers server queueing and its
+    // position in the pipeline — what a real pipelined client feels.
+    let mut sent_at: Vec<Instant> = vec![Instant::now(); conns.len()];
     // Disjoint per-worker region of the shared pair stream.
     let mut next_pair = worker << 40;
 
@@ -222,7 +245,7 @@ fn worker_loop(
     for _round in 0..rounds {
         // Send phase: every connection gets `depth` frames in one
         // write — so the whole slice has frames in flight at once.
-        for conn in conns.iter_mut() {
+        for (c, conn) in conns.iter_mut().enumerate() {
             wbuf.clear();
             for _ in 0..depth {
                 let pairs: Vec<(u32, u32)> = (0..batch)
@@ -249,12 +272,14 @@ fn worker_loop(
                 wbuf.extend_from_slice(&payload);
             }
             conn.stream.write_all(&wbuf)?;
+            sent_at[c] = Instant::now();
         }
         // Collect phase: replies come back in send order per
         // connection.
-        for conn in conns.iter_mut() {
+        for (c, conn) in conns.iter_mut().enumerate() {
             for _ in 0..depth {
                 let reply = conn.next_frame()?;
+                latency.record(sent_at[c].elapsed().as_nanos() as u64);
                 match Response::decode(&reply)? {
                     Response::Bool(b) => {
                         queries += 1;
@@ -270,7 +295,12 @@ fn worker_loop(
             }
         }
     }
-    Ok((queries, errors, positives))
+    Ok(WorkerTotals {
+        queries,
+        errors,
+        positives,
+        latency,
+    })
 }
 
 #[cfg(test)]
@@ -296,6 +326,7 @@ mod tests {
             errors: 0,
             positives: 10,
             elapsed: Duration::from_millis(500),
+            latency: HistogramSnapshot::empty(),
         };
         assert!((report.qps() - 2000.0).abs() < 1e-9);
     }

@@ -20,10 +20,11 @@
 //! | `0x05` | `REMOVE_EDGE` | `name u:u32 v:u32`           |
 //! | `0x06` | `STATS`       | `name`                       |
 //! | `0x07` | `LIST`        | —                            |
+//! | `0x08` | `METRICS`     | `name` (empty ⇒ server-wide; v4+) |
 //!
 //! Response opcodes: `0x81 PONG`, `0x82 BOOL (b:u8)`, `0x83 BOOLS
 //! (k:u32 + ⌈k/8⌉ LSB-first packed bytes)`, `0x86 STATS`, `0x87 LIST`,
-//! `0xEE ERROR (msg as u16-prefixed UTF-8)`.
+//! `0x88 METRICS (v4+)`, `0xEE ERROR (msg as u16-prefixed UTF-8)`.
 //!
 //! Decoding is strict: bad version, unknown opcode, short bodies,
 //! trailing bytes, oversized counts, non-zero padding bits, and
@@ -34,18 +35,29 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Wire protocol version carried in every payload.
+/// Current wire protocol version — what this side encodes by default.
 ///
 /// Version history: `1` — the original opcode set; `2` — the `STATS`
 /// reply body grew four `u64` fields (signature bytes and the
 /// filter/signature/merge death counters); `3` — the `STATS` reply
 /// grew the storage-backend report (`backend:u8` +
 /// `heap_bytes`/`mapped_bytes:u64`, the heap-vs-mapped split of a
-/// namespace's index arrays). Decoding is strict on both sides, so
-/// the bump turns a cross-version `STATS` exchange into a clean
+/// namespace's index arrays); `4` — the `METRICS` op (`0x08` /
+/// `0x88`): a named counter + latency-histogram-summary dump of the
+/// server's observability layer, and the first version to *accept*
+/// its predecessor — decoders take any version in
+/// [`PROTOCOL_VERSION_MIN`]`..=`[`PROTOCOL_VERSION`], the server
+/// echoes the request's version in its reply (so a strict v3 client
+/// still parses every answer), and the `METRICS` opcode itself
+/// requires v4 (a v3 frame carrying it gets
+/// [`WireError::UnknownOpcode`], exactly what a v3-era server would
+/// have said). Anything outside the window is a clean
 /// [`WireError::Version`] instead of a confusing
 /// trailing-bytes/short-body error.
-pub const PROTOCOL_VERSION: u8 = 3;
+pub const PROTOCOL_VERSION: u8 = 4;
+/// Oldest protocol version decoders still accept (see the version
+/// history on [`PROTOCOL_VERSION`]).
+pub const PROTOCOL_VERSION_MIN: u8 = 3;
 /// Hard ceiling on a frame payload; larger length prefixes are
 /// rejected before any allocation.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -61,13 +73,21 @@ const OP_ADD_EDGE: u8 = 0x04;
 const OP_REMOVE_EDGE: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_LIST: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 const RE_PONG: u8 = 0x81;
 const RE_BOOL: u8 = 0x82;
 const RE_BOOLS: u8 = 0x83;
 const RE_STATS: u8 = 0x86;
 const RE_LIST: u8 = 0x87;
+const RE_METRICS: u8 = 0x88;
 const RE_ERROR: u8 = 0xEE;
+
+/// Is `version` inside the accepted decode window?
+#[inline]
+pub(crate) fn version_accepted(version: u8) -> bool {
+    (PROTOCOL_VERSION_MIN..=PROTOCOL_VERSION).contains(&version)
+}
 
 /// Anything that can go wrong speaking the protocol.
 #[derive(Debug)]
@@ -99,7 +119,8 @@ impl fmt::Display for WireError {
             WireError::Version(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (speaker supports {PROTOCOL_VERSION})"
+                    "unsupported protocol version {v} (speaker supports \
+                     {PROTOCOL_VERSION_MIN}..={PROTOCOL_VERSION})"
                 )
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
@@ -531,6 +552,72 @@ pub struct NamespaceInfo {
     pub kind: NamespaceKind,
 }
 
+/// Summary of one latency histogram inside a `METRICS` reply: the
+/// sample count/sum plus the flight-recorder percentiles. Values are
+/// whatever unit the histogram recorded (nanoseconds for every latency
+/// series, frames for batch-size series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl From<&hoplite_core::HistogramSnapshot> for MetricsSummary {
+    fn from(s: &hoplite_core::HistogramSnapshot) -> Self {
+        MetricsSummary {
+            count: s.count(),
+            sum: s.sum(),
+            p50: s.p50(),
+            p90: s.p90(),
+            p99: s.p99(),
+            p999: s.p999(),
+            max: s.max(),
+        }
+    }
+}
+
+/// The `METRICS` reply body: a named dump of the server's counters and
+/// histogram summaries. Deliberately schemaless on the wire — names
+/// are data, so the server can grow new series without another
+/// protocol bump — and ordered, so expositions render deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// `(name, value)` monotone counters / gauges.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` histogram series.
+    pub histograms: Vec<(String, MetricsSummary)>,
+}
+
+impl MetricsReport {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The summary of histogram series `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&MetricsSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
@@ -581,6 +668,14 @@ pub enum Request {
     },
     /// Enumerate namespaces.
     List,
+    /// Observability dump (protocol v4+): counters and latency
+    /// histogram summaries. An empty `ns` asks for the server-wide
+    /// report (reactor + every namespace); a name scopes the report to
+    /// that namespace's series.
+    Metrics {
+        /// Namespace name, or empty for server-wide.
+        ns: String,
+    },
 }
 
 impl Request {
@@ -627,15 +722,29 @@ impl Request {
                 put_name(&mut out, ns)?;
             }
             Request::List => out.push(OP_LIST),
+            Request::Metrics { ns } => {
+                out.push(OP_METRICS);
+                put_name(&mut out, ns)?;
+            }
         }
         Ok(out)
     }
 
-    /// Decodes a frame payload, validating strictly.
+    /// Decodes a frame payload, validating strictly. Accepts any
+    /// version in [`PROTOCOL_VERSION_MIN`]`..=`[`PROTOCOL_VERSION`];
+    /// callers that must echo the sender's version use
+    /// [`Self::decode_with_version`].
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        Self::decode_with_version(payload).map(|(req, _)| req)
+    }
+
+    /// [`Self::decode`] that also returns the version byte the sender
+    /// spoke — the server encodes its reply in that same version, so
+    /// strict older-version clients keep parsing every answer.
+    pub fn decode_with_version(payload: &[u8]) -> Result<(Request, u8), WireError> {
         let mut r = ByteReader::new(payload);
         let version = r.u8()?;
-        if version != PROTOCOL_VERSION {
+        if !version_accepted(version) {
             return Err(WireError::Version(version));
         }
         let opcode = r.u8()?;
@@ -688,10 +797,13 @@ impl Request {
             }
             OP_STATS => Request::Stats { ns: r.name()? },
             OP_LIST => Request::List,
+            // METRICS arrived in v4; to a v3 frame it is exactly an
+            // unknown opcode, same as a v3-era server would have said.
+            OP_METRICS if version >= 4 => Request::Metrics { ns: r.name()? },
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
-        Ok(req)
+        Ok((req, version))
     }
 }
 
@@ -712,14 +824,32 @@ pub enum Response {
     Stats(NamespaceStats),
     /// Reply to `LIST`.
     List(Vec<NamespaceInfo>),
+    /// Reply to `METRICS` (protocol v4+).
+    Metrics(MetricsReport),
     /// Any request can fail; the message is human-readable.
     Error(String),
 }
 
 impl Response {
-    /// Encodes into a frame payload (version + opcode + body).
+    /// Encodes into a frame payload (version + opcode + body) speaking
+    /// the current [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
-        let mut out = vec![PROTOCOL_VERSION];
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Encodes speaking an explicit accepted `version` — the server's
+    /// reply path, which echoes whatever version the request spoke so
+    /// strict older-version decoders keep parsing.
+    pub fn encode_versioned(&self, version: u8) -> Result<Vec<u8>, WireError> {
+        if !version_accepted(version) {
+            return Err(WireError::Version(version));
+        }
+        if version < 4 && matches!(self, Response::Metrics(_)) {
+            return Err(WireError::Malformed(
+                "METRICS reply requires protocol v4".into(),
+            ));
+        }
+        let mut out = vec![version];
         match self {
             Response::Pong => out.push(RE_PONG),
             Response::Bool(b) => {
@@ -760,6 +890,21 @@ impl Response {
                     out.push(info.kind.to_u8());
                 }
             }
+            Response::Metrics(m) => {
+                out.push(RE_METRICS);
+                put_u32(&mut out, m.counters.len() as u32);
+                for (name, value) in &m.counters {
+                    put_text(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+                put_u32(&mut out, m.histograms.len() as u32);
+                for (name, s) in &m.histograms {
+                    put_text(&mut out, name);
+                    for v in [s.count, s.sum, s.p50, s.p90, s.p99, s.p999, s.max] {
+                        put_u64(&mut out, v);
+                    }
+                }
+            }
             Response::Error(msg) => {
                 out.push(RE_ERROR);
                 put_text(&mut out, msg);
@@ -768,11 +913,12 @@ impl Response {
         Ok(out)
     }
 
-    /// Decodes a frame payload, validating strictly.
+    /// Decodes a frame payload, validating strictly. Accepts any
+    /// version in [`PROTOCOL_VERSION_MIN`]`..=`[`PROTOCOL_VERSION`].
     pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
         let mut r = ByteReader::new(payload);
         let version = r.u8()?;
-        if version != PROTOCOL_VERSION {
+        if !version_accepted(version) {
             return Err(WireError::Version(version));
         }
         let opcode = r.u8()?;
@@ -819,6 +965,47 @@ impl Response {
                     });
                 }
                 Response::List(infos)
+            }
+            RE_METRICS if version >= 4 => {
+                let kc = r.u32()?;
+                // Each counter is at least 10 body bytes (empty name +
+                // u64); never size an allocation off a bogus count.
+                if kc as usize > r.remaining() / 10 {
+                    return Err(WireError::Malformed(format!(
+                        "counter count {kc} exceeds the frame body"
+                    )));
+                }
+                let mut counters = Vec::with_capacity(kc as usize);
+                for _ in 0..kc {
+                    counters.push((r.text()?, r.u64()?));
+                }
+                let kh = r.u32()?;
+                // Each histogram is at least 58 body bytes.
+                if kh as usize > r.remaining() / 58 {
+                    return Err(WireError::Malformed(format!(
+                        "histogram count {kh} exceeds the frame body"
+                    )));
+                }
+                let mut histograms = Vec::with_capacity(kh as usize);
+                for _ in 0..kh {
+                    let name = r.text()?;
+                    histograms.push((
+                        name,
+                        MetricsSummary {
+                            count: r.u64()?,
+                            sum: r.u64()?,
+                            p50: r.u64()?,
+                            p90: r.u64()?,
+                            p99: r.u64()?,
+                            p999: r.u64()?,
+                            max: r.u64()?,
+                        },
+                    ));
+                }
+                Response::Metrics(MetricsReport {
+                    counters,
+                    histograms,
+                })
             }
             RE_ERROR => Response::Error(r.text()?),
             other => return Err(WireError::UnknownOpcode(other)),
@@ -917,6 +1104,104 @@ mod tests {
             Request::decode(&bytes),
             Err(WireError::Version(9))
         ));
+        bytes[0] = PROTOCOL_VERSION_MIN - 1;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_report_roundtrips() {
+        roundtrip_req(Request::Metrics { ns: String::new() });
+        roundtrip_req(Request::Metrics { ns: "bench".into() });
+        roundtrip_resp(Response::Metrics(MetricsReport::default()));
+        let report = MetricsReport {
+            counters: vec![
+                ("server_frames_total".into(), 12_345),
+                ("ns_queries_total{ns=\"g\"}".into(), u64::MAX),
+            ],
+            histograms: vec![(
+                "ns_query_merge_ns{ns=\"g\"}".into(),
+                MetricsSummary {
+                    count: 100,
+                    sum: 1_000_000,
+                    p50: 9_000,
+                    p90: 12_000,
+                    p99: 48_000,
+                    p999: 130_000,
+                    max: 131_072,
+                },
+            )],
+        };
+        roundtrip_resp(Response::Metrics(report.clone()));
+        assert_eq!(report.counter("server_frames_total"), Some(12_345));
+        assert_eq!(report.counter("missing"), None);
+        assert_eq!(
+            report.histogram("ns_query_merge_ns{ns=\"g\"}").unwrap().p99,
+            48_000
+        );
+    }
+
+    /// The v3 compatibility window: a v3 frame of any pre-v4 opcode
+    /// decodes (and reports its version), a v3 frame of the v4-only
+    /// `METRICS` opcode is an unknown opcode, and replies encode in
+    /// whatever accepted version the caller asks for.
+    #[test]
+    fn v3_frames_still_decode_and_replies_echo_their_version() {
+        let mut reach = Request::Reach {
+            ns: "g".into(),
+            u: 1,
+            v: 2,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(reach[0], PROTOCOL_VERSION);
+        reach[0] = 3;
+        let (req, version) = Request::decode_with_version(&reach).unwrap();
+        assert_eq!(version, 3);
+        assert!(matches!(req, Request::Reach { .. }));
+
+        let mut metrics = Request::Metrics { ns: String::new() }.encode().unwrap();
+        metrics[0] = 3;
+        assert!(matches!(
+            Request::decode(&metrics),
+            Err(WireError::UnknownOpcode(OP_METRICS))
+        ));
+
+        let reply = Response::Bool(true).encode_versioned(3).unwrap();
+        assert_eq!(reply[0], 3);
+        assert_eq!(Response::decode(&reply).unwrap(), Response::Bool(true));
+        assert!(matches!(
+            Response::Bool(true).encode_versioned(2),
+            Err(WireError::Version(2))
+        ));
+        // A METRICS reply cannot be spoken in v3.
+        assert!(Response::Metrics(MetricsReport::default())
+            .encode_versioned(3)
+            .is_err());
+        // A v3 RE_METRICS frame is an unknown opcode.
+        assert!(matches!(
+            Response::decode(&[3, RE_METRICS]),
+            Err(WireError::UnknownOpcode(RE_METRICS))
+        ));
+    }
+
+    #[test]
+    fn metrics_counts_larger_than_the_body_never_size_allocations() {
+        let mut bytes = vec![PROTOCOL_VERSION, RE_METRICS];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        match Response::decode(&bytes) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("exceeds the frame body"), "{m}"),
+            other => panic!("got {other:?}"),
+        }
+        let mut bytes = vec![PROTOCOL_VERSION, RE_METRICS];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        match Response::decode(&bytes) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("exceeds the frame body"), "{m}"),
+            other => panic!("got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,9 +48,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::obs::ServerObs;
 use crate::protocol::{FrameAccumulator, Request, Response, MAX_BATCH_PAIRS};
 use crate::registry::{NamespaceHandle, Registry, ServeError};
-use crate::server::{ServerConfig, ServerCounters};
+use crate::server::{salvage_version, ServerConfig, ServerCounters};
 
 pub(crate) mod sys;
 
@@ -79,6 +80,9 @@ struct Conn {
     close_after_flush: bool,
     /// Interest currently registered with the poller.
     interest: (bool, bool),
+    /// When the write-backpressure threshold was crossed (reads
+    /// paused); `None` while flowing. Feeds the stall metrics.
+    stalled_since: Option<Instant>,
 }
 
 impl Conn {
@@ -176,12 +180,22 @@ struct Job {
     targets: Vec<Target>,
 }
 
+/// One decoded frame awaiting its reply: where it came from, which
+/// protocol dialect the reply must speak, and when it arrived (for
+/// the accept→reply latency histogram).
+struct Slot {
+    token: u64,
+    version: u8,
+    arrived: Instant,
+    response: Option<Response>,
+}
+
 /// Everything decoded this tick: per-connection replies are emitted in
 /// `slots` order, which is arrival order, so pipelined clients read
 /// replies in the order they sent requests.
 #[derive(Default)]
 struct Tick {
-    slots: Vec<(u64, Option<Response>)>,
+    slots: Vec<Slot>,
     jobs: HashMap<String, Job>,
     /// Connections touched this tick (deduplicated coarsely); flushed
     /// and swept after scatter.
@@ -193,6 +207,15 @@ impl Tick {
         if self.dirty.last() != Some(&token) {
             self.dirty.push(token);
         }
+    }
+
+    fn push_slot(&mut self, token: u64, version: u8, response: Option<Response>) {
+        self.slots.push(Slot {
+            token,
+            version,
+            arrived: Instant::now(),
+            response,
+        });
     }
 }
 
@@ -207,13 +230,14 @@ pub(crate) fn reactor_loop(
     config: Arc<ServerConfig>,
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    obs: Arc<ServerObs>,
 ) {
-    if let Err(e) = run(&listener, &registry, &config, &stop, &counters) {
+    if let Err(e) = run(&listener, &registry, &config, &stop, &counters, &obs) {
         // A reactor that cannot poll cannot serve; surface the reason
         // rather than spinning. (Poller construction is the only
         // fallible step that lands here — per-connection errors are
         // handled inline by dropping the connection.)
-        eprintln!("[hoplited] reactor failed: {e}");
+        crate::log_error!("reactor", "reactor failed: {e}");
     }
 }
 
@@ -223,6 +247,7 @@ fn run(
     config: &ServerConfig,
     stop: &AtomicBool,
     counters: &ServerCounters,
+    obs: &ServerObs,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let poller = sys::Poller::new()?;
@@ -233,6 +258,9 @@ fn run(
 
     while !stop.load(Ordering::SeqCst) {
         poller.wait(&mut events, config.poll_interval)?;
+        // Idle wakeups (shutdown poll timeouts) are not ticks worth
+        // histogramming; only time passes through real work.
+        let tick_started = (!events.is_empty()).then(Instant::now);
         for event in &events {
             if event.token == LISTENER_TOKEN {
                 accept_ready(listener, &poller, &mut slab, config, counters);
@@ -246,18 +274,22 @@ fn run(
                     registry,
                     config,
                     counters,
+                    obs,
                 );
             }
             if event.writable {
                 tick.push_dirty(event.token);
             }
         }
-        run_jobs(&mut tick, config, counters);
-        scatter(&mut tick, &mut slab, counters);
+        run_jobs(&mut tick, config, counters, obs);
+        scatter(&mut tick, &mut slab, counters, obs);
         for token in std::mem::take(&mut tick.dirty) {
-            flush_and_sweep(token, &mut slab, &poller, config, counters);
+            flush_and_sweep(token, &mut slab, &poller, config, counters, obs);
         }
         tick.slots.clear();
+        if let Some(started) = tick_started {
+            obs.tick_ns.record(started.elapsed().as_nanos() as u64);
+        }
     }
 
     drain(&mut slab, counters);
@@ -291,6 +323,7 @@ fn accept_ready(
                     out_pos: 0,
                     close_after_flush: false,
                     interest: (true, false),
+                    stalled_since: None,
                 });
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 counters.active.fetch_add(1, Ordering::SeqCst);
@@ -329,6 +362,7 @@ fn read_ready(
     registry: &Registry,
     config: &ServerConfig,
     counters: &ServerCounters,
+    obs: &ServerObs,
 ) {
     let Some(conn) = slab.get_mut(token) else {
         return;
@@ -337,6 +371,10 @@ fn read_ready(
         // Closing, or backpressured: leave the bytes in the kernel
         // buffer (level-triggered readiness re-reports them once the
         // peer drains our replies).
+        if !conn.close_after_flush && conn.stalled_since.is_none() {
+            conn.stalled_since = Some(Instant::now());
+            obs.stall_count.inc();
+        }
         return;
     }
     let mut buf = [0u8; READ_CHUNK];
@@ -370,7 +408,7 @@ fn read_ready(
         match conn.acc.next_frame() {
             Ok(Some(payload)) => {
                 counters.frames.fetch_add(1, Ordering::Relaxed);
-                decode_frame(&payload, token, tick, registry, config);
+                decode_frame(&payload, token, tick, registry, config, counters, obs);
             }
             Ok(None) => break,
             Err(e) => {
@@ -378,8 +416,11 @@ fn read_ready(
                 // trusted; final error reply, then close after flush.
                 counters.frames.fetch_add(1, Ordering::Relaxed);
                 conn.close_after_flush = true;
-                tick.slots
-                    .push((token, Some(Response::Error(format!("bad request: {e}")))));
+                tick.push_slot(
+                    token,
+                    crate::protocol::PROTOCOL_VERSION,
+                    Some(Response::Error(format!("bad request: {e}"))),
+                );
                 break;
             }
         }
@@ -400,13 +441,18 @@ fn decode_frame(
     tick: &mut Tick,
     registry: &Registry,
     config: &ServerConfig,
+    counters: &ServerCounters,
+    obs: &ServerObs,
 ) {
     let slot = tick.slots.len();
-    let request = match Request::decode(payload) {
-        Ok(request) => request,
+    let (request, version) = match Request::decode_with_version(payload) {
+        Ok(decoded) => decoded,
         Err(e) => {
-            tick.slots
-                .push((token, Some(Response::Error(format!("bad request: {e}")))));
+            tick.push_slot(
+                token,
+                salvage_version(payload),
+                Some(Response::Error(format!("bad request: {e}"))),
+            );
             return;
         }
     };
@@ -417,10 +463,13 @@ fn decode_frame(
         Request::Reach { ns, u, v } => (ns, vec![(*u, *v)], false),
         Request::Batch { ns, pairs } => (ns, pairs.clone(), true),
         _ => {
-            tick.slots.push((
+            tick.push_slot(
                 token,
-                Some(crate::server::handle_request(request, registry, config)),
-            ));
+                version,
+                Some(crate::server::handle_request(
+                    request, registry, config, counters, obs,
+                )),
+            );
             return;
         }
     };
@@ -459,16 +508,17 @@ fn decode_frame(
             Err(e) => Response::Error(e.to_string()),
         }),
     };
-    tick.slots.push((token, response));
+    tick.push_slot(token, version, response);
 }
 
 /// Runs every namespace's coalesced batch through one kernel call
 /// (chunked at the protocol's `MAX_BATCH_PAIRS` so a tick of many
 /// maximal batches cannot force one unbounded allocation), then fills
 /// the targets' slots.
-fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters) {
+fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters, obs: &ServerObs) {
     let jobs = std::mem::take(&mut tick.jobs);
     for (_, job) in jobs {
+        obs.coalesce_batch.record(job.pairs.len() as u64);
         let mut answers: Vec<bool> = Vec::with_capacity(job.pairs.len());
         let mut failed = None;
         for chunk in job
@@ -505,32 +555,36 @@ fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters) {
                     }
                 }
             };
-            tick.slots[target.slot].1 = Some(response);
+            tick.slots[target.slot].response = Some(response);
         }
     }
 }
 
 /// Appends every slot's encoded reply to its connection's write
 /// buffer, in slot order — which is per-connection arrival order.
-fn scatter(tick: &mut Tick, slab: &mut Slab, counters: &ServerCounters) {
-    for (token, response) in tick.slots.drain(..) {
-        let Some(conn) = slab.get_mut(token) else {
+fn scatter(tick: &mut Tick, slab: &mut Slab, counters: &ServerCounters, obs: &ServerObs) {
+    for slot in tick.slots.drain(..) {
+        let Some(conn) = slab.get_mut(slot.token) else {
             continue; // connection died mid-tick; drop its replies
         };
-        let response =
-            response.unwrap_or_else(|| Response::Error("internal: request went unanswered".into()));
+        let response = slot
+            .response
+            .unwrap_or_else(|| Response::Error("internal: request went unanswered".into()));
         if matches!(response, Response::Error(_)) {
             counters.errors.fetch_add(1, Ordering::Relaxed);
         }
-        encode_into(&mut conn.out, &response);
+        encode_into(&mut conn.out, &response, slot.version);
+        obs.reply_latency_ns
+            .record(slot.arrived.elapsed().as_nanos() as u64);
     }
 }
 
-/// Encodes `response` as one length-prefixed frame appended to `out`.
-fn encode_into(out: &mut Vec<u8>, response: &Response) {
-    let payload = response.encode().unwrap_or_else(|e| {
+/// Encodes `response` as one length-prefixed frame appended to `out`,
+/// speaking the dialect the request arrived in.
+fn encode_into(out: &mut Vec<u8>, response: &Response, version: u8) {
+    let payload = response.encode_versioned(version).unwrap_or_else(|e| {
         Response::Error(format!("internal encode failure: {e}"))
-            .encode()
+            .encode_versioned(version)
             .expect("plain error replies always encode")
     });
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -546,10 +600,12 @@ fn flush_and_sweep(
     poller: &sys::Poller,
     config: &ServerConfig,
     counters: &ServerCounters,
+    obs: &ServerObs,
 ) {
     let Some(conn) = slab.get_mut(token) else {
         return;
     };
+    obs.queue_depth.record(conn.backlog() as u64);
     while conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => {
@@ -579,6 +635,11 @@ fn flush_and_sweep(
     }
     let want_write = conn.backlog() > 0;
     let want_read = !conn.close_after_flush && conn.backlog() <= config.write_backpressure;
+    if want_read {
+        if let Some(stalled) = conn.stalled_since.take() {
+            obs.stall_ns.add(stalled.elapsed().as_nanos() as u64);
+        }
+    }
     if conn.interest != (want_read, want_write) {
         conn.interest = (want_read, want_write);
         if poller
@@ -628,6 +689,7 @@ mod tests {
             out_pos: 0,
             close_after_flush: false,
             interest: (true, false),
+            stalled_since: None,
         }
     }
 

@@ -22,7 +22,11 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use hoplite_core::{DynamicOracle, Oracle};
 use hoplite_graph::GraphError;
 
-use crate::protocol::{IndexBackend, NamespaceInfo, NamespaceKind, NamespaceStats, MAX_NAME_LEN};
+use crate::obs::{QueryObs, SlowQuery};
+use crate::protocol::{
+    IndexBackend, MetricsReport, MetricsSummary, NamespaceInfo, NamespaceKind, NamespaceStats,
+    MAX_NAME_LEN,
+};
 
 /// Why a request against the registry could not be served.
 #[derive(Debug)]
@@ -94,6 +98,9 @@ struct FrozenNs {
     filter_hits: AtomicU64,
     signature_hits: AtomicU64,
     merge_runs: AtomicU64,
+    /// Latency histograms (split by deciding stage) and the slow-query
+    /// log — the namespace's contribution to the `METRICS` op.
+    obs: QueryObs,
 }
 
 impl FrozenNs {
@@ -183,7 +190,10 @@ impl NamespaceHandle {
                 self.check(v, n)?;
                 ns.queries.fetch_add(1, Ordering::Relaxed);
                 let mut tally = hoplite_core::QueryTally::default();
+                let started = std::time::Instant::now();
                 let answer = ns.oracle.reaches_tallied(u, v, &mut tally);
+                ns.obs
+                    .record_single(u, v, started.elapsed().as_nanos() as u64, &tally);
                 ns.record(&tally);
                 Ok(answer)
             }
@@ -216,7 +226,9 @@ impl NamespaceHandle {
                     self.check(v, n)?;
                 }
                 ns.queries.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                let started = std::time::Instant::now();
                 let (answers, tally) = ns.oracle.reaches_batch_tallied(pairs, threads);
+                ns.obs.batch_ns.record(started.elapsed().as_nanos() as u64);
                 ns.record(&tally);
                 Ok(answers)
             }
@@ -310,6 +322,60 @@ impl NamespaceHandle {
             }
         }
     }
+
+    /// Appends this namespace's series to a [`MetricsReport`]: the
+    /// query/outcome counters for every kind, plus the latency
+    /// histograms the frozen hot path records. Dynamic namespaces
+    /// answer through their overlay mutex and are not timed.
+    pub(crate) fn fold_metrics(&self, name: &str, report: &mut MetricsReport) {
+        match &self.inner {
+            Inner::Frozen(ns) => {
+                report.counters.push((
+                    format!("ns_queries_total{{ns={name:?}}}"),
+                    ns.queries.load(Ordering::Relaxed),
+                ));
+                for (outcome, counter) in [
+                    ("filter", &ns.filter_hits),
+                    ("signature", &ns.signature_hits),
+                    ("merge", &ns.merge_runs),
+                ] {
+                    report.counters.push((
+                        format!("ns_query_outcome_total{{ns={name:?},outcome=\"{outcome}\"}}"),
+                        counter.load(Ordering::Relaxed),
+                    ));
+                }
+                for (outcome, hist) in [
+                    ("filter", &ns.obs.filter_ns),
+                    ("signature", &ns.obs.signature_ns),
+                    ("merge", &ns.obs.merge_ns),
+                ] {
+                    report.histograms.push((
+                        format!("ns_query_latency_ns{{ns={name:?},outcome=\"{outcome}\"}}"),
+                        MetricsSummary::from(&hist.snapshot()),
+                    ));
+                }
+                report.histograms.push((
+                    format!("ns_batch_latency_ns{{ns={name:?}}}"),
+                    MetricsSummary::from(&ns.obs.batch_ns.snapshot()),
+                ));
+            }
+            Inner::Dynamic(ns) => {
+                report.counters.push((
+                    format!("ns_queries_total{{ns={name:?}}}"),
+                    ns.queries.load(Ordering::Relaxed),
+                ));
+            }
+        }
+    }
+
+    /// This namespace's retained worst queries (frozen only), slowest
+    /// first.
+    pub(crate) fn slow_queries(&self) -> Vec<SlowQuery> {
+        match &self.inner {
+            Inner::Frozen(ns) => ns.obs.slow.snapshot(),
+            Inner::Dynamic(_) => Vec::new(),
+        }
+    }
 }
 
 /// Recovers the guarded value even if another thread panicked while
@@ -387,6 +453,7 @@ impl Registry {
                     filter_hits: AtomicU64::new(0),
                     signature_hits: AtomicU64::new(0),
                     merge_runs: AtomicU64::new(0),
+                    obs: QueryObs::new(),
                 })),
             },
         )
@@ -416,6 +483,18 @@ impl Registry {
     pub fn remove(&self, name: &str) -> bool {
         let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
         map.remove(name).is_some()
+    }
+
+    /// Every `(name, handle)` pair, sorted by name — the metrics
+    /// collector's iteration order, so exposition output is stable.
+    pub(crate) fn handles(&self) -> Vec<(String, NamespaceHandle)> {
+        let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+        let mut handles: Vec<(String, NamespaceHandle)> = map
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect();
+        handles.sort_by(|a, b| a.0.cmp(&b.0));
+        handles
     }
 
     /// Every namespace, sorted by name for deterministic `LIST` replies.

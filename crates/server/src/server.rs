@@ -24,10 +24,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::obs::ServerObs;
 use crate::pool::ThreadPool;
-use crate::protocol::{Request, Response, WireError, MAX_FRAME_LEN};
+use crate::protocol::{
+    MetricsReport, Request, Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 use crate::registry::{Registry, ServeError};
 
 /// Which serving loop [`Server::bind`] starts.
@@ -144,11 +147,21 @@ impl Server {
         let config = Arc::new(config);
         let counters = Arc::new(ServerCounters::default());
         let accept_counters = Arc::clone(&counters);
+        let obs = Arc::new(ServerObs::new());
+        let accept_obs = Arc::clone(&obs);
+        let handle_registry = Arc::clone(&registry);
         let accept = match mode {
             ServeMode::ThreadPool => std::thread::Builder::new()
                 .name("hoplited-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, registry, config, accept_stop, accept_counters);
+                    accept_loop(
+                        listener,
+                        registry,
+                        config,
+                        accept_stop,
+                        accept_counters,
+                        accept_obs,
+                    );
                 })?,
             #[cfg(unix)]
             ServeMode::Reactor => std::thread::Builder::new()
@@ -160,6 +173,7 @@ impl Server {
                         config,
                         accept_stop,
                         accept_counters,
+                        accept_obs,
                     );
                 })?,
             #[cfg(not(unix))]
@@ -175,6 +189,9 @@ impl Server {
             stop,
             accept: Some(accept),
             counters,
+            obs,
+            registry: handle_registry,
+            metrics_thread: None,
         })
     }
 }
@@ -185,6 +202,9 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     counters: Arc<ServerCounters>,
+    obs: Arc<ServerObs>,
+    registry: Arc<Registry>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -233,6 +253,38 @@ impl ServerHandle {
         self.counters.coalesced_calls.load(Ordering::Relaxed)
     }
 
+    /// The same report the `METRICS` wire op serves: server-wide
+    /// counters and serving-loop histograms, plus every namespace's
+    /// query-path series (or just `ns`'s when non-empty).
+    pub fn metrics(&self, ns: &str) -> MetricsReport {
+        crate::obs::collect_metrics(&self.registry, &self.counters, &self.obs, ns)
+    }
+
+    /// Prometheus-style text exposition of [`ServerHandle::metrics`],
+    /// with the slow-query log appended as comment lines — exactly
+    /// what the `--metrics-addr` HTTP endpoint returns.
+    pub fn metrics_text(&self) -> String {
+        crate::obs::render_prometheus(
+            &self.metrics(""),
+            &crate::obs::collect_slow(&self.registry, ""),
+        )
+    }
+
+    /// Starts the `GET /metrics` HTTP/1.0 responder on `addr` (port 0
+    /// for ephemeral) in a background thread that lives until
+    /// shutdown; returns the bound address.
+    pub fn serve_metrics(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let (local, thread) = crate::obs::spawn_metrics_http(
+            addr,
+            Arc::clone(&self.registry),
+            Arc::clone(&self.counters),
+            Arc::clone(&self.obs),
+            Arc::clone(&self.stop),
+        )?;
+        self.metrics_thread = Some(thread);
+        Ok(local)
+    }
+
     /// Graceful shutdown: stop accepting, let in-flight requests
     /// finish, join every thread.
     pub fn shutdown(mut self) {
@@ -244,6 +296,10 @@ impl ServerHandle {
             self.stop.store(true, Ordering::SeqCst);
             // Unblock the accept() call; any connection works.
             let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.metrics_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
             let _ = handle.join();
         }
     }
@@ -261,6 +317,7 @@ fn accept_loop(
     config: Arc<ServerConfig>,
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    obs: Arc<ServerObs>,
 ) {
     // Dropping the pool at the end of this function joins the workers,
     // so `ServerHandle::shutdown` transitively waits for connections.
@@ -286,6 +343,7 @@ fn accept_loop(
                 let config = Arc::clone(&config);
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
+                let obs = Arc::clone(&obs);
                 pool.execute(move || {
                     // Release the slot even if the handler panics (the
                     // pool contains the panic; the capacity gate must
@@ -297,7 +355,7 @@ fn accept_loop(
                         }
                     }
                     let _slot = Slot(&counters.active);
-                    serve_connection(stream, &registry, &config, &stop, &counters)
+                    serve_connection(stream, &registry, &config, &stop, &counters, &obs)
                 });
             }
             Err(_) => {
@@ -319,6 +377,7 @@ fn refuse_connection(mut stream: TcpStream, workers: usize) {
         &Response::Error(format!(
             "server at capacity ({workers} connections); retry later"
         )),
+        PROTOCOL_VERSION,
     );
 }
 
@@ -391,10 +450,13 @@ fn read_frame_interruptible(stream: &mut TcpStream, max_len: u32, stop: &AtomicB
     }
 }
 
-fn send_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let payload = response.encode().unwrap_or_else(|e| {
+/// Replies echo the *request's* protocol version (see
+/// [`Response::encode_versioned`]), so a v3 client pipelining against
+/// a v4 server reads frames it can decode.
+fn send_response(stream: &mut TcpStream, response: &Response, version: u8) -> io::Result<()> {
+    let payload = response.encode_versioned(version).unwrap_or_else(|e| {
         Response::Error(format!("internal encode failure: {e}"))
-            .encode()
+            .encode_versioned(version)
             .expect("plain error replies always encode")
     });
     let mut frame = Vec::with_capacity(4 + payload.len());
@@ -403,27 +465,48 @@ fn send_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> 
     stream.write_all(&frame)
 }
 
+/// Best-effort version for error replies to frames that failed to
+/// decode: echo the claimed version when it is inside the accepted
+/// window, else answer in the current dialect.
+pub(crate) fn salvage_version(payload: &[u8]) -> u8 {
+    payload
+        .first()
+        .copied()
+        .filter(|&v| crate::protocol::version_accepted(v))
+        .unwrap_or(PROTOCOL_VERSION)
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     registry: &Registry,
     config: &ServerConfig,
     stop: &AtomicBool,
     counters: &ServerCounters,
+    obs: &ServerObs,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.poll_interval));
     loop {
         match read_frame_interruptible(&mut stream, config.max_frame_len, stop) {
             FrameIn::Frame(payload) => {
-                let response = match Request::decode(&payload) {
-                    Ok(request) => handle_request(request, registry, config),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
+                let started = Instant::now();
+                let (response, version) = match Request::decode_with_version(&payload) {
+                    Ok((request, version)) => (
+                        handle_request(request, registry, config, counters, obs),
+                        version,
+                    ),
+                    Err(e) => (
+                        Response::Error(format!("bad request: {e}")),
+                        salvage_version(&payload),
+                    ),
                 };
                 counters.frames.fetch_add(1, Ordering::Relaxed);
                 if matches!(response, Response::Error(_)) {
                     counters.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                if send_response(&mut stream, &response).is_err() {
+                obs.reply_latency_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                if send_response(&mut stream, &response, version).is_err() {
                     break;
                 }
             }
@@ -434,7 +517,11 @@ fn serve_connection(
                     len,
                     max: config.max_frame_len,
                 };
-                let _ = send_response(&mut stream, &Response::Error(format!("bad request: {err}")));
+                let _ = send_response(
+                    &mut stream,
+                    &Response::Error(format!("bad request: {err}")),
+                    PROTOCOL_VERSION,
+                );
                 break; // cannot skip the oversized body safely
             }
             FrameIn::Closed | FrameIn::Shutdown => break,
@@ -452,6 +539,8 @@ pub(crate) fn handle_request(
     request: Request,
     registry: &Registry,
     config: &ServerConfig,
+    counters: &ServerCounters,
+    obs: &ServerObs,
 ) -> Response {
     fn reply<T>(result: Result<T, ServeError>, ok: impl FnOnce(T) -> Response) -> Response {
         match result {
@@ -479,5 +568,12 @@ pub(crate) fn handle_request(
             Response::Bool,
         ),
         Request::Stats { ns } => reply(lookup(registry, &ns).map(|h| h.stats()), Response::Stats),
+        Request::Metrics { ns } => {
+            if !ns.is_empty() && registry.get(&ns).is_none() {
+                Response::Error(ServeError::UnknownNamespace(ns).to_string())
+            } else {
+                Response::Metrics(crate::obs::collect_metrics(registry, counters, obs, &ns))
+            }
+        }
     }
 }

@@ -356,6 +356,91 @@ proptest! {
         );
     }
 
+    /// Latency-histogram round-trip: recording arbitrary values and
+    /// asking for any quantile returns exactly the upper bound of the
+    /// bucket holding the rank-th smallest sample (clamped to the
+    /// observed max) — i.e. the log-linear bucketing loses rank
+    /// information never, and magnitude only within one bucket.
+    #[test]
+    fn histogram_quantiles_round_trip_through_buckets(
+        raw in proptest::collection::vec((0u64..3, 0u64..(1 << 50)), 1..200),
+        q_milli in 0u64..1001,
+    ) {
+        use hoplite::core::metrics::{bucket_high, bucket_index};
+        use hoplite::core::{Histogram, HistogramSnapshot};
+        // Mixed magnitudes: exact linear buckets, mid-range, and the
+        // high log-bucket tail.
+        let values: Vec<u64> = raw
+            .into_iter()
+            .map(|(sel, v)| match sel {
+                0 => v % 64,
+                1 => v % 100_000,
+                _ => v,
+            })
+            .collect();
+        let q = q_milli as f64 / 1000.0;
+        let shared = Histogram::new();
+        let mut owned = HistogramSnapshot::empty();
+        for &v in &values {
+            shared.record(v);
+            owned.record(v);
+        }
+        let snap = shared.snapshot();
+        prop_assert_eq!(&snap, &owned, "atomic and owned recording agree");
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), sorted.len() as u64);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        prop_assert_eq!(snap.sum(), sorted.iter().sum::<u64>());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let sample = sorted[rank - 1];
+        let expect = bucket_high(bucket_index(sample)).min(snap.max());
+        prop_assert_eq!(snap.quantile(q), expect, "q={} rank={} sample={}", q, rank, sample);
+        // Reported quantiles never undershoot the true sample and
+        // never exceed the observed max.
+        prop_assert!(snap.quantile(q) >= sample && snap.quantile(q) <= snap.max());
+    }
+
+    /// Snapshot merge is associative and commutative, and merging
+    /// per-chunk snapshots equals recording the concatenation — the
+    /// property per-worker aggregation (loadgen, METRICS) relies on.
+    #[test]
+    fn histogram_merge_is_associative_and_chunk_invariant(
+        a in proptest::collection::vec(0u64..1_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000, 0..64),
+        c in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        use hoplite::core::HistogramSnapshot;
+        let snap = |values: &[u64]| {
+            let mut s = HistogramSnapshot::empty();
+            for &v in values {
+                s.record(v);
+            }
+            s
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right, "associativity");
+        // c ⊕ b ⊕ a
+        let mut rev = sc;
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(&left, &rev, "commutativity");
+        // One snapshot over the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snap(&all), "merge equals concatenation");
+    }
+
     /// Dynamic overlay queries equal a from-scratch rebuild after any
     /// sequence of acyclic insertions.
     #[test]

@@ -805,6 +805,157 @@ mod reactor {
 }
 
 #[test]
+fn metrics_op_reports_query_outcomes_and_latency_summaries() {
+    let n = 30u32;
+    let g = random_cyclic_digraph(n as usize, 90, 0x0B5);
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    registry
+        .insert_dynamic(
+            "live",
+            DynamicOracle::new(Dag::from_edges(2, &[(0, 1)]).unwrap()),
+        )
+        .unwrap();
+    let handle = serve(registry);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let pairs: Vec<(u32, u32)> = (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect();
+    client.reach_batch("g", &pairs).unwrap();
+    for (u, v) in [(0, 1), (5, 7), (9, 9)] {
+        client.reach("g", u, v).unwrap();
+    }
+    client.reach("live", 0, 1).unwrap();
+
+    let report = client.metrics("").unwrap();
+    let total = (pairs.len() + 3) as u64;
+    assert_eq!(
+        report.counter("ns_queries_total{ns=\"g\"}"),
+        Some(total),
+        "{report:?}"
+    );
+    assert_eq!(report.counter("ns_queries_total{ns=\"live\"}"), Some(1));
+    // Every query dies in exactly one stage, and the outcome split
+    // must account for all of them — batch and single alike.
+    let outcomes: u64 = ["filter", "signature", "merge"]
+        .iter()
+        .map(|o| {
+            report
+                .counter(&format!("ns_query_outcome_total{{ns=\"g\",outcome={o:?}}}"))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(outcomes, total);
+    // The three single REACHes were timed into per-outcome latency
+    // histograms; the batch frame into the batch histogram.
+    let timed: u64 = ["filter", "signature", "merge"]
+        .iter()
+        .filter_map(|o| report.histogram(&format!("ns_query_latency_ns{{ns=\"g\",outcome={o:?}}}")))
+        .map(|s| s.count)
+        .sum();
+    assert_eq!(timed, 3);
+    let batch_hist = report
+        .histogram("ns_batch_latency_ns{ns=\"g\"}")
+        .expect("batch latency summary present");
+    assert_eq!(batch_hist.count, 1);
+    assert!(batch_hist.max >= batch_hist.p50);
+    // Server-wide series ride along.
+    assert!(report.counter("server_frames_total").unwrap_or(0) >= total / pairs.len() as u64);
+    assert!(report.histogram("server_reply_latency_ns").is_some());
+
+    // A namespace filter restricts the per-namespace section.
+    let filtered = client.metrics("live").unwrap();
+    assert!(filtered.counter("ns_queries_total{ns=\"live\"}").is_some());
+    assert!(filtered.counter("ns_queries_total{ns=\"g\"}").is_none());
+
+    // An unknown namespace is a clean error reply.
+    match client.metrics("absent") {
+        Err(ClientError::Server(message)) => {
+            assert!(message.contains("unknown namespace"), "{message}")
+        }
+        other => panic!("METRICS on absent namespace got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Sends raw bytes as one frame and returns the raw reply payload, so
+/// version-echo bytes can be asserted before any decode.
+fn send_raw_payload(addr: std::net::SocketAddr, payload: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut reply).unwrap();
+    reply
+}
+
+#[test]
+fn v3_clients_are_served_in_their_own_dialect() {
+    let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let registry = Registry::new();
+    registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+    let handle = serve(registry);
+    let addr = handle.local_addr();
+
+    // A strict v3 client: every reply must carry version byte 3, or
+    // its decoder would refuse the frame.
+    let v3 = |request: &hoplite::server::Request| {
+        let mut payload = request.encode().unwrap();
+        assert_eq!(payload[0], PROTOCOL_VERSION);
+        payload[0] = 3;
+        payload
+    };
+    let reply = send_raw_payload(addr, &v3(&hoplite::server::Request::Ping));
+    assert_eq!(reply[0], 3, "PONG must echo the v3 dialect");
+    assert_eq!(Response::decode(&reply).unwrap(), Response::Pong);
+
+    let reply = send_raw_payload(
+        addr,
+        &v3(&hoplite::server::Request::Reach {
+            ns: "g".into(),
+            u: 0,
+            v: 2,
+        }),
+    );
+    assert_eq!(reply[0], 3);
+    assert_eq!(Response::decode(&reply).unwrap(), Response::Bool(true));
+
+    // The METRICS opcode postdates v3: a v3 frame carrying it gets the
+    // same answer a v3-era server would give — unknown opcode — as an
+    // error reply in the v3 dialect, not a disconnect.
+    let reply = send_raw_payload(
+        addr,
+        &v3(&hoplite::server::Request::Metrics { ns: String::new() }),
+    );
+    assert_eq!(reply[0], 3);
+    match Response::decode(&reply).unwrap() {
+        Response::Error(message) => assert!(message.contains("opcode"), "{message}"),
+        other => panic!("v3 METRICS frame got {other:?}"),
+    }
+
+    // Error replies to undecodable v3 frames stay in the v3 dialect
+    // too (the version byte is salvaged from the broken frame).
+    let reply = send_raw_payload(addr, &[3, 0x02]);
+    assert_eq!(reply[0], 3, "error reply must stay decodable to v3");
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::Error(_)
+    ));
+
+    // And the current dialect still works on the same server.
+    let mut modern = Client::connect(addr).unwrap();
+    assert!(modern.reach("g", 0, 2).unwrap());
+    assert!(modern.metrics("").is_ok());
+    handle.shutdown();
+}
+
+#[test]
 fn list_reflects_registry_contents() {
     let registry = Registry::new();
     let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
