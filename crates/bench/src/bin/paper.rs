@@ -241,6 +241,21 @@ fn perf_cmd(args: &[String]) {
         report.metrics_overhead.instrumented_qps / 1e6,
         report.metrics_overhead.ratio() * 100.0,
     );
+    eprintln!(
+        "# perf[dynamic]: {} mutations at {:.0}/s ({} rejected), {} rebuilds in \
+         background; {} reads, p50/p99 = {:.1}/{:.1} µs ({} overlapped a rebuild, \
+         p99 {:.1} µs, max {:.2} ms)",
+        report.dynamic.mutations,
+        report.dynamic.mutation_qps,
+        report.dynamic.rejected,
+        report.dynamic.rebuilds,
+        report.dynamic.reads,
+        report.dynamic.read_p50_ns as f64 / 1e3,
+        report.dynamic.read_p99_ns as f64 / 1e3,
+        report.dynamic.reads_during_rebuild,
+        report.dynamic.read_p99_during_rebuild_ns as f64 / 1e3,
+        report.dynamic.read_max_during_rebuild_ns as f64 / 1e6,
+    );
     if let Some(wire) = &report.wire {
         for s in &wire.steps {
             eprintln!(

@@ -35,6 +35,17 @@
 //!   loop without one; `--check` requires the instrumented loop to
 //!   hold ≥ 97% of plain throughput, the bar the observability layer
 //!   is sold under.
+//! * **Dynamic mixed workload** — a durable
+//!   [`hoplite_server::Registry`] namespace (WAL group commit +
+//!   checkpoint rotation in a scratch dir) under a mutating writer and
+//!   concurrent readers, with a low rebuild threshold forcing several
+//!   background reindexes mid-measurement. Reports mutation
+//!   throughput (WAL append on the acknowledgement path) and the
+//!   read-latency tail; `--check` requires ≥ 1 rebuild and holds the
+//!   p99 of reads that *overlapped* a rebuild under 150 ms — readers
+//!   answer through the delta overlay (plus group-commit contention),
+//!   never behind the reindex itself. The final answers are
+//!   cross-checked against BFS ground truth.
 //!
 //! Every timed path is also cross-checked for answer equivalence, so a
 //! fast-but-wrong regression fails the run instead of producing a
@@ -48,7 +59,7 @@
 //!
 //! In full (non-`--quick`) mode the report carries a `vs_prev` block
 //! comparing the headline numbers against the committed
-//! `BENCH_6.json` (same 48k/192k random-DAG workload, same seed).
+//! `BENCH_7.json` (same 48k/192k random-DAG workload, same seed).
 
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -69,12 +80,12 @@ const IDENTITY_WIDTHS: [usize; 5] = [1, 2, 3, 4, 8];
 /// Thread counts the scaling stage records build + query numbers for.
 const SCALING_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
-/// Headline numbers of the committed `BENCH_6.json` (48k/192k
+/// Headline numbers of the committed `BENCH_7.json` (48k/192k
 /// random-DAG workload, seed 7, full mode) — the `vs_prev` baseline.
-const PREV_BENCH: &str = "BENCH_6.json";
-const PREV_FILTERED_QPS: f64 = 11_570_629.0;
-const PREV_UNFILTERED_QPS: f64 = 9_238_339.0;
-const PREV_BUILD_AUTO_MS: f64 = 363.40;
+const PREV_BENCH: &str = "BENCH_7.json";
+const PREV_FILTERED_QPS: f64 = 10_813_448.0;
+const PREV_UNFILTERED_QPS: f64 = 9_138_360.0;
+const PREV_BUILD_AUTO_MS: f64 = 318.39;
 
 /// Pairs per chunk of the metrics-overhead stage — the granularity a
 /// serving tier would realistically record at (one histogram sample
@@ -187,6 +198,60 @@ impl MetricsOverhead {
         self.instrumented_qps / self.plain_qps.max(f64::MIN_POSITIVE)
     }
 }
+
+/// The dynamic mixed read/mutate stage: a durable
+/// [`hoplite_server::Registry`] namespace (WAL + checkpoint in a
+/// scratch dir) under a writer applying edge mutations while reader
+/// threads hammer point queries, with the low rebuild threshold
+/// guaranteeing several background reindexes happen *during* the
+/// measurement. The headline numbers are mutation throughput (each
+/// mutation is logged to the WAL before it is acknowledged) and the
+/// read-latency tail — overall and, separately, for reads that
+/// overlapped an in-flight rebuild, the tail `--check` holds to
+/// [`READ_STALL_BOUND_NS`]: readers must answer through the delta
+/// overlay, never block behind the reindex.
+#[derive(Clone, Debug)]
+pub struct DynamicStage {
+    /// Vertices of the seed DAG.
+    pub vertices: usize,
+    /// Edges of the seed DAG.
+    pub seed_edges: usize,
+    /// Acknowledged mutations (logged, applied, and visible).
+    pub mutations: u64,
+    /// Mutation attempts the planner rejected (would-be cycles) —
+    /// context, not counted in the throughput.
+    pub rejected: u64,
+    /// Acknowledged mutations per second, WAL append included.
+    pub mutation_qps: f64,
+    /// Overlay size that arms a background rebuild.
+    pub rebuild_threshold: usize,
+    /// Background rebuilds completed during the stage.
+    pub rebuilds: u64,
+    /// Concurrent reader threads.
+    pub reader_threads: usize,
+    /// Point queries answered while the writer ran.
+    pub reads: u64,
+    /// Median read latency in nanoseconds.
+    pub read_p50_ns: u64,
+    /// 99th-percentile read latency in nanoseconds.
+    pub read_p99_ns: u64,
+    /// Reads that overlapped an in-flight background rebuild.
+    pub reads_during_rebuild: u64,
+    /// 99th-percentile latency of those overlapping reads — the
+    /// number the non-blocking-rebuild design is sold on.
+    pub read_p99_during_rebuild_ns: u64,
+    /// Worst overlapping read observed (exact, not bucketed).
+    pub read_max_during_rebuild_ns: u64,
+}
+
+/// `--check` bound on [`DynamicStage::read_p99_during_rebuild_ns`].
+/// Set far above honest contention — WAL group-commit fsyncs hold the
+/// namespace lock and share the disk with the checkpoint writer, so a
+/// loaded box sees tens of milliseconds at the tail — and far below a
+/// reader actually queued behind the reindex (label build plus
+/// checkpoint construction is ~700 ms at bench scale): the gate
+/// catches a blocking rebuild, not fsync noise.
+const READ_STALL_BOUND_NS: u64 = 150_000_000;
 
 /// One graph family's build + query measurements.
 #[derive(Clone, Debug)]
@@ -309,6 +374,9 @@ pub struct PerfReport {
     /// Instrumented vs plain chunked query throughput on the headline
     /// workload.
     pub metrics_overhead: MetricsOverhead,
+    /// Mixed read/mutate stage on a durable dynamic namespace with
+    /// background rebuilds in flight.
+    pub dynamic: DynamicStage,
     /// Wire sweep through a child-process server; `None` when no
     /// server executable was supplied (e.g. under `cargo test`).
     pub wire: Option<WireReport>,
@@ -545,6 +613,177 @@ fn run_metrics_overhead(
     }
 }
 
+/// The dynamic mixed stage at explicit sizes (the tiny test harness
+/// shrinks everything; [`run_perf`] picks bench scale).
+fn run_dynamic(
+    n: usize,
+    m: usize,
+    target_mutations: u64,
+    rebuild_threshold: usize,
+    reader_threads: usize,
+    seed: u64,
+) -> DynamicStage {
+    use hoplite_server::Registry;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    eprintln!(
+        "# perf[dynamic]: {target_mutations} mutations over random_dag(n={n}, m={m}), \
+         rebuild threshold {rebuild_threshold}, {reader_threads} reader thread(s) ..."
+    );
+    let dag = gen::random_dag(n, m, seed);
+    // Any edge consistent with one fixed topological order of the seed
+    // keeps the graph acyclic no matter how many are inserted, so
+    // orienting inserts by seed topo rank makes most attempts land;
+    // the deliberately unoriented minority exercises the planner's
+    // cycle rejection (a real mixed workload has both).
+    let topo_pos: Vec<u32> = (0..n as u32).map(|v| dag.topo_pos(v)).collect();
+    let mut truth: std::collections::BTreeSet<(u32, u32)> = dag.graph().edges().collect();
+
+    let wal_root = std::env::temp_dir().join(format!(
+        "hoplite-perf-dynamic-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let registry = Arc::new(Registry::new());
+    registry
+        .open_durable(
+            "dyn",
+            dag,
+            &wal_root,
+            hoplite_core::WalConfig::default(),
+            Some(rebuild_threshold),
+        )
+        .expect("open durable bench namespace");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..reader_threads)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let handle = registry.get("dyn").expect("namespace registered");
+                let mut all = hoplite_core::HistogramSnapshot::empty();
+                let mut during = hoplite_core::HistogramSnapshot::empty();
+                let mut state = seed ^ (0xD1E5_u64 << t);
+                while !stop.load(Ordering::Relaxed) {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state % n as u64) as u32;
+                    let v = ((state >> 32) % n as u64) as u32;
+                    let in_flight_before = handle.rebuild_in_flight();
+                    let started = Instant::now();
+                    handle.reach(u, v).expect("concurrent read");
+                    let ns = started.elapsed().as_nanos() as u64;
+                    all.record(ns);
+                    if in_flight_before || handle.rebuild_in_flight() {
+                        during.record(ns);
+                    }
+                }
+                (all, during)
+            })
+        })
+        .collect();
+
+    let handle = registry.get("dyn").expect("namespace registered");
+    let mut state = seed ^ 0xBEEF_CAFE;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut inserted: Vec<(u32, u32)> = Vec::new();
+    let mut acknowledged = 0u64;
+    let mut rejected = 0u64;
+    let started = Instant::now();
+    while acknowledged < target_mutations {
+        let r = next();
+        if r % 8 == 7 && !inserted.is_empty() {
+            // Remove one of our own inserts (always present, always
+            // acknowledged).
+            let (u, v) = inserted.swap_remove((next() % inserted.len() as u64) as usize);
+            handle.remove_edge("dyn", u, v).expect("remove");
+            truth.remove(&(u, v));
+            acknowledged += 1;
+            continue;
+        }
+        let a = (r % n as u64) as u32;
+        let b = ((r >> 32) % n as u64) as u32;
+        if a == b {
+            continue;
+        }
+        // 7 in 8 inserts are topo-oriented (guaranteed acyclic); the
+        // rest keep the random orientation and may be rejected.
+        let (u, v) = if r % 16 < 14 && topo_pos[a as usize] > topo_pos[b as usize] {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        match handle.add_edge("dyn", u, v) {
+            Ok(()) => {
+                if truth.insert((u, v)) {
+                    inserted.push((u, v));
+                }
+                acknowledged += 1;
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    let mutate_secs = started.elapsed().as_secs_f64();
+    handle.quiesce("dyn");
+
+    stop.store(true, Ordering::Relaxed);
+    let mut all = hoplite_core::HistogramSnapshot::empty();
+    let mut during = hoplite_core::HistogramSnapshot::empty();
+    for r in readers {
+        let (a, d) = r.join().expect("reader thread");
+        all.merge(&a);
+        during.merge(&d);
+    }
+
+    // Cross-check: the served answers must equal BFS over the
+    // acknowledged edge set — a fast-but-wrong dynamic path fails the
+    // run instead of producing a flattering number.
+    let edges: Vec<(u32, u32)> = truth.iter().copied().collect();
+    let final_graph =
+        hoplite_graph::DiGraph::from_edges(n, &edges).expect("acknowledged set stayed acyclic");
+    for _ in 0..200 {
+        let r = next();
+        let u = (r % n as u64) as u32;
+        let v = ((r >> 32) % n as u64) as u32;
+        assert_eq!(
+            handle.reach(u, v).expect("verify read"),
+            hoplite_graph::traversal::reaches(&final_graph, u, v),
+            "dynamic stage diverged from BFS at ({u}, {v})"
+        );
+    }
+
+    let rebuilds = handle.rebuilds_completed();
+    handle.sync_durability().expect("final WAL sync");
+    drop(handle);
+    drop(registry);
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    DynamicStage {
+        vertices: n,
+        seed_edges: m,
+        mutations: acknowledged,
+        rejected,
+        mutation_qps: acknowledged as f64 / mutate_secs.max(f64::MIN_POSITIVE),
+        rebuild_threshold,
+        rebuilds,
+        reader_threads,
+        reads: all.count(),
+        read_p50_ns: all.p50(),
+        read_p99_ns: all.p99(),
+        reads_during_rebuild: during.count(),
+        read_p99_during_rebuild_ns: during.p99(),
+        read_max_during_rebuild_ns: during.max(),
+    }
+}
+
 /// Builds the workloads, measures every engine and both query paths,
 /// and cross-checks equivalence along the way.
 ///
@@ -712,6 +951,21 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     // --- Metrics overhead on the same index + pairs. ----------------
     let metrics_overhead = run_metrics_overhead(&oracle, &pairs, threads, rounds);
 
+    // --- Dynamic mixed read/mutate stage (durable namespace, WAL +
+    // background rebuilds under concurrent readers). -----------------
+    let dynamic = if opts.quick {
+        run_dynamic(
+            12_000,
+            48_000,
+            2_000,
+            400,
+            (host_cores - 1).clamp(1, 2),
+            opts.seed,
+        )
+    } else {
+        run_dynamic(n, m, 10_000, 1_500, (host_cores - 1).clamp(1, 3), opts.seed)
+    };
+
     // --- Wire sweep through a child-process reactor server. ---------
     let wire = opts.wire_server.as_deref().map(|exe| {
         run_wire(exe, opts.quick, opts.seed, host_cores)
@@ -733,6 +987,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         cold_start,
         scaling,
         metrics_overhead,
+        dynamic,
         wire,
     }
 }
@@ -934,6 +1189,25 @@ impl PerfReport {
                 self.metrics_overhead.plain_qps
             ));
         }
+        // The non-blocking-rebuild promise: the stage must have seen
+        // at least one background reindex, and reads overlapping it
+        // must never have queued behind the rebuild.
+        if self.dynamic.rebuilds < 1 {
+            return Err(
+                "dynamic stage observed no background rebuild — the threshold never fired".into(),
+            );
+        }
+        if self.dynamic.reads_during_rebuild > 0
+            && self.dynamic.read_p99_during_rebuild_ns > READ_STALL_BOUND_NS
+        {
+            return Err(format!(
+                "reads during background rebuild stalled: p99 {:.2} ms exceeds the \
+                 {:.0} ms bound (readers must answer through the overlay, not wait \
+                 for the reindex)",
+                self.dynamic.read_p99_during_rebuild_ns as f64 / 1e6,
+                READ_STALL_BOUND_NS as f64 / 1e6
+            ));
+        }
         // Wire floor: every sweep step — including the 10k-socket one —
         // must clear a deliberately low QPS bar with zero error
         // replies. Catches a serving tier that collapses or starts
@@ -1003,7 +1277,7 @@ impl PerfReport {
         )
     }
 
-    /// The machine-readable report (`BENCH_7.json`, schema 5).
+    /// The machine-readable report (`BENCH_8.json`, schema 6).
     pub fn to_json(&self) -> String {
         let scaling = self
             .scaling
@@ -1108,7 +1382,7 @@ impl PerfReport {
         format!(
             r#"{{
   "bench": "perf",
-  "schema": 5,
+  "schema": 6,
   "quick": {quick},
   "seed": {seed},
   "host_cores": {host_cores},
@@ -1170,6 +1444,23 @@ impl PerfReport {
     "ratio": {overhead_ratio:.4},
     "ratio_floor": {overhead_floor:.2}
   }},
+  "dynamic": {{
+    "vertices": {dyn_n},
+    "seed_edges": {dyn_m},
+    "mutations": {dyn_mutations},
+    "rejected": {dyn_rejected},
+    "mutation_qps": {dyn_mut_qps:.0},
+    "rebuild_threshold": {dyn_threshold},
+    "rebuilds": {dyn_rebuilds},
+    "reader_threads": {dyn_readers},
+    "reads": {dyn_reads},
+    "read_p50_ns": {dyn_p50},
+    "read_p99_ns": {dyn_p99},
+    "reads_during_rebuild": {dyn_reads_rebuild},
+    "read_p99_during_rebuild_ns": {dyn_p99_rebuild},
+    "read_max_during_rebuild_ns": {dyn_max_rebuild},
+    "read_stall_bound_ns": {dyn_bound}
+  }},
   "wire": {wire},
   "vs_prev": {vs_prev}
 }}"#,
@@ -1202,6 +1493,21 @@ impl PerfReport {
             overhead_inst = self.metrics_overhead.instrumented_qps,
             overhead_ratio = self.metrics_overhead.ratio(),
             overhead_floor = OVERHEAD_FLOOR,
+            dyn_n = self.dynamic.vertices,
+            dyn_m = self.dynamic.seed_edges,
+            dyn_mutations = self.dynamic.mutations,
+            dyn_rejected = self.dynamic.rejected,
+            dyn_mut_qps = self.dynamic.mutation_qps,
+            dyn_threshold = self.dynamic.rebuild_threshold,
+            dyn_rebuilds = self.dynamic.rebuilds,
+            dyn_readers = self.dynamic.reader_threads,
+            dyn_reads = self.dynamic.reads,
+            dyn_p50 = self.dynamic.read_p50_ns,
+            dyn_p99 = self.dynamic.read_p99_ns,
+            dyn_reads_rebuild = self.dynamic.reads_during_rebuild,
+            dyn_p99_rebuild = self.dynamic.read_p99_during_rebuild_ns,
+            dyn_max_rebuild = self.dynamic.read_max_during_rebuild_ns,
+            dyn_bound = READ_STALL_BOUND_NS,
             v1_bytes = self.cold_start.v1_file_bytes,
             v3_bytes = self.cold_start.v3_file_bytes,
             owned_open = self.cold_start.owned_open_ms,
@@ -1365,6 +1671,15 @@ mod tests {
     /// A miniature run through the real plumbing so the debug-build
     /// test suite stays fast.
     fn run_perf_tiny_for_tests() -> PerfReport {
+        // The real dynamic stage at toy scale: enough mutations over a
+        // threshold of 24 to force several background rebuilds, then
+        // pin the rebuild-overlap tail healthy — debug-build timing
+        // noise on a 400-vertex graph is not what the gate probes.
+        let mut dynamic = run_dynamic(400, 1_200, 150, 24, 1, 5);
+        assert!(dynamic.rebuilds >= 1, "tiny dynamic stage never rebuilt");
+        assert_eq!(dynamic.mutations, 150);
+        dynamic.read_p99_during_rebuild_ns =
+            dynamic.read_p99_during_rebuild_ns.min(READ_STALL_BOUND_NS);
         let dag = gen::random_dag(300, 1_200, 5);
         let chain = gen::deep_chain_dag(300, 6, 40, 5);
         let kron = gen::kronecker_dag(8, 700, 5);
@@ -1416,7 +1731,36 @@ mod tests {
                 })
                 .collect(),
             metrics_overhead,
+            dynamic,
             wire: None,
         }
+    }
+
+    #[test]
+    fn check_gates_the_dynamic_stage() {
+        let mut report = run_perf_tiny_for_tests();
+        report.main.filtered_qps = report.main.filtered_qps.max(report.main.unfiltered_qps);
+        report.check().expect("tiny report passes");
+        let json = report.to_json();
+        for key in [
+            "\"dynamic\"",
+            "\"mutation_qps\"",
+            "\"rebuilds\"",
+            "\"read_p99_during_rebuild_ns\"",
+            "\"read_stall_bound_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No rebuild observed ⇒ the stage measured nothing.
+        let rebuilds = report.dynamic.rebuilds;
+        report.dynamic.rebuilds = 0;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("no background rebuild"), "{err}");
+        report.dynamic.rebuilds = rebuilds;
+        // Readers queued behind the reindex ⇒ fail.
+        report.dynamic.reads_during_rebuild = report.dynamic.reads_during_rebuild.max(1);
+        report.dynamic.read_p99_during_rebuild_ns = READ_STALL_BOUND_NS * 20;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("stalled"), "{err}");
     }
 }

@@ -23,14 +23,89 @@
 //! current logical graph. Deletions are therefore O(1) to apply, and
 //! the confirmation cost is amortized away by the same
 //! threshold-triggered rebuild.
+//!
+//! Two serving-tier concerns layer on top:
+//!
+//! * **Durability** — a [`Durability`] hook logs every mutation to a
+//!   write-ahead log *before* it is applied (and before any caller
+//!   acknowledges it), so `acknowledged ⇒ logged` holds and a crash
+//!   recovers a prefix of acknowledged operations (see [`crate::wal`]).
+//! * **Non-blocking rebuild** — instead of the inline [`Self::rebuild`]
+//!   a server takes a cheap [`Self::rebuild_plan`] snapshot, runs the
+//!   heavy [`RebuildPlan::execute`] off-lock on a worker thread while
+//!   readers keep answering through the overlay, and finally
+//!   [`Self::publish`]es the result: the overlay is re-derived by set
+//!   algebra so mutations that landed *mid-rebuild* are preserved.
 
 use std::cell::RefCell;
+use std::fmt;
+use std::io;
 
 use hoplite_graph::digraph::GraphBuilder;
 use hoplite_graph::{Dag, GraphError, VertexId};
 
 use crate::distribution::{DistributionLabeling, DlConfig};
 use crate::oracle::ReachIndex;
+use crate::wal::{Durability, EdgeOp};
+
+/// Why a mutation was refused. Either the edge itself is invalid for
+/// the current graph, or the durability hook could not log it — in
+/// both cases the oracle is unchanged and the mutation must not be
+/// acknowledged.
+#[derive(Debug)]
+pub enum MutationError {
+    /// Structurally invalid: the edge would close a cycle, or an
+    /// endpoint is out of range.
+    Graph(GraphError),
+    /// The write-ahead log rejected the record; nothing was applied.
+    Durability(io::Error),
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::Graph(e) => write!(f, "{e}"),
+            MutationError::Durability(e) => write!(f, "durability: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Graph(e) => Some(e),
+            MutationError::Durability(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for MutationError {
+    fn from(e: GraphError) -> Self {
+        MutationError::Graph(e)
+    }
+}
+
+/// How an insert changes the overlay, decided before anything is
+/// logged or applied.
+enum InsertAction {
+    /// Already live — nothing to log, nothing to do.
+    Noop,
+    /// The edge is a tombstoned snapshot edge; clear the tombstone at
+    /// this index.
+    ClearTombstone(usize),
+    /// A genuinely new edge for the Δ overlay.
+    Append,
+}
+
+/// How a remove changes the overlay.
+enum RemoveAction {
+    /// Not present (neither snapshot nor overlay).
+    Missing,
+    /// Drop the overlay edge at this index.
+    DropDelta(usize),
+    /// Tombstone a live snapshot edge.
+    Tombstone,
+}
 
 /// A reachability oracle over a DAG that accepts edge insertions.
 ///
@@ -44,7 +119,7 @@ use crate::oracle::ReachIndex;
 /// oracle.insert_edge(1, 2)?;          // answered through the overlay
 /// assert!(oracle.query(0, 3));
 /// assert!(oracle.insert_edge(3, 0).is_err());  // would close a cycle
-/// # Ok::<(), hoplite_graph::GraphError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct DynamicOracle {
     dag: Dag,
@@ -56,6 +131,12 @@ pub struct DynamicOracle {
     deleted: Vec<(VertexId, VertexId)>,
     /// Rebuild once `delta` or `deleted` reaches this size.
     rebuild_threshold: usize,
+    /// Inline rebuild at the threshold (library default). A serving
+    /// tier turns this off and drives [`Self::rebuild_plan`] /
+    /// [`Self::publish`] from a background worker instead.
+    auto_rebuild: bool,
+    /// Logs every mutation before it is applied; `None` = volatile.
+    durability: Option<Box<dyn Durability>>,
     /// Per-query visited marks over delta-edge indices.
     visited: RefCell<Vec<bool>>,
     /// Per-query visited marks over vertices (deletion-confirm BFS).
@@ -83,6 +164,8 @@ impl DynamicOracle {
             delta: Vec::new(),
             deleted: Vec::new(),
             rebuild_threshold,
+            auto_rebuild: true,
+            durability: None,
             visited: RefCell::new(Vec::new()),
             vertex_visited: RefCell::new(Vec::new()),
             rebuilds: 0,
@@ -129,13 +212,79 @@ impl DynamicOracle {
         m
     }
 
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Installs the durability hook. Every subsequent mutation is
+    /// logged through it *before* being applied, so `Ok` from
+    /// [`Self::insert_edge`]/[`Self::remove_edge`] implies the op is
+    /// in the log.
+    pub fn set_durability(&mut self, durability: Box<dyn Durability>) {
+        self.durability = Some(durability);
+    }
+
+    /// The installed hook, if any (the serving tier rotates the log
+    /// through this at publish time).
+    pub fn durability_mut(&mut self) -> Option<&mut (dyn Durability + 'static)> {
+        self.durability.as_deref_mut()
+    }
+
+    /// Forces every logged record to stable storage (graceful
+    /// shutdown). No-op without a hook.
+    pub fn sync_durability(&mut self) -> io::Result<()> {
+        match self.durability.as_deref_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Bytes in the current WAL generation (0 without a hook).
+    pub fn wal_bytes(&self) -> u64 {
+        self.durability.as_deref().map_or(0, |d| d.wal_bytes())
+    }
+
+    /// Records logged over the namespace's lifetime (0 without a hook).
+    pub fn wal_records_total(&self) -> u64 {
+        self.durability
+            .as_deref()
+            .map_or(0, |d| d.wal_records_total())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
     /// Inserts the edge `u → v`.
     ///
-    /// Returns [`GraphError::Cycle`] (and leaves the oracle unchanged)
-    /// if the edge would close a directed cycle, and
-    /// [`GraphError::VertexOutOfRange`] for bad endpoints. Triggers an
-    /// automatic rebuild when the overlay reaches the threshold.
-    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+    /// Returns [`GraphError::Cycle`] (wrapped, and leaves the oracle
+    /// unchanged) if the edge would close a directed cycle,
+    /// [`GraphError::VertexOutOfRange`] for bad endpoints, and
+    /// [`MutationError::Durability`] if the WAL refused the record —
+    /// in every error case nothing was applied. Triggers an automatic
+    /// inline rebuild at the threshold unless
+    /// [`Self::set_auto_rebuild`]`(false)`.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), MutationError> {
+        let action = self.plan_insert(u, v)?;
+        if matches!(action, InsertAction::Noop) {
+            return Ok(());
+        }
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.log(EdgeOp::Insert(u, v))
+                .map_err(MutationError::Durability)?;
+        }
+        match action {
+            InsertAction::Noop => unreachable!(),
+            InsertAction::ClearTombstone(i) => {
+                self.deleted.swap_remove(i);
+            }
+            InsertAction::Append => self.delta.push((u, v)),
+        }
+        self.maybe_auto_rebuild();
+        Ok(())
+    }
+
+    fn plan_insert(&self, u: VertexId, v: VertexId) -> Result<InsertAction, GraphError> {
         let n = self.dag.num_vertices();
         for x in [u, v] {
             if (x as usize) >= n {
@@ -152,17 +301,107 @@ impl DynamicOracle {
         // re-inserting a logically deleted snapshot edge just clears
         // the deletion mark.
         if let Some(i) = self.deleted.iter().position(|&e| e == (u, v)) {
-            self.deleted.swap_remove(i);
-            return Ok(());
+            return Ok(InsertAction::ClearTombstone(i));
         }
         if self.delta.contains(&(u, v)) || self.dag.graph().has_edge(u, v) {
-            return Ok(());
+            return Ok(InsertAction::Noop);
         }
-        self.delta.push((u, v));
-        if self.delta.len() >= self.rebuild_threshold {
+        Ok(InsertAction::Append)
+    }
+
+    /// Removes an edge lazily: overlay edges are dropped in place, and
+    /// snapshot edges are marked deleted in O(1) — the stale labels
+    /// stay sound because deletions only shrink reachability (see
+    /// [`Self::query`]). A rebuild folds the marks out once they reach
+    /// the threshold. `Ok(false)` means the edge did not exist
+    /// (neither live in the snapshot nor in the overlay) — nothing is
+    /// logged for a no-op.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, MutationError> {
+        let action = self.plan_remove(u, v);
+        if matches!(action, RemoveAction::Missing) {
+            return Ok(false);
+        }
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.log(EdgeOp::Remove(u, v))
+                .map_err(MutationError::Durability)?;
+        }
+        match action {
+            RemoveAction::Missing => unreachable!(),
+            RemoveAction::DropDelta(i) => {
+                self.delta.swap_remove(i);
+            }
+            RemoveAction::Tombstone => self.deleted.push((u, v)),
+        }
+        self.maybe_auto_rebuild();
+        Ok(true)
+    }
+
+    fn plan_remove(&self, u: VertexId, v: VertexId) -> RemoveAction {
+        if let Some(i) = self.delta.iter().position(|&e| e == (u, v)) {
+            return RemoveAction::DropDelta(i);
+        }
+        if !self.dag.graph().has_edge(u, v) || self.deleted.contains(&(u, v)) {
+            return RemoveAction::Missing;
+        }
+        RemoveAction::Tombstone
+    }
+
+    /// Re-applies recovered WAL operations without re-logging them
+    /// (they are already in the log). Auto-rebuild is suppressed while
+    /// replaying and a single rebuild folds the overlay afterwards if
+    /// it crossed the threshold. Replaying a valid log prefix cannot
+    /// fail — each op was validated against exactly the state its
+    /// acknowledgment saw — but errors surface rather than panic in
+    /// case the caller feeds a log that does not match the base.
+    pub fn replay(&mut self, ops: &[EdgeOp]) -> Result<(), MutationError> {
+        let durability = self.durability.take();
+        let auto = self.auto_rebuild;
+        self.auto_rebuild = false;
+        let mut result = Ok(());
+        for &op in ops {
+            let applied = match op {
+                EdgeOp::Insert(u, v) => self.insert_edge(u, v),
+                EdgeOp::Remove(u, v) => self.remove_edge(u, v).map(|_| ()),
+            };
+            if let Err(e) = applied {
+                result = Err(e);
+                break;
+            }
+        }
+        self.auto_rebuild = auto;
+        self.durability = durability;
+        if result.is_ok() && self.auto_rebuild && self.needs_rebuild() {
             self.rebuild();
         }
-        Ok(())
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuilds — inline and backgroundable
+    // ------------------------------------------------------------------
+
+    /// Whether the inline threshold rebuild is armed (default `true`).
+    /// A serving tier disables it and watches [`Self::needs_rebuild`]
+    /// to drive the background plan/execute/publish cycle instead.
+    pub fn set_auto_rebuild(&mut self, auto: bool) {
+        self.auto_rebuild = auto;
+    }
+
+    /// Re-tunes the overlay size that arms a rebuild (panics on 0).
+    pub fn set_rebuild_threshold(&mut self, threshold: usize) {
+        assert!(threshold >= 1);
+        self.rebuild_threshold = threshold;
+    }
+
+    /// Has the overlay reached the rebuild threshold?
+    pub fn needs_rebuild(&self) -> bool {
+        self.delta.len() >= self.rebuild_threshold || self.deleted.len() >= self.rebuild_threshold
+    }
+
+    fn maybe_auto_rebuild(&mut self) {
+        if self.auto_rebuild && self.needs_rebuild() {
+            self.rebuild();
+        }
     }
 
     /// Folds the overlay (insertions *and* deletions) into the snapshot
@@ -172,22 +411,87 @@ impl DynamicOracle {
         if self.delta.is_empty() && self.deleted.is_empty() {
             return;
         }
-        let n = self.dag.num_vertices();
-        let mut b = GraphBuilder::with_capacity(n, self.dag.num_edges() + self.delta.len());
-        for (a, c) in self.dag.graph().edges() {
-            if !self.deleted.contains(&(a, c)) {
-                b.add_edge_unchecked(a, c);
-            }
-        }
-        for &(a, c) in &self.delta {
-            b.add_edge_unchecked(a, c);
-        }
-        self.dag = Dag::new(b.build()).expect("cycle-checked insertions stay acyclic");
+        self.dag = fold_overlay(&self.dag, &self.delta, &self.deleted);
         self.dl = DistributionLabeling::build(&self.dag, &self.cfg);
         self.delta.clear();
         self.deleted.clear();
         self.rebuilds += 1;
     }
+
+    /// Snapshots everything a background rebuild needs: the current
+    /// base DAG plus the overlay as of now. Cheap relative to a label
+    /// build (one CSR clone + two small Vec clones) — called under the
+    /// serving lock; the heavy [`RebuildPlan::execute`] then runs with
+    /// no lock held at all.
+    pub fn rebuild_plan(&self) -> RebuildPlan {
+        RebuildPlan {
+            dag: self.dag.clone(),
+            delta: self.delta.clone(),
+            deleted: self.deleted.clone(),
+            cfg: self.cfg.clone(),
+        }
+    }
+
+    /// Atomically adopts a finished background rebuild. The overlay is
+    /// re-derived so mutations that landed between
+    /// [`Self::rebuild_plan`] and this call are preserved:
+    ///
+    /// with `D₀`/`R₀` the overlay the plan captured and
+    /// `Δ`/`R` the overlay now,
+    ///
+    /// * `Δ' = (Δ \ D₀) ∪ (R₀ \ R)` — new inserts, plus base edges the
+    ///   plan folded *out* that were re-inserted mid-rebuild;
+    /// * `R' = (R \ R₀) ∪ (D₀ \ Δ)` — new tombstones, plus edges the
+    ///   plan folded *in* that were removed mid-rebuild.
+    ///
+    /// Returns the new overlay as WAL ops — exactly what
+    /// [`Durability::rotate`] must seed the next log generation with.
+    pub fn publish(&mut self, rebuilt: RebuiltIndex) -> Vec<EdgeOp> {
+        let RebuiltIndex {
+            dag,
+            dl,
+            base_delta,
+            base_deleted,
+        } = rebuilt;
+        let delta: Vec<(VertexId, VertexId)> = self
+            .delta
+            .iter()
+            .copied()
+            .filter(|e| !base_delta.contains(e))
+            .chain(
+                base_deleted
+                    .iter()
+                    .copied()
+                    .filter(|e| !self.deleted.contains(e)),
+            )
+            .collect();
+        let deleted: Vec<(VertexId, VertexId)> = self
+            .deleted
+            .iter()
+            .copied()
+            .filter(|e| !base_deleted.contains(e))
+            .chain(
+                base_delta
+                    .iter()
+                    .copied()
+                    .filter(|e| !self.delta.contains(e)),
+            )
+            .collect();
+        self.dag = dag;
+        self.dl = dl;
+        self.delta = delta;
+        self.deleted = deleted;
+        self.rebuilds += 1;
+        self.delta
+            .iter()
+            .map(|&(u, v)| EdgeOp::Insert(u, v))
+            .chain(self.deleted.iter().map(|&(u, v)| EdgeOp::Remove(u, v)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
 
     /// Does `u` reach `v` in the current graph
     /// (snapshot − deletions + overlay)?
@@ -279,29 +583,76 @@ impl DynamicOracle {
         false
     }
 
-    /// Removes an edge lazily: overlay edges are dropped in place, and
-    /// snapshot edges are marked deleted in O(1) — the stale labels
-    /// stay sound because deletions only shrink reachability (see
-    /// [`Self::query`]). A rebuild folds the marks out once they reach
-    /// the threshold. Returns `false` if the edge did not exist
-    /// (neither live in the snapshot nor in the overlay).
-    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if let Some(i) = self.delta.iter().position(|&e| e == (u, v)) {
-            self.delta.swap_remove(i);
-            return true;
-        }
-        if !self.dag.graph().has_edge(u, v) || self.deleted.contains(&(u, v)) {
-            return false;
-        }
-        self.deleted.push((u, v));
-        if self.deleted.len() >= self.rebuild_threshold {
-            self.rebuild();
-        }
-        true
-    }
-
     /// The current snapshot (overlay not included).
     pub fn snapshot(&self) -> &Dag {
+        &self.dag
+    }
+}
+
+/// Folds an overlay into a base DAG: snapshot edges minus `deleted`,
+/// plus `delta`.
+fn fold_overlay(
+    dag: &Dag,
+    delta: &[(VertexId, VertexId)],
+    deleted: &[(VertexId, VertexId)],
+) -> Dag {
+    let n = dag.num_vertices();
+    let mut b = GraphBuilder::with_capacity(n, dag.num_edges() + delta.len());
+    for (a, c) in dag.graph().edges() {
+        if !deleted.contains(&(a, c)) {
+            b.add_edge_unchecked(a, c);
+        }
+    }
+    for &(a, c) in delta {
+        b.add_edge_unchecked(a, c);
+    }
+    Dag::new(b.build()).expect("cycle-checked insertions stay acyclic")
+}
+
+/// A consistent snapshot of everything a background rebuild needs,
+/// detached from the live oracle. See [`DynamicOracle::rebuild_plan`].
+pub struct RebuildPlan {
+    dag: Dag,
+    delta: Vec<(VertexId, VertexId)>,
+    deleted: Vec<(VertexId, VertexId)>,
+    cfg: DlConfig,
+}
+
+impl RebuildPlan {
+    /// Overlay operations the plan captured (diagnostics).
+    pub fn overlay_len(&self) -> usize {
+        self.delta.len() + self.deleted.len()
+    }
+
+    /// The heavy part: folds the captured overlay into the base and
+    /// builds the new labeling. Runs with no lock held; readers keep
+    /// answering through the live oracle's overlay path meanwhile.
+    pub fn execute(self) -> RebuiltIndex {
+        let dag = fold_overlay(&self.dag, &self.delta, &self.deleted);
+        let dl = DistributionLabeling::build(&dag, &self.cfg);
+        RebuiltIndex {
+            dag,
+            dl,
+            base_delta: self.delta,
+            base_deleted: self.deleted,
+        }
+    }
+}
+
+/// A finished background rebuild, ready for
+/// [`DynamicOracle::publish`].
+pub struct RebuiltIndex {
+    dag: Dag,
+    dl: DistributionLabeling,
+    /// The Δ the plan folded in — needed by publish's set algebra.
+    base_delta: Vec<(VertexId, VertexId)>,
+    /// The tombstones the plan folded out.
+    base_deleted: Vec<(VertexId, VertexId)>,
+}
+
+impl RebuiltIndex {
+    /// The new base DAG — what a checkpoint must capture.
+    pub fn dag(&self) -> &Dag {
         &self.dag
     }
 }
@@ -316,6 +667,10 @@ mod tests {
     fn ground_truth(n: usize, edges: &[(u32, u32)], u: u32, v: u32) -> bool {
         let g = hoplite_graph::DiGraph::from_edges(n, edges).unwrap();
         traversal::reaches(&g, u, v)
+    }
+
+    fn is_cycle(e: &MutationError) -> bool {
+        matches!(e, MutationError::Graph(GraphError::Cycle { .. }))
     }
 
     #[test]
@@ -348,14 +703,14 @@ mod tests {
     fn cycle_insertions_rejected() {
         let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut o = DynamicOracle::new(dag);
-        assert!(matches!(o.insert_edge(2, 0), Err(GraphError::Cycle { .. })));
-        assert!(matches!(o.insert_edge(1, 1), Err(GraphError::Cycle { .. })));
+        assert!(o.insert_edge(2, 0).is_err_and(|e| is_cycle(&e)));
+        assert!(o.insert_edge(1, 1).is_err_and(|e| is_cycle(&e)));
         // Overlay cycles are caught too.
         o.insert_edge(2, 0).err().unwrap();
         let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
         o.insert_edge(1, 2).unwrap();
-        assert!(matches!(o.insert_edge(3, 0), Err(GraphError::Cycle { .. })));
+        assert!(o.insert_edge(3, 0).is_err_and(|e| is_cycle(&e)));
     }
 
     #[test]
@@ -364,7 +719,7 @@ mod tests {
         let mut o = DynamicOracle::new(dag);
         assert!(matches!(
             o.insert_edge(0, 5),
-            Err(GraphError::VertexOutOfRange { .. })
+            Err(MutationError::Graph(GraphError::VertexOutOfRange { .. }))
         ));
     }
 
@@ -399,7 +754,7 @@ mod tests {
                         all_edges.push((u, v));
                         inserted += 1;
                     }
-                    Err(GraphError::Cycle { .. }) => {
+                    Err(e) if is_cycle(&e) => {
                         // Ground truth must agree that v reaches u (or u == v).
                         assert!(u == v || ground_truth(n, &all_edges, v, u));
                     }
@@ -424,18 +779,18 @@ mod tests {
         let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let mut o = DynamicOracle::new(dag);
         assert!(o.query(0, 3));
-        assert!(o.remove_edge(1, 2));
+        assert!(o.remove_edge(1, 2).unwrap());
         assert_eq!(o.rebuilds(), 0, "deletion is applied lazily");
         assert_eq!(o.pending_deletions(), 1);
         assert!(!o.query(0, 3), "cut by the pending deletion");
         assert!(o.query(0, 1));
         assert!(o.query(2, 3));
-        assert!(!o.remove_edge(1, 2), "already gone");
+        assert!(!o.remove_edge(1, 2).unwrap(), "already gone");
         // Removing a pending overlay edge drops it in place.
         let before = o.rebuilds();
         o.insert_edge(1, 2).unwrap();
         assert!(o.query(0, 3), "re-inserted");
-        assert!(o.remove_edge(1, 2));
+        assert!(o.remove_edge(1, 2).unwrap());
         assert_eq!(o.rebuilds(), before);
         assert!(!o.query(0, 3));
     }
@@ -444,7 +799,7 @@ mod tests {
     fn reinserting_deleted_edge_clears_the_mark() {
         let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut o = DynamicOracle::new(dag);
-        assert!(o.remove_edge(0, 1));
+        assert!(o.remove_edge(0, 1).unwrap());
         assert!(!o.query(0, 2));
         o.insert_edge(0, 1).unwrap();
         assert_eq!(o.pending_deletions(), 0, "mark cleared, no delta entry");
@@ -459,7 +814,7 @@ mod tests {
         o.insert_edge(0, 1).unwrap();
         assert_eq!(o.pending_edges(), 0);
         // Removing it once must actually cut it.
-        assert!(o.remove_edge(0, 1));
+        assert!(o.remove_edge(0, 1).unwrap());
         assert!(!o.query(0, 2));
     }
 
@@ -468,10 +823,10 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, i + 1)).collect();
         let dag = Dag::from_edges(7, &edges).unwrap();
         let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 3);
-        assert!(o.remove_edge(0, 1));
-        assert!(o.remove_edge(2, 3));
+        assert!(o.remove_edge(0, 1).unwrap());
+        assert!(o.remove_edge(2, 3).unwrap());
         assert_eq!(o.rebuilds(), 0);
-        assert!(o.remove_edge(4, 5));
+        assert!(o.remove_edge(4, 5).unwrap());
         assert_eq!(o.rebuilds(), 1, "third deletion folds the overlay");
         assert_eq!(o.pending_deletions(), 0);
         assert_eq!(o.snapshot().num_edges(), 3);
@@ -485,8 +840,8 @@ mod tests {
         // holds both, which must not confuse the exact query.
         let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
         let mut o = DynamicOracle::new(dag);
-        assert!(matches!(o.insert_edge(1, 0), Err(GraphError::Cycle { .. })));
-        assert!(o.remove_edge(0, 1));
+        assert!(o.insert_edge(1, 0).is_err_and(|e| is_cycle(&e)));
+        assert!(o.remove_edge(0, 1).unwrap());
         o.insert_edge(1, 0).unwrap();
         assert!(o.query(1, 0));
         assert!(!o.query(0, 1), "original direction is gone");
@@ -512,7 +867,10 @@ mod tests {
                     // Delete a random existing edge.
                     let i = rng.gen_index(edges.len());
                     let (a, b) = edges.swap_remove(i);
-                    assert!(o.remove_edge(a, b), "step {step}: ({a},{b}) exists");
+                    assert!(
+                        o.remove_edge(a, b).unwrap(),
+                        "step {step}: ({a},{b}) exists"
+                    );
                 } else {
                     match o.insert_edge(u, v) {
                         Ok(()) => {
@@ -520,7 +878,7 @@ mod tests {
                                 edges.push((u, v));
                             }
                         }
-                        Err(GraphError::Cycle { .. }) => {
+                        Err(e) if is_cycle(&e) => {
                             assert!(
                                 u == v || ground_truth(n, &edges, v, u),
                                 "step {step}: cycle rejection must match ground truth"
@@ -537,6 +895,204 @@ mod tests {
                         ground_truth(n, &edges, a, b),
                         "seed {seed} step {step} pair ({a},{b})"
                     );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability hook
+    // ------------------------------------------------------------------
+
+    /// A test hook that records ops and can be told to refuse.
+    struct MemLog {
+        ops: std::sync::Arc<std::sync::Mutex<Vec<EdgeOp>>>,
+        fail: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Durability for MemLog {
+        fn log(&mut self, op: EdgeOp) -> io::Result<()> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(io::Error::other("refused"));
+            }
+            self.ops.lock().unwrap().push(op);
+            Ok(())
+        }
+
+        fn sync(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn rotate(&mut self, overlay: &[EdgeOp]) -> io::Result<()> {
+            let mut ops = self.ops.lock().unwrap();
+            ops.clear();
+            ops.extend_from_slice(overlay);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mutations_log_before_apply_and_noops_log_nothing() {
+        let ops = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let dag = Dag::from_edges(4, &[(0, 1)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
+        o.set_durability(Box::new(MemLog {
+            ops: ops.clone(),
+            fail: fail.clone(),
+        }));
+        o.insert_edge(1, 2).unwrap();
+        o.insert_edge(1, 2).unwrap(); // no-op re-insert: not logged
+        o.insert_edge(0, 1).unwrap(); // live snapshot edge: not logged
+        assert!(!o.remove_edge(2, 3).unwrap()); // missing: not logged
+        assert!(o.remove_edge(0, 1).unwrap());
+        assert_eq!(
+            *ops.lock().unwrap(),
+            [EdgeOp::Insert(1, 2), EdgeOp::Remove(0, 1)]
+        );
+        // A refused log leaves the oracle untouched.
+        fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(matches!(
+            o.insert_edge(2, 3),
+            Err(MutationError::Durability(_))
+        ));
+        assert!(!o.query(2, 3));
+        assert!(matches!(
+            o.remove_edge(1, 2),
+            Err(MutationError::Durability(_))
+        ));
+        assert!(o.query(1, 2), "refused removal left the edge live");
+        // Validation errors surface as Graph, not Durability, and are
+        // not logged either.
+        fail.store(false, std::sync::atomic::Ordering::Relaxed);
+        assert!(o.insert_edge(2, 1).is_err_and(|e| is_cycle(&e)));
+        assert_eq!(ops.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replay_does_not_relog_and_matches_direct_application() {
+        let ops = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let dag = Dag::from_edges(6, &[(0, 1), (1, 2)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag.clone(), DlConfig::default(), 3);
+        o.set_durability(Box::new(MemLog {
+            ops: ops.clone(),
+            fail,
+        }));
+        let log = [
+            EdgeOp::Insert(2, 3),
+            EdgeOp::Remove(0, 1),
+            EdgeOp::Insert(3, 4),
+            EdgeOp::Insert(0, 1), // re-insert clears the tombstone
+            EdgeOp::Insert(4, 5),
+        ];
+        o.replay(&log).unwrap();
+        assert!(ops.lock().unwrap().is_empty(), "replay must not re-log");
+        assert!(o.query(0, 5));
+        assert_eq!(o.rebuilds(), 1, "threshold folded once after replay");
+        // Replaying the recovered state from scratch (double replay à
+        // la a second recovery) lands in the same logical graph.
+        let mut o2 = DynamicOracle::with_config(dag, DlConfig::default(), 3);
+        o2.replay(&log).unwrap();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(o.query(a, b), o2.query(a, b), "({a},{b})");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background rebuild: plan / execute / publish
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn background_rebuild_preserves_mid_rebuild_mutations() {
+        let dag = Dag::from_edges(8, &[(0, 1), (1, 2), (4, 5), (6, 7)]).unwrap();
+        let mut o = DynamicOracle::with_config(dag, DlConfig::default(), 1000);
+        o.set_auto_rebuild(false);
+        o.insert_edge(2, 3).unwrap(); // D0
+        o.remove_edge(4, 5).unwrap(); // R0
+        let plan = o.rebuild_plan();
+
+        // Mutations landing "mid-rebuild", touching every re-apply case:
+        o.insert_edge(3, 4).unwrap(); // plain new insert
+        o.insert_edge(4, 5).unwrap(); // re-insert of an R0 edge
+        o.remove_edge(6, 7).unwrap(); // plain new tombstone
+        o.remove_edge(2, 3).unwrap(); // removal of a D0 edge
+
+        let rebuilt = plan.execute();
+        assert_eq!(rebuilt.dag().num_edges(), 4, "base − R0 + D0");
+        let overlay = o.publish(rebuilt);
+        assert_eq!(o.rebuilds(), 1);
+
+        // Overlay re-derivation: Δ' = {(3,4), (4,5)}, R' = {(6,7), (2,3)}.
+        let overlay: std::collections::BTreeSet<_> = overlay.into_iter().collect();
+        let want: std::collections::BTreeSet<_> = [
+            EdgeOp::Insert(3, 4),
+            EdgeOp::Insert(4, 5),
+            EdgeOp::Remove(6, 7),
+            EdgeOp::Remove(2, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(overlay, want);
+
+        // And the logical graph is exactly base + all six mutations.
+        let edges = [(0, 1), (1, 2), (3, 4), (4, 5)];
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(
+                    o.query(a, b),
+                    ground_truth(8, &edges, a, b),
+                    "({a},{b}) after publish"
+                );
+            }
+        }
+        // Folding the published overlay inline agrees too.
+        o.rebuild();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(o.query(a, b), ground_truth(8, &edges, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn background_rebuild_randomized_with_concurrent_mutations() {
+        let mut rng = Rng::new(0xBEEF);
+        for seed in 0..3 {
+            let base = gen::random_dag(20, 30, seed);
+            let n = base.num_vertices();
+            let mut edges: Vec<(u32, u32)> = base.graph().edges().collect();
+            let mut o = DynamicOracle::with_config(base, DlConfig::default(), 1_000);
+            o.set_auto_rebuild(false);
+            let mut mutate = |o: &mut DynamicOracle, edges: &mut Vec<(u32, u32)>| {
+                for _ in 0..10 {
+                    let u = rng.gen_index(n) as u32;
+                    let v = rng.gen_index(n) as u32;
+                    if rng.gen_bool(0.4) && !edges.is_empty() {
+                        let i = rng.gen_index(edges.len());
+                        let (a, b) = edges.swap_remove(i);
+                        assert!(o.remove_edge(a, b).unwrap());
+                    } else if o.insert_edge(u, v).is_ok() && !edges.contains(&(u, v)) {
+                        edges.push((u, v));
+                    }
+                }
+            };
+            for round in 0..4 {
+                mutate(&mut o, &mut edges);
+                let plan = o.rebuild_plan();
+                mutate(&mut o, &mut edges); // lands mid-rebuild
+                o.publish(plan.execute());
+                mutate(&mut o, &mut edges); // lands after publish
+                for a in 0..n as u32 {
+                    for b in 0..n as u32 {
+                        assert_eq!(
+                            o.query(a, b),
+                            ground_truth(n, &edges, a, b),
+                            "seed {seed} round {round} ({a},{b})"
+                        );
+                    }
                 }
             }
         }

@@ -48,10 +48,11 @@ pub mod parallel;
 pub mod persist;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use backbone::Backbone;
 pub use distribution::{DistributionLabeling, DlConfig, Parallelism, Pruning};
-pub use dynamic::DynamicOracle;
+pub use dynamic::{DynamicOracle, MutationError, RebuildPlan, RebuiltIndex};
 pub use filter::{FilterVerdict, QueryFilters};
 pub use hierarchical::{CoreLabeler, HierarchicalLabeling, HlConfig};
 pub use hierarchy::Hierarchy;
@@ -68,3 +69,6 @@ pub use parallel::{
 pub use persist::{OpenOptions, PersistError};
 pub use stats::LabelStats;
 pub use store::{ArenaBuf, MemorySplit, Store, StoreBackend};
+pub use wal::{
+    Durability, EdgeOp, FailpointWriter, Recovered, Wal, WalConfig, WalDir, WalDurability,
+};

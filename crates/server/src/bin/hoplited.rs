@@ -24,11 +24,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hoplite_core::{BuildTrace, DlConfig, DynamicOracle, HistogramSnapshot, Oracle};
+use hoplite_core::{BuildTrace, DlConfig, DynamicOracle, HistogramSnapshot, Oracle, WalConfig};
 use hoplite_graph::gen::{self, Rng};
 use hoplite_graph::{io as gio, Dag, DiGraph};
 use hoplite_server::{
-    loadgen, log_error, log_info, Client, LoadSpec, Registry, ServeMode, Server, ServerConfig,
+    loadgen, log_error, log_info, Client, ClientConfig, ClientError, LoadSpec, Registry, ServeMode,
+    Server, ServerConfig,
 };
 
 const USAGE: &str = "\
@@ -59,6 +60,12 @@ SERVE:
     --prefault             walk the mapping at open so first queries
                            don't page-fault (pairs with --mmap)
     --dynamic NAME=FILE    load a DAG file as a mutable namespace
+    --wal-dir DIR          make every dynamic namespace durable: edge
+                           mutations hit a checksummed write-ahead log
+                           in DIR/NAME before they are acknowledged,
+                           background rebuilds checkpoint + rotate it,
+                           and a restart replays checkpoint + WAL (a
+                           namespace with history ignores its FILE)
     --metrics-addr ADDR    also serve Prometheus-style text on
                            http://ADDR/metrics (HTTP/1.0 GET; port 0 =
                            ephemeral) — counters, latency quantiles,
@@ -149,6 +156,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut wal_dir: Option<String> = None;
     let mut config = ServerConfig::default();
     let registry = Arc::new(Registry::new());
     let mut open_opts = hoplite_core::OpenOptions {
@@ -175,6 +183,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--trace-out" => {
                 trace_out = Some(it.next().ok_or("--trace-out needs a value")?.clone())
             }
+            "--wal-dir" => wal_dir = Some(it.next().ok_or("--wal-dir needs a value")?.clone()),
             "--reactor" => config.mode = ServeMode::Reactor,
             "--workers" => config.workers = parse_num("--workers", it.next()).map(|n| n.max(1))?,
             "--batch-threads" => {
@@ -255,15 +264,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let graph = load_graph(&path)?;
                 let dag = Dag::new(graph)
                     .map_err(|e| format!("{path}: dynamic namespaces need a DAG: {e}"))?;
-                log_info!(
-                    "serve",
-                    "{name}: built dynamic oracle from {path} ({} vertices, {} edges)",
-                    dag.num_vertices(),
-                    dag.num_edges(),
-                );
-                registry
-                    .insert_dynamic(&name, DynamicOracle::new(dag))
-                    .map_err(|e| e.to_string())?;
+                match &wal_dir {
+                    Some(root) => {
+                        let dir = std::path::Path::new(root).join(&name);
+                        registry
+                            .open_durable(&name, dag, &dir, WalConfig::default(), None)
+                            .map_err(|e| format!("{name}: wal dir {}: {e}", dir.display()))?;
+                        let ns = registry.get(&name).expect("just inserted");
+                        let stats = ns.stats();
+                        log_info!(
+                            "serve",
+                            "{name}: durable dynamic oracle in {} \
+                             ({} vertices, {} replayed WAL record(s), seed {path})",
+                            dir.display(),
+                            stats.vertices,
+                            stats.wal_records,
+                        );
+                    }
+                    None => {
+                        log_info!(
+                            "serve",
+                            "{name}: built dynamic oracle from {path} ({} vertices, {} edges)",
+                            dag.num_vertices(),
+                            dag.num_edges(),
+                        );
+                        registry
+                            .insert_dynamic(&name, DynamicOracle::new(dag))
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
                 loaded += 1;
             }
         }
@@ -394,7 +423,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client =
+                        Client::connect_with(addr, ClientConfig::reconnecting()).expect("connect");
+                    // Reads are idempotent, so a dropped socket (server
+                    // restart) costs one reconnect + reissue, not the
+                    // whole benchmark.
+                    fn retrying<T>(
+                        client: &mut Client,
+                        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+                    ) -> T {
+                        match op(client) {
+                            Ok(v) => v,
+                            Err(ClientError::Io(_)) => {
+                                client.reconnect().expect("reconnect");
+                                op(client).expect("reissue after reconnect")
+                            }
+                            Err(e) => panic!("bench query: {e}"),
+                        }
+                    }
                     let mut rng = Rng::new(0xB0B0 + c as u64);
                     let mut positive = 0u64;
                     let mut sent = 0u64;
@@ -412,11 +458,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                         let frame_started = Instant::now();
                         if k == 1 {
                             let (u, v) = pairs[0];
-                            if client.reach("bench", u, v).expect("reach") {
+                            if retrying(&mut client, |cl| cl.reach("bench", u, v)) {
                                 positive += 1;
                             }
                         } else {
-                            let answers = client.reach_batch("bench", &pairs).expect("batch");
+                            let answers =
+                                retrying(&mut client, |cl| cl.reach_batch("bench", &pairs));
                             positive += answers.iter().filter(|&&b| b).count() as u64;
                         }
                         latency.record(frame_started.elapsed().as_nanos() as u64);
@@ -591,12 +638,23 @@ fn cmd_smoke() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).map_err(|e| e.to_string())?;
 
+    // The dynamic namespace runs durable so the smoke covers the WAL
+    // logging path over the wire and the recovery path after shutdown.
+    let wal_root = std::env::temp_dir().join(format!("hoplited-smoke-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
     let registry = Arc::new(Registry::new());
     registry
         .insert_frozen("web", Oracle::new(&g))
         .map_err(|e| e.to_string())?;
     registry
-        .insert_dynamic("live", DynamicOracle::new(dag))
+        .open_durable(
+            "live",
+            dag,
+            wal_root.join("live"),
+            WalConfig::default(),
+            None,
+        )
         .map_err(|e| e.to_string())?;
 
     let mut handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())
@@ -731,6 +789,35 @@ fn cmd_smoke() -> Result<(), String> {
     }
 
     handle.shutdown();
+
+    // Restart-and-replay: the acknowledged mutations (ADD then REMOVE
+    // of 1→2) must come back from checkpoint + WAL, not from the seed.
+    {
+        let recovered = Registry::new();
+        recovered
+            .open_durable(
+                "live",
+                Dag::from_edges(4, &[]).map_err(|e| e.to_string())?,
+                wal_root.join("live"),
+                WalConfig::default(),
+                None,
+            )
+            .map_err(|e| format!("recover live: {e}"))?;
+        let ns = recovered
+            .get("live")
+            .ok_or("recovered registry lost live")?;
+        let stats = ns.stats();
+        if stats.wal_records != 2 {
+            return Err(format!("expected 2 replayed WAL records: {stats:?}"));
+        }
+        if !ns.reach(2, 3).map_err(|e| e.to_string())? {
+            return Err("live after recovery: seeded edge 2→3 lost".into());
+        }
+        if ns.reach(0, 3).map_err(|e| e.to_string())? {
+            return Err("live after recovery: removed edge 1→2 came back".into());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
     println!("smoke: OK");
     Ok(())
 }

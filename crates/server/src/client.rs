@@ -13,12 +13,105 @@
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     read_frame, write_frame, MetricsReport, NamespaceInfo, NamespaceStats, Request, Response,
     WireError, MAX_FRAME_LEN,
 };
+
+/// Connection-robustness knobs for [`Client`] (and `loadgen`): how
+/// long one dial may take, how long a blocked read/write may stall,
+/// and how many *re*-dials a connect or [`Client::reconnect`] gets
+/// before giving up. Re-dials back off exponentially (50 ms doubling
+/// to a 2 s ceiling) with ±half jitter, so a thousand clients dropped
+/// by one server restart do not stampede back in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Ceiling on one TCP dial. Zero means the OS default (a plain
+    /// blocking `connect`).
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the established socket; `None` blocks
+    /// forever (the pre-hardening behavior).
+    pub io_timeout: Option<Duration>,
+    /// Extra dial attempts after the first, with jittered exponential
+    /// backoff between them. `0` fails on the first refusal.
+    pub retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: None,
+            retries: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The restart-tolerant profile benchmarks and load generators
+    /// use: bounded I/O stalls and enough backed-off re-dials to ride
+    /// out a server restart (~6 s worst case) instead of dying on the
+    /// first `ECONNRESET`.
+    pub fn reconnecting() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(30)),
+            retries: 5,
+        }
+    }
+}
+
+/// The backoff before re-dial `attempt` (1-based): `50ms · 2^(a-1)`
+/// capped at 2 s, then jittered to `[half, full)` using `seed`
+/// (xorshift64*, distinct per client).
+pub(crate) fn backoff_delay(attempt: u32, seed: &mut u64) -> Duration {
+    let full = Duration::from_millis(50 << (attempt - 1).min(5)).min(Duration::from_secs(2));
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    let r = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let half = full / 2;
+    half + Duration::from_nanos(r % half.as_nanos().max(1) as u64)
+}
+
+/// Dials `addrs` (each gets `config.connect_timeout`), retrying the
+/// whole list up to `config.retries` more times with jittered backoff.
+pub(crate) fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+    let mut seed = addrs
+        .first()
+        .map(|a| a.port() as u64 + 1)
+        .unwrap_or(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ std::process::id() as u64;
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..=config.retries {
+        if attempt > 0 {
+            std::thread::sleep(backoff_delay(attempt, &mut seed));
+        }
+        for addr in addrs {
+            let dialed = if config.connect_timeout.is_zero() {
+                TcpStream::connect(addr)
+            } else {
+                TcpStream::connect_timeout(addr, config.connect_timeout)
+            };
+            match dialed {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.io_timeout)?;
+                    stream.set_write_timeout(config.io_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "no socket address to dial")
+    }))
+}
 
 /// Anything that can go wrong on the client side of a request.
 #[derive(Debug)]
@@ -85,18 +178,51 @@ impl From<WireError> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The resolved dial targets, kept for [`Client::reconnect`].
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a hoplite server.
+    /// Connects to a hoplite server with the default (no-retry,
+    /// no-io-timeout) [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout/retry behavior.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = dial(&addrs, &config)?;
+        Self::from_stream(stream, addrs, config)
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        addrs: Vec<SocketAddr>,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
+            addrs,
+            config,
         })
+    }
+
+    /// Drops the broken socket and dials again under the same
+    /// [`ClientConfig`] (its `retries` + jittered backoff apply). Any
+    /// pipelined frames that were in flight are gone — the caller
+    /// re-issues whatever it still cares about.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = dial(&self.addrs, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        Ok(())
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -274,5 +400,88 @@ impl Client {
             }
         }
         Ok(answers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let mut seed = 0x5EED;
+        for attempt in 1..=10u32 {
+            let full =
+                Duration::from_millis(50 << (attempt - 1).min(5)).min(Duration::from_secs(2));
+            for _ in 0..100 {
+                let d = backoff_delay(attempt, &mut seed);
+                assert!(d >= full / 2, "attempt {attempt}: {d:?} under half");
+                assert!(d < full, "attempt {attempt}: {d:?} at/over full");
+            }
+        }
+        // Distinct seeds must not march in lockstep.
+        let (mut a, mut b) = (1u64, 2u64);
+        assert_ne!(backoff_delay(3, &mut a), backoff_delay(3, &mut b));
+    }
+
+    #[test]
+    fn dial_gives_up_after_bounded_retries() {
+        // A listener we immediately drop: the port is (almost
+        // certainly) dead by the time we dial it.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            io_timeout: None,
+            retries: 1,
+        };
+        let started = std::time::Instant::now();
+        assert!(dial(&[dead], &config).is_err());
+        // One retry = one backoff sleep (≤ 50 ms) + two fast refusals.
+        assert!(started.elapsed() < Duration::from_secs(3));
+        assert!(dial(&[], &config).is_err(), "empty address list");
+    }
+
+    #[test]
+    fn reconnect_survives_a_dropped_connection() {
+        use crate::{Registry, Server, ServerConfig};
+        use hoplite_core::Oracle;
+        use hoplite_graph::DiGraph;
+        use std::sync::Arc;
+
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let registry = Arc::new(Registry::new());
+        registry.insert_frozen("g", Oracle::new(&g)).unwrap();
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let addr = handle.local_addr();
+
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig {
+                connect_timeout: Duration::from_secs(2),
+                io_timeout: Some(Duration::from_secs(5)),
+                retries: 2,
+            },
+        )
+        .expect("connect");
+        assert!(client.reach("g", 0, 2).unwrap());
+        // Sever the transport from our side; the next roundtrip on the
+        // old socket cannot work, but a reconnect must.
+        client
+            .writer
+            .get_ref()
+            .shutdown(std::net::Shutdown::Both)
+            .unwrap();
+        assert!(client.ping().is_err(), "dead socket must error");
+        client.reconnect().expect("reconnect");
+        assert!(client.reach("g", 0, 2).unwrap());
+        handle.shutdown();
     }
 }

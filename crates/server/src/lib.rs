@@ -59,7 +59,7 @@ mod reactor;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{LoadReport, LoadSpec};
 pub use obs::{LogLevel, QueryObs, ServerObs, SlowLog, SlowQuery};
 pub use pool::ThreadPool;

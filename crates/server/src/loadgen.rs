@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use hoplite_core::HistogramSnapshot;
 
-use crate::client::ClientError;
+use crate::client::{dial, ClientConfig, ClientError};
 use crate::protocol::{FrameAccumulator, Request, Response, MAX_FRAME_LEN};
 
 /// What load to offer; see [`run_load`].
@@ -133,9 +133,12 @@ impl WireConn {
     }
 }
 
-fn connect(addr: SocketAddr) -> Result<WireConn, ClientError> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
+/// Dials one benchmark socket under the restart-tolerant
+/// [`ClientConfig::reconnecting`] policy (bounded dial/IO timeouts,
+/// jittered exponential re-dials) — so a server restart mid-sweep
+/// costs a reconnect, not the whole run.
+fn connect(addr: SocketAddr, config: &ClientConfig) -> Result<WireConn, ClientError> {
+    let stream = dial(&[addr], config)?;
     Ok(WireConn {
         stream,
         acc: FrameAccumulator::new(MAX_FRAME_LEN),
@@ -166,11 +169,12 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
 
     // Open every socket up front (the "sustains C concurrent sockets"
     // part of the measurement) before the clock starts.
+    let config = ClientConfig::reconnecting();
     let mut conns: Vec<Vec<WireConn>> = Vec::with_capacity(threads);
     for slice in &slices {
         let mut owned = Vec::with_capacity(*slice);
         for _ in 0..*slice {
-            owned.push(connect(spec.addr)?);
+            owned.push(connect(spec.addr, &config)?);
         }
         conns.push(owned);
     }
@@ -230,6 +234,7 @@ fn worker_loop(
     depth: usize,
     batch: usize,
 ) -> Result<WorkerTotals, ClientError> {
+    let config = ClientConfig::reconnecting();
     let mut queries = 0u64;
     let mut errors = 0u64;
     let mut positives = 0u64;
@@ -271,14 +276,39 @@ fn worker_loop(
                 wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 wbuf.extend_from_slice(&payload);
             }
-            conn.stream.write_all(&wbuf)?;
+            if let Err(e) = conn.stream.write_all(&wbuf) {
+                // The server may have restarted under us: re-dial
+                // (bounded + jittered) and re-send this round's frames
+                // once; a second failure is fatal.
+                crate::log_warn!("loadgen", "send failed ({e}); reconnecting");
+                *conn = connect(spec.addr, &config)?;
+                conn.stream.write_all(&wbuf)?;
+            }
             sent_at[c] = Instant::now();
         }
         // Collect phase: replies come back in send order per
-        // connection.
+        // connection. A connection dying mid-collect forfeits its
+        // outstanding replies (counted as errors) and reconnects for
+        // the next round.
         for (c, conn) in conns.iter_mut().enumerate() {
-            for _ in 0..depth {
-                let reply = conn.next_frame()?;
+            let mut got = 0usize;
+            while got < depth {
+                let reply = match conn.next_frame() {
+                    Ok(reply) => reply,
+                    Err(ClientError::Io(e)) => {
+                        crate::log_warn!(
+                            "loadgen",
+                            "reply stream died ({e}); dropping {} in-flight frame(s) \
+                             and reconnecting",
+                            depth - got
+                        );
+                        errors += (depth - got) as u64;
+                        *conn = connect(spec.addr, &config)?;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+                got += 1;
                 latency.record(sent_at[c].elapsed().as_nanos() as u64);
                 match Response::decode(&reply)? {
                     Response::Bool(b) => {

@@ -53,8 +53,12 @@ use std::io::{self, Read, Write};
 /// [`WireError::UnknownOpcode`], exactly what a v3-era server would
 /// have said). Anything outside the window is a clean
 /// [`WireError::Version`] instead of a confusing
-/// trailing-bytes/short-body error.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// trailing-bytes/short-body error; `5` — the `STATS` reply grew the
+/// durability/rebuild report (`wal_bytes`, `wal_records`, `rebuilds`
+/// as `u64` + `rebuild_in_flight:u8`), encoded only when the frame
+/// speaks v5 — a v3/v4 `STATS` reply stays byte-identical and older
+/// decoders keep parsing.
+pub const PROTOCOL_VERSION: u8 = 5;
 /// Oldest protocol version decoders still accept (see the version
 /// history on [`PROTOCOL_VERSION`]).
 pub const PROTOCOL_VERSION_MIN: u8 = 3;
@@ -541,6 +545,16 @@ pub struct NamespaceStats {
     /// `Oracle::open`); these are page cache, shared across every
     /// replica and namespace serving the same file.
     pub mapped_bytes: u64,
+    /// Dynamic + durable only: bytes in the current WAL generation
+    /// (protocol v5+; zero when decoded from an older frame).
+    pub wal_bytes: u64,
+    /// Dynamic + durable only: mutations logged over the namespace's
+    /// lifetime, monotonic across checkpoint rotations (v5+).
+    pub wal_records: u64,
+    /// Dynamic only: background rebuilds published (v5+).
+    pub rebuilds: u64,
+    /// Dynamic only: is a background rebuild running right now? (v5+).
+    pub rebuild_in_flight: bool,
 }
 
 /// One `LIST` entry.
@@ -881,6 +895,12 @@ impl Response {
                 out.push(s.backend.to_u8());
                 put_u64(&mut out, s.heap_bytes);
                 put_u64(&mut out, s.mapped_bytes);
+                if version >= 5 {
+                    put_u64(&mut out, s.wal_bytes);
+                    put_u64(&mut out, s.wal_records);
+                    put_u64(&mut out, s.rebuilds);
+                    out.push(s.rebuild_in_flight as u8);
+                }
             }
             Response::List(infos) => {
                 out.push(RE_LIST);
@@ -932,21 +952,42 @@ impl Response {
                 }
             },
             RE_BOOLS => Response::Bools(unpack_bools(&mut r)?),
-            RE_STATS => Response::Stats(NamespaceStats {
-                kind: NamespaceKind::from_u8(r.u8()?)?,
-                vertices: r.u64()?,
-                label_entries: r.u64()?,
-                pending_inserts: r.u64()?,
-                pending_deletions: r.u64()?,
-                queries: r.u64()?,
-                signature_bytes: r.u64()?,
-                filter_hits: r.u64()?,
-                signature_hits: r.u64()?,
-                merge_runs: r.u64()?,
-                backend: IndexBackend::from_u8(r.u8()?)?,
-                heap_bytes: r.u64()?,
-                mapped_bytes: r.u64()?,
-            }),
+            RE_STATS => {
+                let mut stats = NamespaceStats {
+                    kind: NamespaceKind::from_u8(r.u8()?)?,
+                    vertices: r.u64()?,
+                    label_entries: r.u64()?,
+                    pending_inserts: r.u64()?,
+                    pending_deletions: r.u64()?,
+                    queries: r.u64()?,
+                    signature_bytes: r.u64()?,
+                    filter_hits: r.u64()?,
+                    signature_hits: r.u64()?,
+                    merge_runs: r.u64()?,
+                    backend: IndexBackend::from_u8(r.u8()?)?,
+                    heap_bytes: r.u64()?,
+                    mapped_bytes: r.u64()?,
+                    wal_bytes: 0,
+                    wal_records: 0,
+                    rebuilds: 0,
+                    rebuild_in_flight: false,
+                };
+                if version >= 5 {
+                    stats.wal_bytes = r.u64()?;
+                    stats.wal_records = r.u64()?;
+                    stats.rebuilds = r.u64()?;
+                    stats.rebuild_in_flight = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(WireError::Malformed(format!(
+                                "rebuild_in_flight byte {other}"
+                            )));
+                        }
+                    };
+                }
+                Response::Stats(stats)
+            }
             RE_LIST => {
                 let k = r.u32()?;
                 // Each entry is at least 2 body bytes (empty name +
@@ -1082,6 +1123,10 @@ mod tests {
             backend: IndexBackend::Mapped,
             heap_bytes: 4096,
             mapped_bytes: 1 << 30,
+            wal_bytes: 17 * 42,
+            wal_records: 42,
+            rebuilds: 6,
+            rebuild_in_flight: true,
         }));
         roundtrip_resp(Response::List(vec![
             NamespaceInfo {
@@ -1185,6 +1230,47 @@ mod tests {
             Response::decode(&[3, RE_METRICS]),
             Err(WireError::UnknownOpcode(RE_METRICS))
         ));
+    }
+
+    /// The v5 STATS extension is version-gated: a v4 (or v3) frame
+    /// carries the 13-field body bit-for-bit — strict older decoders
+    /// keep parsing — and decodes with the durability fields zeroed,
+    /// while a v5 frame roundtrips them.
+    #[test]
+    fn stats_durability_fields_are_version_gated() {
+        let full = NamespaceStats {
+            kind: NamespaceKind::Dynamic,
+            vertices: 4,
+            label_entries: 9,
+            pending_inserts: 2,
+            pending_deletions: 1,
+            queries: 77,
+            signature_bytes: 0,
+            filter_hits: 0,
+            signature_hits: 0,
+            merge_runs: 0,
+            backend: IndexBackend::Heap,
+            heap_bytes: 512,
+            mapped_bytes: 0,
+            wal_bytes: 3 * 17,
+            wal_records: 3,
+            rebuilds: 1,
+            rebuild_in_flight: true,
+        };
+        let v4 = Response::Stats(full).encode_versioned(4).unwrap();
+        let v5 = Response::Stats(full).encode_versioned(5).unwrap();
+        assert_eq!(v5.len(), v4.len() + 3 * 8 + 1);
+        match Response::decode(&v4).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.queries, 77);
+                assert_eq!(s.wal_bytes, 0);
+                assert_eq!(s.wal_records, 0);
+                assert_eq!(s.rebuilds, 0);
+                assert!(!s.rebuild_in_flight);
+            }
+            other => panic!("got {other:?}"),
+        }
+        assert_eq!(Response::decode(&v5).unwrap(), Response::Stats(full));
     }
 
     #[test]

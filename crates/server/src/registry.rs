@@ -16,11 +16,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use hoplite_core::{DynamicOracle, Oracle};
-use hoplite_graph::GraphError;
+use hoplite_core::{DynamicOracle, Histogram, MutationError, Oracle, WalConfig, WalDir};
+use hoplite_graph::{Dag, GraphError};
 
 use crate::obs::{QueryObs, SlowQuery};
 use crate::protocol::{
@@ -47,6 +49,10 @@ pub enum ServeError {
     /// Graph-level rejection (cycle, bad endpoint) from the dynamic
     /// oracle.
     Graph(GraphError),
+    /// The write-ahead log refused the mutation (or recovery /
+    /// checkpointing failed): the op was **not** applied and must not
+    /// be acknowledged.
+    Wal(io::Error),
 }
 
 impl fmt::Display for ServeError {
@@ -64,6 +70,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidName(m) => write!(f, "invalid namespace name: {m}"),
             ServeError::Graph(e) => write!(f, "{e}"),
+            ServeError::Wal(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -72,6 +79,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Graph(e) => Some(e),
+            ServeError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -80,6 +88,15 @@ impl std::error::Error for ServeError {
 impl From<GraphError> for ServeError {
     fn from(e: GraphError) -> Self {
         ServeError::Graph(e)
+    }
+}
+
+impl From<MutationError> for ServeError {
+    fn from(e: MutationError) -> Self {
+        match e {
+            MutationError::Graph(e) => ServeError::Graph(e),
+            MutationError::Durability(e) => ServeError::Wal(e),
+        }
     }
 }
 
@@ -116,6 +133,130 @@ impl FrozenNs {
 struct DynamicNs {
     oracle: Mutex<DynamicOracle>,
     queries: AtomicU64,
+    /// Background-rebuild latch: the mutation that crosses the overlay
+    /// threshold wins this flag and spawns the worker; everyone else
+    /// keeps answering through the delta overlay. Readers never block
+    /// on a rebuild — the worker holds the namespace mutex only for
+    /// the plan snapshot and the final publish, never for the build.
+    rebuild_in_flight: AtomicBool,
+    /// Background rebuilds completed (worker publishes).
+    rebuilds: AtomicU64,
+    /// Wall-clock nanoseconds per background rebuild, plan → publish.
+    rebuild_ns: Histogram,
+    /// Lock-free mirrors of the oracle's durability counters, refreshed
+    /// after every mutation/rotation so `METRICS` never queues behind a
+    /// writer.
+    wal_bytes: AtomicU64,
+    wal_records: AtomicU64,
+    /// Present iff the namespace is durable: the rebuild worker stages
+    /// the next checkpoint here *off* the namespace lock before
+    /// `Durability::rotate` publishes it.
+    wal: Option<WalDir>,
+}
+
+impl DynamicNs {
+    fn new(oracle: DynamicOracle, wal: Option<WalDir>) -> Self {
+        let (wal_bytes, wal_records) = (oracle.wal_bytes(), oracle.wal_records_total());
+        DynamicNs {
+            oracle: Mutex::new(oracle),
+            queries: AtomicU64::new(0),
+            rebuild_in_flight: AtomicBool::new(false),
+            rebuilds: AtomicU64::new(0),
+            rebuild_ns: Histogram::new(),
+            wal_bytes: AtomicU64::new(wal_bytes),
+            wal_records: AtomicU64::new(wal_records),
+            wal,
+        }
+    }
+
+    /// Refreshes the lock-free durability mirrors; call with the lock
+    /// held (or just released) after anything that moved the WAL.
+    fn mirror_wal(&self, oracle: &DynamicOracle) {
+        self.wal_bytes.store(oracle.wal_bytes(), Ordering::Relaxed);
+        self.wal_records
+            .store(oracle.wal_records_total(), Ordering::Relaxed);
+    }
+}
+
+/// Arms the rebuild latch and spawns the worker thread. No-op when a
+/// worker is already in flight; on spawn failure the latch is released
+/// (queries stay correct through the overlay, only the fold is
+/// deferred).
+fn spawn_rebuild(name: &str, ns: &Arc<DynamicNs>) {
+    if ns.rebuild_in_flight.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let worker = Arc::clone(ns);
+    let spawned = std::thread::Builder::new()
+        .name(format!("hoplite-rebuild-{name}"))
+        .spawn(move || rebuild_worker(&worker));
+    if let Err(e) = spawned {
+        ns.rebuild_in_flight.store(false, Ordering::Release);
+        crate::log_error!("rebuild", "worker spawn failed for {name:?}: {e}");
+    }
+}
+
+/// The background rebuild loop. Per iteration: snapshot a
+/// [`hoplite_core::RebuildPlan`] under the lock, run the expensive
+/// label construction (and, for durable namespaces, stage the next
+/// checkpoint) entirely off-lock, then re-take the lock just long
+/// enough to publish the fresh index — mutations that landed mid-build
+/// survive as the new overlay — and rotate the WAL onto the staged
+/// checkpoint. Loops while the overlay is still past threshold (heavy
+/// mid-build write traffic), then disarms.
+fn rebuild_worker(ns: &Arc<DynamicNs>) {
+    loop {
+        let started = std::time::Instant::now();
+        let plan = lock_unpoisoned(&ns.oracle).rebuild_plan();
+        let rebuilt = plan.execute();
+        let staged = match &ns.wal {
+            None => false,
+            Some(dir) => match hoplite_core::wal::checkpoint_bytes(rebuilt.dag())
+                .and_then(|arena| dir.prepare_checkpoint(&arena))
+            {
+                Ok(()) => true,
+                Err(e) => {
+                    // Skip this rotation; the current generation's
+                    // checkpoint + WAL still reconstruct every
+                    // acknowledged op.
+                    crate::log_error!(
+                        "rebuild",
+                        "checkpoint staging failed in {}: {e}",
+                        dir.path().display()
+                    );
+                    false
+                }
+            },
+        };
+        let more = {
+            let mut oracle = lock_unpoisoned(&ns.oracle);
+            let overlay = oracle.publish(rebuilt);
+            if staged {
+                if let Some(d) = oracle.durability_mut() {
+                    if let Err(e) = d.rotate(&overlay) {
+                        crate::log_error!("rebuild", "wal rotation failed: {e}");
+                    }
+                }
+            }
+            ns.mirror_wal(&oracle);
+            oracle.needs_rebuild()
+        };
+        ns.rebuilds.fetch_add(1, Ordering::Relaxed);
+        ns.rebuild_ns.record(started.elapsed().as_nanos() as u64);
+        if more {
+            continue;
+        }
+        ns.rebuild_in_flight.store(false, Ordering::Release);
+        // A mutation may have crossed the threshold between the check
+        // above and the disarm — it saw the latch armed and did not
+        // spawn, so re-arm and keep going rather than strand it.
+        if lock_unpoisoned(&ns.oracle).needs_rebuild()
+            && !ns.rebuild_in_flight.swap(true, Ordering::AcqRel)
+        {
+            continue;
+        }
+        return;
+    }
 }
 
 #[derive(Clone)]
@@ -246,30 +387,101 @@ impl NamespaceHandle {
     }
 
     /// Inserts `u → v`; dynamic namespaces only. Re-inserting a live
-    /// edge is a no-op success; closing a cycle is an error.
+    /// edge is a no-op success; closing a cycle is an error. On a
+    /// durable namespace the op hits the WAL *before* it is applied —
+    /// an `Err` means nothing changed and nothing was logged, so the
+    /// caller must not acknowledge. Crossing the overlay threshold
+    /// arms a background rebuild; this call never runs one inline.
     pub fn add_edge(&self, name: &str, u: u32, v: u32) -> Result<(), ServeError> {
         match &self.inner {
             Inner::Frozen(_) => Err(ServeError::FrozenNamespace(name.to_owned())),
             Inner::Dynamic(ns) => {
-                let mut oracle = lock_unpoisoned(&ns.oracle);
-                oracle.insert_edge(u, v)?;
+                let rebuild = {
+                    let mut oracle = lock_unpoisoned(&ns.oracle);
+                    oracle.insert_edge(u, v)?;
+                    ns.mirror_wal(&oracle);
+                    oracle.needs_rebuild()
+                };
+                if rebuild {
+                    spawn_rebuild(name, ns);
+                }
                 Ok(())
             }
         }
     }
 
     /// Removes `u → v`; dynamic namespaces only. Returns whether the
-    /// edge existed.
+    /// edge existed. Same durability and background-rebuild contract
+    /// as [`NamespaceHandle::add_edge`].
     pub fn remove_edge(&self, name: &str, u: u32, v: u32) -> Result<bool, ServeError> {
         match &self.inner {
             Inner::Frozen(_) => Err(ServeError::FrozenNamespace(name.to_owned())),
             Inner::Dynamic(ns) => {
-                let mut oracle = lock_unpoisoned(&ns.oracle);
-                let n = oracle.num_vertices();
-                self.check(u, n)?;
-                self.check(v, n)?;
-                Ok(oracle.remove_edge(u, v))
+                let (existed, rebuild) = {
+                    let mut oracle = lock_unpoisoned(&ns.oracle);
+                    let n = oracle.num_vertices();
+                    self.check(u, n)?;
+                    self.check(v, n)?;
+                    let existed = oracle.remove_edge(u, v)?;
+                    ns.mirror_wal(&oracle);
+                    (existed, oracle.needs_rebuild())
+                };
+                if rebuild {
+                    spawn_rebuild(name, ns);
+                }
+                Ok(existed)
             }
+        }
+    }
+
+    /// Is a background rebuild running right now? (Frozen: always
+    /// `false`.)
+    pub fn rebuild_in_flight(&self) -> bool {
+        match &self.inner {
+            Inner::Frozen(_) => false,
+            Inner::Dynamic(ns) => ns.rebuild_in_flight.load(Ordering::Acquire),
+        }
+    }
+
+    /// Background rebuilds published so far.
+    pub fn rebuilds_completed(&self) -> u64 {
+        match &self.inner {
+            Inner::Frozen(_) => 0,
+            Inner::Dynamic(ns) => ns.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until no background rebuild is in flight and the overlay
+    /// is back under threshold — a test/benchmark aid, never needed
+    /// for correctness (queries answer through the overlay at any
+    /// point). Arms a rebuild itself if one is owed but no worker is
+    /// running.
+    pub fn quiesce(&self, name: &str) {
+        let Inner::Dynamic(ns) = &self.inner else {
+            return;
+        };
+        loop {
+            if ns.rebuild_in_flight.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+            if lock_unpoisoned(&ns.oracle).needs_rebuild() {
+                spawn_rebuild(name, ns);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Forces every logged WAL record to stable storage (shutdown /
+    /// test hook); no-op for frozen or non-durable namespaces.
+    pub fn sync_durability(&self) -> Result<(), ServeError> {
+        match &self.inner {
+            Inner::Frozen(_) => Ok(()),
+            Inner::Dynamic(ns) => lock_unpoisoned(&ns.oracle)
+                .sync_durability()
+                .map_err(ServeError::Wal),
         }
     }
 
@@ -295,6 +507,10 @@ impl NamespaceHandle {
                     backend: ns.oracle.backend().into(),
                     heap_bytes: memory.heap_bytes,
                     mapped_bytes: memory.mapped_bytes,
+                    wal_bytes: 0,
+                    wal_records: 0,
+                    rebuilds: 0,
+                    rebuild_in_flight: false,
                 }
             }
             Inner::Dynamic(ns) => {
@@ -318,6 +534,10 @@ impl NamespaceHandle {
                     backend: IndexBackend::Heap,
                     heap_bytes: memory.heap_bytes,
                     mapped_bytes: memory.mapped_bytes,
+                    wal_bytes: oracle.wal_bytes(),
+                    wal_records: oracle.wal_records_total(),
+                    rebuilds: ns.rebuilds.load(Ordering::Relaxed),
+                    rebuild_in_flight: ns.rebuild_in_flight.load(Ordering::Acquire),
                 }
             }
         }
@@ -363,6 +583,29 @@ impl NamespaceHandle {
                 report.counters.push((
                     format!("ns_queries_total{{ns={name:?}}}"),
                     ns.queries.load(Ordering::Relaxed),
+                ));
+                // Durability + rebuild series, all off lock-free
+                // mirrors — a metrics scrape never queues behind a
+                // writer or an in-flight publish.
+                for (series, value) in [
+                    ("ns_wal_bytes", ns.wal_bytes.load(Ordering::Relaxed)),
+                    (
+                        "ns_wal_records_total",
+                        ns.wal_records.load(Ordering::Relaxed),
+                    ),
+                    ("ns_rebuilds_total", ns.rebuilds.load(Ordering::Relaxed)),
+                    (
+                        "ns_rebuild_in_flight",
+                        ns.rebuild_in_flight.load(Ordering::Acquire) as u64,
+                    ),
+                ] {
+                    report
+                        .counters
+                        .push((format!("{series}{{ns={name:?}}}"), value));
+                }
+                report.histograms.push((
+                    format!("ns_rebuild_duration_ns{{ns={name:?}}}"),
+                    MetricsSummary::from(&ns.rebuild_ns.snapshot()),
                 ));
             }
         }
@@ -459,15 +702,69 @@ impl Registry {
         )
     }
 
-    /// Registers (or replaces) a dynamic namespace.
-    pub fn insert_dynamic(&self, name: &str, oracle: DynamicOracle) -> Result<bool, ServeError> {
+    /// Registers (or replaces) a dynamic namespace. The registry owns
+    /// rebuild scheduling: threshold crossings run on a background
+    /// worker thread (never inline under the mutation), so the
+    /// oracle's own auto-rebuild is switched off here.
+    pub fn insert_dynamic(
+        &self,
+        name: &str,
+        mut oracle: DynamicOracle,
+    ) -> Result<bool, ServeError> {
+        oracle.set_auto_rebuild(false);
         self.insert(
             name,
             NamespaceHandle {
-                inner: Inner::Dynamic(Arc::new(DynamicNs {
-                    oracle: Mutex::new(oracle),
-                    queries: AtomicU64::new(0),
-                })),
+                inner: Inner::Dynamic(Arc::new(DynamicNs::new(oracle, None))),
+            },
+        )
+    }
+
+    /// Registers (or replaces) a **durable** dynamic namespace backed
+    /// by `dir`. A fresh directory is initialized with `seed` as
+    /// generation 0; a directory with history ignores `seed` and
+    /// recovers checkpoint + WAL instead — replaying the valid log
+    /// prefix (a prefix of the acknowledged ops; a torn tail from a
+    /// crash is truncated for good when the appender reopens). Every
+    /// later mutation is logged before it is applied.
+    /// `rebuild_threshold` overrides the overlay size that arms a
+    /// background rebuild (`None` keeps the oracle default).
+    pub fn open_durable(
+        &self,
+        name: &str,
+        seed: Dag,
+        dir: impl Into<PathBuf>,
+        cfg: WalConfig,
+        rebuild_threshold: Option<usize>,
+    ) -> Result<bool, ServeError> {
+        Self::validate_name(name)?;
+        let wal = WalDir::open(dir).map_err(ServeError::Wal)?;
+        let mut oracle = match wal.recover().map_err(ServeError::Wal)? {
+            Some(rec) => {
+                let mut oracle = DynamicOracle::new(rec.base);
+                let durability = wal
+                    .durability(rec.generation, rec.wal_bytes, rec.ops.len() as u64, cfg)
+                    .map_err(ServeError::Wal)?;
+                oracle.set_durability(Box::new(durability));
+                oracle.replay(&rec.ops)?;
+                oracle
+            }
+            None => {
+                wal.initialize(&seed).map_err(ServeError::Wal)?;
+                let mut oracle = DynamicOracle::new(seed);
+                let durability = wal.durability(0, 0, 0, cfg).map_err(ServeError::Wal)?;
+                oracle.set_durability(Box::new(durability));
+                oracle
+            }
+        };
+        oracle.set_auto_rebuild(false);
+        if let Some(threshold) = rebuild_threshold {
+            oracle.set_rebuild_threshold(threshold);
+        }
+        self.insert(
+            name,
+            NamespaceHandle {
+                inner: Inner::Dynamic(Arc::new(DynamicNs::new(oracle, Some(wal)))),
             },
         )
     }
@@ -639,6 +936,145 @@ mod tests {
         let names: Vec<String> = registry.list().into_iter().map(|i| i.name).collect();
         assert_eq!(names, ["alpha", "zeta"]);
         assert_eq!(registry.len(), 2);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static CALL: AtomicU64 = AtomicU64::new(0);
+        let call = CALL.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "hoplite-registry-{tag}-{}-{call}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn background_rebuild_folds_overlay_and_counts() {
+        let registry = Registry::new();
+        let dag = Dag::from_edges(6, &[(0, 1)]).unwrap();
+        let oracle = DynamicOracle::with_config(dag, hoplite_core::DlConfig::default(), 3);
+        registry.insert_dynamic("d", oracle).unwrap();
+        let ns = registry.get("d").unwrap();
+        for (u, v) in [(1, 2), (2, 3), (3, 4), (4, 5)] {
+            ns.add_edge("d", u, v).unwrap();
+        }
+        ns.quiesce("d");
+        assert!(ns.rebuilds_completed() >= 1, "threshold crossed twice");
+        assert!(!ns.rebuild_in_flight());
+        let stats = ns.stats();
+        assert!(
+            stats.pending_inserts < 3,
+            "overlay folded back under threshold: {stats:?}"
+        );
+        assert_eq!(stats.rebuilds, ns.rebuilds_completed());
+        assert!(ns.reach(0, 5).unwrap());
+        assert!(!ns.reach(5, 0).unwrap());
+        let mut report = MetricsReport::default();
+        ns.fold_metrics("d", &mut report);
+        assert_eq!(
+            report.counter("ns_rebuilds_total{ns=\"d\"}"),
+            Some(ns.rebuilds_completed())
+        );
+        assert_eq!(report.counter("ns_rebuild_in_flight{ns=\"d\"}"), Some(0));
+        let hist = report
+            .histogram("ns_rebuild_duration_ns{ns=\"d\"}")
+            .expect("rebuild histogram folded");
+        assert_eq!(hist.count, ns.rebuilds_completed());
+    }
+
+    #[test]
+    fn durable_namespace_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let seed = Dag::from_edges(5, &[(0, 1)]).unwrap();
+        {
+            let registry = Registry::new();
+            registry
+                .open_durable(
+                    "d",
+                    seed.clone(),
+                    &dir,
+                    hoplite_core::WalConfig::sync_every_record(),
+                    None,
+                )
+                .unwrap();
+            let ns = registry.get("d").unwrap();
+            ns.add_edge("d", 1, 2).unwrap();
+            ns.add_edge("d", 2, 3).unwrap();
+            ns.remove_edge("d", 0, 1).unwrap();
+            let stats = ns.stats();
+            assert_eq!(stats.wal_records, 3, "{stats:?}");
+            assert_eq!(stats.wal_bytes, 3 * 17, "{stats:?}");
+            // Dropped without any checkpoint rotation: recovery must
+            // replay the log.
+        }
+        {
+            let registry = Registry::new();
+            // A different seed proves the on-disk history wins.
+            registry
+                .open_durable(
+                    "d",
+                    Dag::from_edges(5, &[]).unwrap(),
+                    &dir,
+                    hoplite_core::WalConfig::default(),
+                    None,
+                )
+                .unwrap();
+            let ns = registry.get("d").unwrap();
+            assert!(ns.reach(1, 3).unwrap());
+            assert!(!ns.reach(0, 2).unwrap(), "removal replayed");
+            assert_eq!(ns.stats().wal_records, 3, "records_total survives");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_rebuild_rotates_checkpoint_and_truncates_log() {
+        let dir = temp_dir("rotate");
+        let registry = Registry::new();
+        registry
+            .open_durable(
+                "d",
+                Dag::from_edges(6, &[]).unwrap(),
+                &dir,
+                hoplite_core::WalConfig::sync_every_record(),
+                Some(3),
+            )
+            .unwrap();
+        {
+            let ns = registry.get("d").unwrap();
+            for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+                ns.add_edge("d", u, v).unwrap();
+            }
+            ns.quiesce("d");
+            let after = ns.stats();
+            assert!(ns.rebuilds_completed() >= 1, "threshold armed the worker");
+            assert!(after.pending_inserts < 3, "{after:?}");
+            // The rotation truncated the log down to the live overlay:
+            // exactly one record per still-pending op.
+            assert_eq!(
+                after.wal_bytes,
+                (after.pending_inserts + after.pending_deletions) * 17
+            );
+            assert_eq!(after.wal_records, 5, "records_total is monotonic");
+            assert!(ns.reach(0, 5).unwrap());
+        }
+        // The rotation is durable: a reopen starts from the new
+        // checkpoint plus the (possibly empty) rotated overlay log.
+        let registry2 = Registry::new();
+        registry2
+            .open_durable(
+                "d",
+                Dag::from_edges(6, &[]).unwrap(),
+                &dir,
+                hoplite_core::WalConfig::default(),
+                None,
+            )
+            .unwrap();
+        let ns = registry2.get("d").unwrap();
+        assert!(ns.reach(0, 5).unwrap());
+        assert!(!ns.reach(5, 0).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use hoplite::core::dynamic::DynamicOracle;
+use hoplite::core::dynamic::{DynamicOracle, MutationError};
 use hoplite::core::{DistributionLabeling, DlConfig};
 use hoplite::graph::gen::{self, Rng};
 use hoplite::graph::GraphError;
@@ -42,7 +42,7 @@ fn main() {
         let v = rng.gen_index(n) as u32;
         match oracle.insert_edge(u, v) {
             Ok(()) => inserted += 1,
-            Err(GraphError::Cycle { .. }) => rejected += 1,
+            Err(MutationError::Graph(GraphError::Cycle { .. })) => rejected += 1,
             Err(e) => panic!("unexpected error: {e}"),
         }
         // ... interleaved with a burst of queries.
@@ -72,7 +72,7 @@ fn main() {
     let snapshot_edges: Vec<(u32, u32)> = oracle.snapshot().graph().edges().collect();
     for i in (0..snapshot_edges.len()).step_by(snapshot_edges.len() / 60) {
         let (a, b) = snapshot_edges[i];
-        if oracle.remove_edge(a, b) {
+        if oracle.remove_edge(a, b).expect("no WAL attached") {
             removed += 1;
             let reachable_now = oracle.query(a, b);
             if removed <= 3 {
