@@ -446,6 +446,15 @@ impl DynamicOracle {
     ///
     /// Returns the new overlay as WAL ops — exactly what
     /// [`Durability::rotate`] must seed the next log generation with.
+    /// Removes come **before** inserts: recovery replays the rotated
+    /// log against the new checkpoint with [`Self::replay`], which
+    /// re-validates every op against live state, and an overlay insert
+    /// may be valid only because some new-base edge is tombstoned
+    /// (remove `a→b`, then insert `b→a`, landing mid-rebuild).
+    /// Tombstoning a base edge is always valid first; the inserts then
+    /// see exactly the post-remove state their acknowledgment saw.
+    /// Inserts are mutually order-insensitive (every intermediate
+    /// state is a subgraph of the final, acyclic, graph).
     pub fn publish(&mut self, rebuilt: RebuiltIndex) -> Vec<EdgeOp> {
         let RebuiltIndex {
             dag,
@@ -482,10 +491,10 @@ impl DynamicOracle {
         self.delta = delta;
         self.deleted = deleted;
         self.rebuilds += 1;
-        self.delta
+        self.deleted
             .iter()
-            .map(|&(u, v)| EdgeOp::Insert(u, v))
-            .chain(self.deleted.iter().map(|&(u, v)| EdgeOp::Remove(u, v)))
+            .map(|&(u, v)| EdgeOp::Remove(u, v))
+            .chain(self.delta.iter().map(|&(u, v)| EdgeOp::Insert(u, v)))
             .collect()
     }
 

@@ -19,7 +19,11 @@
 //!   fsyncs once per [`WalConfig::flush_every`] records or
 //!   [`WalConfig::flush_interval`], whichever comes first. Acknowledged
 //!   but unsynced records can be lost to a power cut; because the log
-//!   is strictly sequential, what survives is still a prefix.
+//!   is strictly sequential, what survives is still a prefix. The
+//!   policy only fires inside appends, so an idle namespace's tail
+//!   stays unsynced until the next append or an explicit [`Wal::sync`]
+//!   (the server issues one per durable namespace at graceful
+//!   shutdown) — see [`WalConfig`].
 //! * **Checkpoint rotation** is crash-atomic through generation-paired
 //!   files: the next checkpoint is fully written and fsynced to
 //!   `checkpoint.tmp` *off* the namespace lock
@@ -190,6 +194,15 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<EdgeOp>, usize) {
 
 /// Group-commit policy: how many acknowledged records may sit in the
 /// OS page cache before an fsync.
+///
+/// Both halves of the policy are evaluated **inside [`Wal::append`]
+/// only** — an idle log never syncs on its own. The tail of a write
+/// burst therefore stays unsynced until the *next* append arrives:
+/// the loss window after the final write is unbounded, not
+/// `flush_interval`. Anything that must survive without a follow-up
+/// write has to call [`Wal::sync`] (or
+/// `DynamicOracle::sync_durability`) explicitly; the serving tier
+/// does this for every durable namespace on graceful shutdown.
 #[derive(Clone, Copy, Debug)]
 pub struct WalConfig {
     /// Fsync after this many unsynced appends. `1` syncs every record
@@ -197,6 +210,8 @@ pub struct WalConfig {
     pub flush_every: usize,
     /// Fsync on the first append after this much time has passed since
     /// the last sync, even if `flush_every` has not been reached.
+    /// Checked only when an append arrives — see the struct docs for
+    /// the idle-tail caveat.
     pub flush_interval: Duration,
 }
 
@@ -633,10 +648,12 @@ pub struct WalDurability {
     generation: u64,
     wal: Wal<File>,
     cfg: WalConfig,
-    /// Set on the first append error: the on-disk tail is torn, and
-    /// appending more records after it would corrupt the log beyond
-    /// the prefix guarantee. Every later mutation is refused until the
-    /// namespace is re-opened (which truncates the tail).
+    /// Set on the first append error (the on-disk tail is torn;
+    /// appending past it would corrupt the log beyond the prefix
+    /// guarantee) or on a rotation whose directory fsync failed (the
+    /// live generation is ambiguous until recovery re-resolves it).
+    /// Every later mutation is refused until the namespace is
+    /// re-opened.
     poisoned: bool,
 }
 
@@ -651,7 +668,7 @@ impl Durability for WalDurability {
     fn log(&mut self, op: EdgeOp) -> io::Result<()> {
         if self.poisoned {
             return Err(io::Error::other(
-                "wal poisoned by an earlier append failure; reopen the namespace",
+                "wal poisoned by an earlier append or rotation failure; reopen the namespace",
             ));
         }
         self.wal.append(op).inspect_err(|_| self.poisoned = true)
@@ -670,17 +687,33 @@ impl Durability for WalDurability {
             file.write_all(&encode_record(op))?;
         }
         file.sync_data()?;
-        // 2. Commit point: publish the staged checkpoint.
+        // 2. Commit point: publish the staged checkpoint. Once the
+        //    rename lands, checkpoint.N+1 exists and wins recovery, so
+        //    the appender must adopt generation N+1 no matter what
+        //    happens below — returning early on a later error would
+        //    keep acknowledging mutations into the orphaned wal.N,
+        //    silently losing them on restart.
         fs::rename(self.dir.tmp_path(), self.dir.checkpoint_path(next))?;
-        sync_dir(&self.dir.dir)?;
-        // 3. The old generation is now garbage.
-        let _ = fs::remove_file(self.dir.checkpoint_path(self.generation));
-        let _ = fs::remove_file(self.dir.wal_path(self.generation));
+        let old = self.generation;
         let mut wal = Wal::from_writer(file, (overlay.len() * RECORD_LEN) as u64, self.cfg);
         wal.records = records_total;
         self.wal = wal;
         self.generation = next;
         self.poisoned = false;
+        // 3. Make the rename durable. If this fails the rename may not
+        //    survive a crash: recovery could come back up on generation
+        //    N while new acknowledgments land only in wal.N+1. Both
+        //    generations reconstruct every op acknowledged *so far*, so
+        //    refusing further mutations (poison) until a reopen
+        //    re-resolves the live generation keeps the prefix
+        //    guarantee. The old generation is also kept as a fallback.
+        if let Err(e) = sync_dir(&self.dir.dir) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        // 4. The old generation is now garbage.
+        let _ = fs::remove_file(self.dir.checkpoint_path(old));
+        let _ = fs::remove_file(self.dir.wal_path(old));
         Ok(())
     }
 

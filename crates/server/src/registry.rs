@@ -189,7 +189,20 @@ fn spawn_rebuild(name: &str, ns: &Arc<DynamicNs>) {
     let worker = Arc::clone(ns);
     let spawned = std::thread::Builder::new()
         .name(format!("hoplite-rebuild-{name}"))
-        .spawn(move || rebuild_worker(&worker));
+        .spawn(move || {
+            // A panic anywhere in the rebuild (plan execution,
+            // checkpoint staging, publish) must not strand the latch
+            // armed: nothing would ever spawn another worker again,
+            // the overlay would grow without bound, and quiesce()
+            // would spin forever. Queries stay correct through the
+            // overlay either way; only the fold is deferred.
+            let run =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rebuild_worker(&worker)));
+            if run.is_err() {
+                worker.rebuild_in_flight.store(false, Ordering::Release);
+                crate::log_error!("rebuild", "worker panicked; rebuild latch released");
+            }
+        });
     if let Err(e) = spawned {
         ns.rebuild_in_flight.store(false, Ordering::Release);
         crate::log_error!("rebuild", "worker spawn failed for {name:?}: {e}");
@@ -780,6 +793,19 @@ impl Registry {
     pub fn remove(&self, name: &str) -> bool {
         let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
         map.remove(name).is_some()
+    }
+
+    /// Forces every durable namespace's WAL tail to stable storage.
+    /// The group-commit policy only fires inside appends, so without
+    /// this the last records of a burst sit unsynced until the next
+    /// mutation arrives — the server calls it on graceful shutdown to
+    /// close that window. Returns each namespace whose sync failed
+    /// (those tails remain at the mercy of the OS page cache).
+    pub fn sync_all(&self) -> Vec<(String, ServeError)> {
+        self.handles()
+            .into_iter()
+            .filter_map(|(name, h)| h.sync_durability().err().map(|e| (name, e)))
+            .collect()
     }
 
     /// Every `(name, handle)` pair, sorted by name — the metrics

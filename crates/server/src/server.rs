@@ -292,6 +292,7 @@ impl ServerHandle {
     }
 
     fn shutdown_inner(&mut self) {
+        let serving = self.accept.is_some() || self.metrics_thread.is_some();
         if let Some(handle) = self.accept.take() {
             self.stop.store(true, Ordering::SeqCst);
             // Unblock the accept() call; any connection works.
@@ -301,6 +302,17 @@ impl ServerHandle {
         if let Some(handle) = self.metrics_thread.take() {
             self.stop.store(true, Ordering::SeqCst);
             let _ = handle.join();
+        }
+        if serving {
+            // Connections are drained: force any unsynced WAL tail to
+            // stable storage. The group-commit policy only evaluates
+            // inside appends, so the last acknowledged records of a
+            // burst would otherwise sit in the page cache until the
+            // next mutation arrives — a graceful shutdown must not
+            // leave them there.
+            for (ns, e) in self.registry.sync_all() {
+                crate::log_error!("shutdown", "final WAL sync failed for {ns:?}: {e}");
+            }
         }
     }
 }

@@ -242,6 +242,73 @@ fn rotation_crash_artifacts_fall_back_to_the_valid_generation() {
     fs::remove_dir_all(&root).ok();
 }
 
+/// A remove of a new-base edge plus its *reverse* insert landing
+/// mid-rebuild: the insert was acknowledged only because the remove's
+/// tombstone was already live, so the rotated log must replay the
+/// remove first. (Seeding `wal.N+1` inserts-first made recovery die on
+/// a spurious cycle error — acknowledged, durably-logged data became
+/// unrecoverable.)
+#[test]
+fn remove_then_reverse_insert_mid_rebuild_survives_rotation_and_restart() {
+    let root = temp_dir("reverse");
+    let wal = WalDir::open(&root).expect("open wal dir");
+    let seed = Dag::from_edges(3, &[(0, 1)]).expect("seed dag");
+    wal.initialize(&seed).expect("initialize generation 0");
+    let mut oracle = DynamicOracle::new(seed);
+    oracle.set_durability(Box::new(
+        wal.durability(0, 0, 0, WalConfig::sync_every_record())
+            .expect("open appender"),
+    ));
+    oracle.set_auto_rebuild(false);
+    oracle.insert_edge(1, 2).expect("insert 1→2");
+
+    // Exactly what the background worker does: snapshot the plan,
+    // build off-lock, and while that build is "running" land the
+    // remove + reverse insert. (0, 1) is part of the rebuilt base, so
+    // the overlay after publish is Remove(0,1) + Insert(1,0) — and
+    // Insert(1,0) is valid only once (0, 1) is tombstoned.
+    let plan = oracle.rebuild_plan();
+    let rebuilt = plan.execute();
+    oracle.remove_edge(0, 1).expect("remove 0→1 mid-rebuild");
+    oracle
+        .insert_edge(1, 0)
+        .expect("reverse insert 1→0 mid-rebuild");
+
+    let arena = hoplite::core::wal::checkpoint_bytes(rebuilt.dag()).expect("checkpoint bytes");
+    wal.prepare_checkpoint(&arena).expect("stage checkpoint");
+    let overlay = oracle.publish(rebuilt);
+    assert_eq!(
+        overlay,
+        [EdgeOp::Remove(0, 1), EdgeOp::Insert(1, 0)],
+        "rotation must seed removes before inserts"
+    );
+    oracle
+        .durability_mut()
+        .expect("hook installed")
+        .rotate(&overlay)
+        .expect("rotate");
+    drop(oracle); // the "kill"
+
+    // Restart twice: replaying the rotated generation must accept the
+    // reverse insert (the tombstone replays first) both times.
+    for restart in 1..=2 {
+        let rec = wal
+            .recover()
+            .expect("recover")
+            .expect("rotated generation present");
+        assert_eq!(rec.generation, 1, "restart {restart}");
+        let mut recovered = DynamicOracle::new(rec.base);
+        recovered
+            .replay(&rec.ops)
+            .expect("replaying a rotated log with a reverse insert must not fail");
+        let truth = apply_ops(&[(1, 2), (1, 0)], &[]);
+        assert_matches_bfs(3, &truth, &format!("restart {restart}"), |u, v| {
+            recovered.query(u, v)
+        });
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
 /// When the only checkpoint is corrupt there is no state to serve —
 /// that must surface as an explicit error, not silent data loss.
 #[test]
