@@ -282,8 +282,10 @@ fn perf_cmd(args: &[String]) {
     }
 }
 
-/// `paper __wire-server <vertices> <edges> <seed>` — the server side
-/// of the perf wire sweep. Builds an oracle over the same
+/// `paper __wire-server <vertices> <edges> <seed> [<hwm> <pairs>
+/// <deadline_ms>]` — the server side of the perf wire sweep and (with
+/// the trailing budget args) of the overload drill. Builds an oracle
+/// over the same
 /// `random_dag` family the headline numbers use, binds a reactor-mode
 /// server (thread pool where no reactor exists) on an ephemeral
 /// loopback port, prints `ADDR <addr>` so the parent can connect, and
@@ -295,8 +297,11 @@ fn wire_server_cmd(args: &[String]) {
     use std::io::{Read, Write};
     use std::sync::Arc;
 
-    if args.len() != 3 {
-        eprintln!("usage: paper __wire-server <vertices> <edges> <seed>");
+    if args.len() != 3 && args.len() != 6 {
+        eprintln!(
+            "usage: paper __wire-server <vertices> <edges> <seed> \
+             [<shed_inflight_hwm> <shed_pairs> <deadline_ms>]"
+        );
         std::process::exit(2);
     }
     let n: usize = parse("vertices", &args[0]);
@@ -309,7 +314,7 @@ fn wire_server_cmd(args: &[String]) {
     registry
         .insert_frozen("bench", oracle)
         .expect("fresh registry accepts one namespace");
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         mode: if cfg!(unix) {
             ServeMode::Reactor
         } else {
@@ -317,6 +322,22 @@ fn wire_server_cmd(args: &[String]) {
         },
         ..ServerConfig::default()
     };
+    // The overload drill passes admission budgets; zero means "leave
+    // that knob off".
+    if args.len() == 6 {
+        let hwm: usize = parse("shed_inflight_hwm", &args[3]);
+        let pairs: usize = parse("shed_pairs", &args[4]);
+        let deadline_ms: u64 = parse("deadline_ms", &args[5]);
+        if hwm > 0 {
+            config.shed_inflight_hwm = Some(hwm);
+        }
+        if pairs > 0 {
+            config.shed_coalesced_pairs = Some(pairs);
+        }
+        if deadline_ms > 0 {
+            config.request_deadline = Some(Duration::from_millis(deadline_ms));
+        }
+    }
     let handle = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback server");
     println!("ADDR {}", handle.local_addr());
     std::io::stdout().flush().expect("flush address line");

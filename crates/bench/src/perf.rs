@@ -30,6 +30,12 @@
 //!   10k-socket sweep), with per-step reply-latency p50/p99/p99.9 from
 //!   the loadgen histogram. Skipped (`"wire": null`) when the caller
 //!   does not supply a server executable — i.e. under `cargo test`.
+//! * **Wire overload** — the same child server rebound with admission
+//!   budgets admitting ~1/3 of the offered in-flight load, then driven
+//!   flat out: typed shed fraction, goodput, and accepted-reply
+//!   latency percentiles, gated so refusals stay typed, shedding stays
+//!   bounded, and admitted traffic stays fast. Skipped alongside the
+//!   wire stage.
 //! * **Metrics overhead** — the filtered batch loop chunked with a
 //!   per-chunk [`hoplite_core::Histogram`] record against the same
 //!   loop without one; `--check` requires the instrumented loop to
@@ -100,6 +106,17 @@ const OVERHEAD_FLOOR: f64 = 0.97;
 /// off a cliff, not to chase the noise on shared runners.
 const WIRE_FLOOR_QUICK_QPS: f64 = 25_000.0;
 const WIRE_FLOOR_FULL_QPS: f64 = 50_000.0;
+
+/// Overload drill: offered in-flight load per admission budget. At 3x,
+/// a correct limiter sheds roughly two thirds of the offered queries
+/// and keeps goodput near the unthrottled ceiling.
+const OVERLOAD_FACTOR: usize = 3;
+
+/// Ceiling on the accepted-reply p99 during the overload drill. The
+/// child runs a 1 s request deadline, so anything the server *chose*
+/// to answer is at most deadline + dispatch old; 5 s only trips when
+/// admission control stops protecting the admitted traffic.
+const OVERLOAD_ACCEPTED_P99_BOUND_NS: u64 = 5_000_000_000;
 
 /// Options for [`run_perf`], parsed by the `paper` binary.
 #[derive(Clone, Debug)]
@@ -340,6 +357,44 @@ pub struct WireReport {
     pub steps: Vec<WireStep>,
 }
 
+/// The overload drill: the same child-process server rebound with
+/// admission budgets sized to admit roughly `1/factor` of the offered
+/// in-flight load, then driven flat out. What the report captures is
+/// the *degradation shape*: how much was shed (typed, not errored),
+/// what goodput the admitted traffic kept, and how fast the accepted
+/// replies stayed.
+#[derive(Clone, Debug)]
+pub struct OverloadStage {
+    /// Serve mode of the child (`"reactor"` on unix).
+    pub mode: &'static str,
+    /// Concurrent sockets held open for the whole drill.
+    pub connections: usize,
+    /// Frames in flight per connection within a round.
+    pub pipeline: usize,
+    /// Overload factor: budgets admit ~`1/factor` of the offered load.
+    pub factor: usize,
+    /// `shed_inflight_hwm` the child ran with.
+    pub shed_inflight_hwm: usize,
+    /// Queries offered = answered + shed + deadline-refused.
+    pub offered: u64,
+    /// Queries admitted and answered.
+    pub queries: u64,
+    /// Queries shed with a typed `OVERLOADED` refusal.
+    pub shed: u64,
+    /// Queries refused with a typed `DEADLINE_EXCEEDED`.
+    pub deadline_exceeded: u64,
+    /// Untyped `ERROR` replies (`--check` requires zero).
+    pub errors: u64,
+    /// `shed / offered`.
+    pub shed_fraction: f64,
+    /// Answered queries per second — goodput, not offered throughput.
+    pub goodput_qps: f64,
+    /// Median latency of **accepted** replies (ns).
+    pub accepted_p50_ns: u64,
+    /// 99th-percentile latency of accepted replies (ns).
+    pub accepted_p99_ns: u64,
+}
+
 /// One measured suite; serializes with [`PerfReport::to_json`].
 #[derive(Clone, Debug)]
 pub struct PerfReport {
@@ -380,6 +435,9 @@ pub struct PerfReport {
     /// Wire sweep through a child-process server; `None` when no
     /// server executable was supplied (e.g. under `cargo test`).
     pub wire: Option<WireReport>,
+    /// Overload drill against a budget-limited child server; `None`
+    /// when no server executable was supplied.
+    pub wire_overload: Option<OverloadStage>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -972,6 +1030,12 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
             .unwrap_or_else(|e| panic!("wire stage failed: {e}"))
     });
 
+    // --- Overload drill against a budget-limited child server. ------
+    let wire_overload = opts.wire_server.as_deref().map(|exe| {
+        run_overload(exe, opts.quick, opts.seed, host_cores)
+            .unwrap_or_else(|e| panic!("overload stage failed: {e}"))
+    });
+
     PerfReport {
         quick: opts.quick,
         seed: opts.seed,
@@ -989,6 +1053,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         metrics_overhead,
         dynamic,
         wire,
+        wire_overload,
     }
 }
 
@@ -1082,6 +1147,102 @@ fn run_wire(
     })();
     // Closing stdin is the shutdown signal; on the error path make
     // sure the child dies rather than outliving the benchmark.
+    drop(child.stdin.take());
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+    result
+}
+
+/// The overload drill. Spawns the same `__wire-server` child as the
+/// wire sweep but with admission budgets (`shed_inflight_hwm`,
+/// `shed_coalesced_pairs`, a 1 s request deadline) sized to admit
+/// roughly `1/OVERLOAD_FACTOR` of the offered in-flight load, then
+/// drives it flat out and reports the degradation shape: typed shed
+/// fraction, goodput, and accepted-reply percentiles.
+fn run_overload(
+    server_exe: &std::path::Path,
+    quick: bool,
+    seed: u64,
+    host_cores: usize,
+) -> Result<OverloadStage, String> {
+    use std::process::{Command, Stdio};
+    let (n, m) = if quick {
+        (20_000, 60_000)
+    } else {
+        (48_000, 192_000)
+    };
+    let (connections, queries) = if quick {
+        (64usize, 80_000u64)
+    } else {
+        (256usize, 300_000u64)
+    };
+    let pipeline = 8usize;
+    let factor = OVERLOAD_FACTOR;
+    let inflight = connections * pipeline;
+    let hwm = (inflight / factor).max(1);
+    let loadgen_threads = host_cores.clamp(1, 8);
+
+    eprintln!(
+        "# perf[overload]: spawning budget-limited server \
+         (hwm {hwm}, {factor}x offered in-flight {inflight}) ..."
+    );
+    let mut child = Command::new(server_exe)
+        .arg("__wire-server")
+        .arg(n.to_string())
+        .arg(m.to_string())
+        .arg(seed.to_string())
+        .arg(hwm.to_string())
+        .arg(hwm.to_string()) // pairs budget == hwm at batch=1
+        .arg("1000") // request deadline, ms
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", server_exe.display()))?;
+    let result = (|| {
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read server address: {e}"))?;
+        let addr = line
+            .trim()
+            .strip_prefix("ADDR ")
+            .ok_or_else(|| format!("wire server said {line:?}, expected \"ADDR <addr>\""))?
+            .parse()
+            .map_err(|e| format!("parse server address {line:?}: {e}"))?;
+        let report = loadgen::run_load(&LoadSpec {
+            addr,
+            ns: "bench".to_string(),
+            vertices: n as u32,
+            connections,
+            threads: loadgen_threads,
+            pipeline_depth: pipeline,
+            batch: 1,
+            queries,
+            seed: seed ^ 0x0BAD,
+        })
+        .map_err(|e| format!("overload drill: {e}"))?;
+        let offered = report.queries + report.shed + report.deadline_exceeded;
+        Ok(OverloadStage {
+            mode: if cfg!(unix) { "reactor" } else { "thread-pool" },
+            connections,
+            pipeline,
+            factor,
+            shed_inflight_hwm: hwm,
+            offered,
+            queries: report.queries,
+            shed: report.shed,
+            deadline_exceeded: report.deadline_exceeded,
+            errors: report.errors,
+            shed_fraction: report.shed_fraction(),
+            goodput_qps: report.qps(),
+            accepted_p50_ns: report.latency.p50(),
+            accepted_p99_ns: report.latency.p99(),
+        })
+    })();
     drop(child.stdin.take());
     if result.is_err() {
         let _ = child.kill();
@@ -1234,6 +1395,42 @@ impl PerfReport {
                 }
             }
         }
+        // Overload drill: the shed rate at `OVERLOAD_FACTOR`x load must
+        // be nonzero (the limiter is on) but bounded (the server still
+        // does useful work), every refusal must be typed (zero untyped
+        // errors), and the traffic the server *chose* to admit must
+        // have stayed fast.
+        if let Some(ov) = &self.wire_overload {
+            if ov.errors > 0 {
+                return Err(format!(
+                    "overload drill saw {} untyped error replies — refusals must be typed",
+                    ov.errors
+                ));
+            }
+            if ov.shed == 0 {
+                return Err(format!(
+                    "overload drill at {}x the admission budget never shed",
+                    ov.factor
+                ));
+            }
+            if ov.shed_fraction >= 0.95 {
+                return Err(format!(
+                    "overload drill shed {:.1}% — the server did almost no useful work",
+                    ov.shed_fraction * 100.0
+                ));
+            }
+            if ov.queries == 0 {
+                return Err("overload drill admitted zero queries".into());
+            }
+            if ov.accepted_p99_ns > OVERLOAD_ACCEPTED_P99_BOUND_NS {
+                return Err(format!(
+                    "accepted-reply p99 {:.1} ms exceeds the {:.0} ms overload bound — \
+                     admission control stopped protecting admitted traffic",
+                    ov.accepted_p99_ns as f64 / 1e6,
+                    OVERLOAD_ACCEPTED_P99_BOUND_NS as f64 / 1e6
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -1277,7 +1474,7 @@ impl PerfReport {
         )
     }
 
-    /// The machine-readable report (`BENCH_8.json`, schema 6).
+    /// The machine-readable report (`BENCH_9.json`, schema 7).
     pub fn to_json(&self) -> String {
         let scaling = self
             .scaling
@@ -1335,6 +1532,43 @@ impl PerfReport {
                 )
             }
         };
+        let wire_overload = match &self.wire_overload {
+            None => "null".to_string(),
+            Some(ov) => format!(
+                r#"{{
+    "mode": "{mode}",
+    "connections": {connections},
+    "pipeline": {pipeline},
+    "factor": {factor},
+    "shed_inflight_hwm": {hwm},
+    "offered": {offered},
+    "queries": {queries},
+    "shed": {shed},
+    "deadline_exceeded": {deadline_exceeded},
+    "errors": {errors},
+    "shed_fraction": {shed_fraction:.4},
+    "goodput_qps": {goodput:.0},
+    "accepted_p50_ns": {p50},
+    "accepted_p99_ns": {p99},
+    "accepted_p99_bound_ns": {p99_bound}
+  }}"#,
+                mode = ov.mode,
+                connections = ov.connections,
+                pipeline = ov.pipeline,
+                factor = ov.factor,
+                hwm = ov.shed_inflight_hwm,
+                offered = ov.offered,
+                queries = ov.queries,
+                shed = ov.shed,
+                deadline_exceeded = ov.deadline_exceeded,
+                errors = ov.errors,
+                shed_fraction = ov.shed_fraction,
+                goodput = ov.goodput_qps,
+                p50 = ov.accepted_p50_ns,
+                p99 = ov.accepted_p99_ns,
+                p99_bound = OVERLOAD_ACCEPTED_P99_BOUND_NS,
+            ),
+        };
         let verdicts = self
             .verdict_counts
             .iter()
@@ -1382,7 +1616,7 @@ impl PerfReport {
         format!(
             r#"{{
   "bench": "perf",
-  "schema": 6,
+  "schema": 7,
   "quick": {quick},
   "seed": {seed},
   "host_cores": {host_cores},
@@ -1462,6 +1696,7 @@ impl PerfReport {
     "read_stall_bound_ns": {dyn_bound}
   }},
   "wire": {wire},
+  "wire_overload": {wire_overload},
   "vs_prev": {vs_prev}
 }}"#,
             quick = self.quick,
@@ -1733,6 +1968,7 @@ mod tests {
             metrics_overhead,
             dynamic,
             wire: None,
+            wire_overload: None,
         }
     }
 
@@ -1762,5 +1998,52 @@ mod tests {
         report.dynamic.read_p99_during_rebuild_ns = READ_STALL_BOUND_NS * 20;
         let err = report.check().unwrap_err();
         assert!(err.contains("stalled"), "{err}");
+    }
+
+    #[test]
+    fn check_gates_the_overload_stage() {
+        let mut report = run_perf_tiny_for_tests();
+        report.main.filtered_qps = report.main.filtered_qps.max(report.main.unfiltered_qps);
+        report.wire_overload = Some(OverloadStage {
+            mode: "reactor",
+            connections: 64,
+            pipeline: 8,
+            factor: 3,
+            shed_inflight_hwm: 170,
+            offered: 90_000,
+            queries: 30_000,
+            shed: 58_000,
+            deadline_exceeded: 2_000,
+            errors: 0,
+            shed_fraction: 58_000.0 / 90_000.0,
+            goodput_qps: 120_000.0,
+            accepted_p50_ns: 1_000_000,
+            accepted_p99_ns: 90_000_000,
+        });
+        report.check().expect("healthy overload stage passes");
+        let json = report.to_json();
+        for key in [
+            "\"wire_overload\"",
+            "\"shed_fraction\"",
+            "\"goodput_qps\"",
+            "\"accepted_p99_ns\"",
+            "\"accepted_p99_bound_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No sheds at 3x load ⇒ the limiter never engaged.
+        report.wire_overload.as_mut().unwrap().shed = 0;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("never shed"), "{err}");
+        report.wire_overload.as_mut().unwrap().shed = 58_000;
+        // Untyped errors ⇒ refusals leaked out as ERROR replies.
+        report.wire_overload.as_mut().unwrap().errors = 3;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("typed"), "{err}");
+        report.wire_overload.as_mut().unwrap().errors = 0;
+        // Slow accepted traffic ⇒ admission control stopped helping.
+        report.wire_overload.as_mut().unwrap().accepted_p99_ns = OVERLOAD_ACCEPTED_P99_BOUND_NS + 1;
+        let err = report.check().unwrap_err();
+        assert!(err.contains("p99"), "{err}");
     }
 }

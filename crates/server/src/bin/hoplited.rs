@@ -22,7 +22,7 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hoplite_core::{BuildTrace, DlConfig, DynamicOracle, HistogramSnapshot, Oracle, WalConfig};
 use hoplite_graph::gen::{self, Rng};
@@ -69,10 +69,28 @@ SERVE:
     --metrics-addr ADDR    also serve Prometheus-style text on
                            http://ADDR/metrics (HTTP/1.0 GET; port 0 =
                            ephemeral) — counters, latency quantiles,
-                           and the slow-query log as comment lines
+                           and the slow-query log as comment lines —
+                           plus /healthz (process live) and /readyz
+                           (200 once loading/WAL replay finishes and no
+                           rebuild is wedged; 503 before)
     --trace-out FILE       write one JSON build-trace line per --frozen
                            namespace (SCC/order/distribute/freeze span
                            timings and the per-hop labeling histogram)
+    --request-deadline MS  refuse frames older than MS with a typed
+                           DEADLINE_EXCEEDED reply instead of serving
+                           stale work (default: off)
+    --idle-timeout SECS    reap connections idle this long (default: off)
+    --shed-inflight N      admission high-water mark: past N in-flight
+                           frames, shed read queries with OVERLOADED +
+                           retry-after (mutations are never shed)
+    --shed-pairs N         reactor per-tick coalesced-pair budget; reads
+                           past it shed with OVERLOADED (default: off)
+    --queue-limit N        refuse new connections once N are waiting for
+                           a pool worker (thread-pool mode; default:
+                           worker count)
+    --rebuild-stall SECS   /readyz reports 503 when a namespace has been
+                           stuck in a background rebuild this long
+                           (default 300)
 
 BENCH (wire-level throughput on a synthetic power-law graph):
     --vertices N           graph size            (default 50000)
@@ -96,6 +114,13 @@ BENCH (wire-level throughput on a synthetic power-law graph):
                            instead of spawning one in-process — the way
                            to push a 10k-socket sweep when one process's
                            fd limit cannot hold both ends
+    --overload N           overload drill: calibrate capacity with an
+                           unthrottled run, then re-serve with admission
+                           budgets sized to admit ~1/N of the offered
+                           in-flight load and drive the same closed-loop
+                           traffic — reporting shed %, accepted-query
+                           p99, and goodput (with --reactor: the reactor
+                           loop sheds; without: the thread-pool path)
 
 SMOKE:
     self-contained serving-path check: ephemeral server, PING, REACH,
@@ -191,6 +216,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--mmap" => open_opts.mmap = true,
             "--prefault" => open_opts.prefault = true,
+            "--request-deadline" => {
+                config.request_deadline = Some(Duration::from_millis(parse_num(
+                    "--request-deadline",
+                    it.next(),
+                )? as u64))
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = Some(Duration::from_secs(parse_num(
+                    "--idle-timeout",
+                    it.next(),
+                )? as u64))
+            }
+            "--shed-inflight" => {
+                config.shed_inflight_hwm =
+                    Some(parse_num("--shed-inflight", it.next()).map(|n| n.max(1))?)
+            }
+            "--shed-pairs" => {
+                config.shed_coalesced_pairs =
+                    Some(parse_num("--shed-pairs", it.next()).map(|n| n.max(1))?)
+            }
+            "--queue-limit" => config.pool_queue_limit = parse_num("--queue-limit", it.next())?,
+            "--rebuild-stall" => registry.set_rebuild_stall_threshold(Duration::from_secs(
+                parse_num("--rebuild-stall", it.next())? as u64,
+            )),
             "--frozen" => {
                 let (name, path) = split_spec(it.next().ok_or("--frozen needs NAME=FILE")?)?;
                 specs.push(Spec::Frozen(name.to_owned(), path.to_owned()));
@@ -205,6 +254,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
+    }
+
+    // Bind listeners *before* loading: the wire and metrics endpoints
+    // come up immediately so orchestrators can probe them, but the
+    // registry is marked not-ready — data requests get a typed
+    // NOT_READY reply (with a retry-after hint) until every namespace,
+    // including WAL replay for durable ones, has landed. /readyz on the
+    // metrics listener flips 503 → 200 at exactly that point.
+    let listen = listen.ok_or("serve needs --listen ADDR")?;
+    registry.set_ready(false);
+    let mut handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    println!("hoplited listening on {}", handle.local_addr());
+    if let Some(addr) = &metrics_addr {
+        let bound = handle
+            .serve_metrics(addr.as_str())
+            .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+        log_info!("serve", "metrics exposition on http://{bound}/metrics");
     }
 
     // Pass 2: load namespaces in command-line order.
@@ -306,16 +373,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         log_info!("serve", "wrote {} build trace(s) to {path}", traces.len());
     }
 
-    let listen = listen.ok_or("serve needs --listen ADDR")?;
-    let mut handle = Server::bind(listen.as_str(), Arc::clone(&registry), config.clone())
-        .map_err(|e| format!("bind {listen}: {e}"))?;
-    println!("hoplited listening on {}", handle.local_addr());
-    if let Some(addr) = &metrics_addr {
-        let bound = handle
-            .serve_metrics(addr.as_str())
-            .map_err(|e| format!("bind metrics {addr}: {e}"))?;
-        log_info!("serve", "metrics exposition on http://{bound}/metrics");
-    }
+    // Everything (including WAL replay, which `open_durable` runs
+    // synchronously) is loaded: open the gates.
+    registry.set_ready(true);
     match config.mode {
         ServeMode::ThreadPool => log_info!(
             "serve",
@@ -348,6 +408,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut pipeline = 8usize;
     let mut threads = cores.clamp(1, 8);
     let mut addr: Option<String> = None;
+    let mut overload: Option<usize> = None;
     let mut config = ServerConfig::default();
 
     let mut it = args.iter();
@@ -369,10 +430,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 connections = Some(parsed.map_err(|e| format!("--connections: {e}"))?);
             }
             "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--overload" => overload = Some(parse_num("--overload", it.next()).map(|n| n.max(2))?),
             other => return Err(format!("unknown bench flag {other:?}")),
         }
     }
 
+    if let Some(factor) = overload {
+        let conns = connections
+            .as_deref()
+            .and_then(|s| s.first().copied())
+            .unwrap_or(64);
+        return bench_overload(
+            vertices, edges, queries, batch, conns, pipeline, threads, factor, config,
+        );
+    }
     if let Some(addr) = addr {
         let sweep = connections.unwrap_or_else(|| vec![100]);
         let addr: std::net::SocketAddr =
@@ -569,6 +640,111 @@ fn bench_sweep(
         threads,
         Some(&handle),
     )?;
+    handle.shutdown();
+    Ok(())
+}
+
+/// The overload drill: measure what the server can do unthrottled,
+/// then re-serve the same oracle with admission budgets sized so the
+/// same closed-loop load offers `factor`× what admission will take —
+/// and report how degradation behaved (shed fraction, goodput, and the
+/// latency the *accepted* queries saw).
+#[allow(clippy::too_many_arguments)]
+fn bench_overload(
+    vertices: usize,
+    edges: usize,
+    queries: usize,
+    batch: usize,
+    conns: usize,
+    pipeline: usize,
+    threads: usize,
+    factor: usize,
+    mut config: ServerConfig,
+) -> Result<(), String> {
+    log_info!(
+        "bench",
+        "generating power-law DAG: {vertices} vertices, {edges} edges"
+    );
+    let dag = gen::power_law_dag(vertices, edges, 42);
+    let oracle = Oracle::new(&dag.into_graph());
+    let registry = Arc::new(Registry::new());
+    registry
+        .insert_frozen("bench", oracle)
+        .map_err(|e| e.to_string())?;
+    if config.mode == ServeMode::ThreadPool {
+        config.workers = config.workers.max(conns + 2);
+    }
+    let mode = match config.mode {
+        ServeMode::ThreadPool => "thread-pool",
+        ServeMode::Reactor => "reactor",
+    };
+    let spec = |addr: std::net::SocketAddr, queries: u64, seed: u64| LoadSpec {
+        addr,
+        ns: "bench".into(),
+        vertices: vertices as u32,
+        connections: conns,
+        threads,
+        pipeline_depth: pipeline,
+        batch,
+        queries,
+        seed,
+    };
+
+    // Phase 1: calibrate. No budgets — whatever this run sustains is
+    // the capacity estimate the overload phase is a multiple of.
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&registry), config.clone())
+        .map_err(|e| format!("bind: {e}"))?;
+    let calib = loadgen::run_load(&spec(
+        handle.local_addr(),
+        (queries as u64 / 4).max(1),
+        0xCA11,
+    ))
+    .map_err(|e| format!("calibration: {e}"))?;
+    handle.shutdown();
+    let capacity = calib.qps();
+    println!(
+        "bench[overload/{mode}]: capacity ≈ {capacity:.0} queries/s unthrottled \
+         (reply {})",
+        fmt_latency(&calib.latency),
+    );
+
+    // Phase 2: overload. The same closed-loop load keeps conns ×
+    // pipeline frames in flight; budgets admit ~1/factor of that, so
+    // the offered load is factor× what admission accepts. Reads past
+    // the mark shed with OVERLOADED; a generous deadline exercises the
+    // aging path without dominating the refusals. The high-water mark
+    // scales to each mode's queue: the reactor counts frames in flight
+    // across every connection per tick, the thread pool per connection.
+    let inflight = conns * pipeline;
+    config.shed_inflight_hwm = Some(match config.mode {
+        ServeMode::Reactor => (inflight / factor).max(1),
+        ServeMode::ThreadPool => (pipeline / factor).max(1),
+    });
+    config.shed_coalesced_pairs = Some(((inflight * batch) / factor).max(1));
+    config.request_deadline = Some(Duration::from_secs(1));
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&registry), config)
+        .map_err(|e| format!("bind: {e}"))?;
+    let report = loadgen::run_load(&spec(handle.local_addr(), queries as u64, 0x0BAD))
+        .map_err(|e| format!("overload run: {e}"))?;
+    println!(
+        "bench[overload/{mode}]: {factor}x budgets → goodput {:.0} queries/s \
+         ({:.1}% of capacity), shed {:.1}% ({} shed, {} deadline-expired, {} errors), \
+         accepted reply {}",
+        report.qps(),
+        100.0 * report.qps() / capacity.max(f64::MIN_POSITIVE),
+        100.0 * report.shed_fraction(),
+        report.shed,
+        report.deadline_exceeded,
+        report.errors,
+        fmt_latency(&report.latency),
+    );
+    println!(
+        "bench[overload/{mode}]: server counters: {} frames shed, {} deadline-exceeded, \
+         {} connections reaped",
+        handle.frames_shed(),
+        handle.deadlines_exceeded(),
+        handle.connections_reaped(),
+    );
     handle.shutdown();
     Ok(())
 }

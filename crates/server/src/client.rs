@@ -17,8 +17,8 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, MetricsReport, NamespaceInfo, NamespaceStats, Request, Response,
-    WireError, MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorCode, MetricsReport, NamespaceInfo, NamespaceStats, Request,
+    Response, WireError, MAX_FRAME_LEN,
 };
 
 /// Connection-robustness knobs for [`Client`] (and `loadgen`): how
@@ -35,8 +35,12 @@ pub struct ClientConfig {
     /// Read/write timeout on the established socket; `None` blocks
     /// forever (the pre-hardening behavior).
     pub io_timeout: Option<Duration>,
-    /// Extra dial attempts after the first, with jittered exponential
-    /// backoff between them. `0` fails on the first refusal.
+    /// Extra attempts after the first, with jittered exponential
+    /// backoff between them. `0` fails on the first refusal. Governs
+    /// both re-dials of a failed connect *and* in-place re-issues of a
+    /// request the server refused with a retryable `FAIL`
+    /// (`OVERLOADED`/`NOT_READY`, protocol v6) — those waits honor the
+    /// server's retry-after hint when it exceeds the backoff.
     pub retries: u32,
 }
 
@@ -123,8 +127,44 @@ pub enum ClientError {
     /// The server replied with an `ERROR` frame; the message is the
     /// server's human-readable reason.
     Server(String),
+    /// The server refused the request with a typed `FAIL` reply
+    /// (protocol v6): shed under overload, aged past its deadline, or
+    /// sent to a server still starting up. [`ClientError::is_retryable`]
+    /// splits these into retry-worthy and terminal.
+    Refused {
+        code: ErrorCode,
+        /// The server's hint: wait at least this long before retrying.
+        /// Zero means no hint.
+        retry_after: Duration,
+        message: String,
+    },
     /// The server replied with the wrong response type for the request.
     Unexpected(&'static str),
+}
+
+impl ClientError {
+    /// May a retry reasonably succeed? Transport failures and
+    /// `OVERLOADED`/`NOT_READY` refusals are retryable; a
+    /// `DEADLINE_EXCEEDED` refusal, protocol breakage, and
+    /// wrong-shape replies are terminal.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Refused { code, .. } => code.retryable(),
+            _ => false,
+        }
+    }
+
+    /// The server's retry-after hint, when the refusal carried one
+    /// worth honoring.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Refused {
+                code, retry_after, ..
+            } if code.retryable() => Some(*retry_after),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -133,6 +173,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "client i/o error: {e}"),
             ClientError::Wire(e) => write!(f, "client wire error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Refused { code, message, .. } => {
+                write!(f, "server refused request: {code}: {message}")
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected reply (wanted {what})"),
         }
     }
@@ -181,6 +224,8 @@ pub struct Client {
     /// The resolved dial targets, kept for [`Client::reconnect`].
     addrs: Vec<SocketAddr>,
     config: ClientConfig,
+    /// Jitter state for the backoff between refused-request retries.
+    seed: u64,
 }
 
 impl Client {
@@ -206,11 +251,18 @@ impl Client {
         config: ClientConfig,
     ) -> Result<Client, ClientError> {
         let reader = BufReader::new(stream.try_clone()?);
+        let seed = addrs
+            .first()
+            .map(|a| a.port() as u64 + 1)
+            .unwrap_or(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ std::process::id() as u64;
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
             addrs,
             config,
+            seed,
         })
     }
 
@@ -225,15 +277,34 @@ impl Client {
         Ok(())
     }
 
+    /// One request → one reply, re-issuing the request (up to
+    /// `config.retries` times) when the server sheds it with a
+    /// retryable `FAIL`. Each wait is the larger of the jittered
+    /// backoff and the server's retry-after hint — the hint is the
+    /// server saying how long its overload is expected to last.
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.roundtrip_once(request) {
+                Err(e @ ClientError::Refused { .. })
+                    if e.is_retryable() && attempt < self.config.retries =>
+                {
+                    attempt += 1;
+                    let backoff = backoff_delay(attempt, &mut self.seed);
+                    let wait = e.retry_after().map_or(backoff, |hint| backoff.max(hint));
+                    std::thread::sleep(wait);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn roundtrip_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         let payload = request.encode()?;
         write_frame(&mut self.writer, &payload)?;
         self.writer.flush()?;
         let reply = read_frame(&mut self.reader, MAX_FRAME_LEN)?;
-        match Response::decode(&reply)? {
-            Response::Error(message) => Err(ClientError::Server(message)),
-            other => Ok(other),
-        }
+        decode_reply(&reply)
     }
 
     /// Liveness probe.
@@ -356,15 +427,15 @@ impl Client {
     }
 
     /// Reads the next in-order reply for a pipelined [`Client::send`].
-    /// An `ERROR` reply surfaces as [`ClientError::Server`] and
-    /// consumes the reply slot — keep `recv`ing for the rest of the
-    /// pipeline.
+    /// An `ERROR` reply surfaces as [`ClientError::Server`], a `FAIL`
+    /// as [`ClientError::Refused`]; both consume the reply slot — keep
+    /// `recv`ing for the rest of the pipeline. Refused pipelined
+    /// frames are *not* re-issued automatically (the pipeline's
+    /// ordering contract belongs to the caller); check
+    /// [`ClientError::is_retryable`] and re-send if worthwhile.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
         let reply = read_frame(&mut self.reader, MAX_FRAME_LEN)?;
-        match Response::decode(&reply)? {
-            Response::Error(message) => Err(ClientError::Server(message)),
-            other => Ok(other),
-        }
+        decode_reply(&reply)
     }
 
     /// Pipelined convenience: sends every pair as its own `REACH`
@@ -400,6 +471,24 @@ impl Client {
             }
         }
         Ok(answers)
+    }
+}
+
+/// Splits a decoded reply into the success surface and the two error
+/// shapes: legacy free-text `ERROR` and typed v6 `FAIL`.
+fn decode_reply(reply: &[u8]) -> Result<Response, ClientError> {
+    match Response::decode(reply)? {
+        Response::Error(message) => Err(ClientError::Server(message)),
+        Response::Fail {
+            code,
+            retry_after_ms,
+            message,
+        } => Err(ClientError::Refused {
+            code,
+            retry_after: Duration::from_millis(retry_after_ms as u64),
+            message,
+        }),
+        other => Ok(other),
     }
 }
 
@@ -442,6 +531,97 @@ mod tests {
         // One retry = one backoff sleep (≤ 50 ms) + two fast refusals.
         assert!(started.elapsed() < Duration::from_secs(3));
         assert!(dial(&[], &config).is_err(), "empty address list");
+    }
+
+    /// A scripted one-connection server: answers each incoming frame
+    /// with the next canned response, then holds the socket open.
+    fn scripted_server(replies: Vec<Response>) -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for response in replies {
+                let _ = read_frame(&mut stream, MAX_FRAME_LEN).unwrap();
+                let payload = response
+                    .encode_versioned(crate::protocol::PROTOCOL_VERSION)
+                    .unwrap();
+                write_frame(&mut stream, &payload).unwrap();
+                stream.flush().unwrap();
+            }
+            // Hold the connection until the peer hangs up.
+            let mut sink = [0u8; 64];
+            while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+        });
+        addr
+    }
+
+    #[test]
+    fn fail_replies_surface_as_typed_errors() {
+        let addr = scripted_server(vec![
+            Response::overloaded(250, "shed"),
+            Response::deadline_exceeded("too slow"),
+            Response::not_ready(100, "loading"),
+        ]);
+        let mut client = Client::connect(addr).expect("connect");
+
+        let overloaded = client.reach("g", 0, 1).unwrap_err();
+        assert!(
+            matches!(
+                &overloaded,
+                ClientError::Refused {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+            ),
+            "got {overloaded:?}"
+        );
+        assert!(overloaded.is_retryable());
+        assert_eq!(
+            overloaded.retry_after(),
+            Some(Duration::from_millis(250)),
+            "the hint must survive the trip"
+        );
+
+        let expired = client.reach("g", 0, 1).unwrap_err();
+        assert!(matches!(
+            &expired,
+            ClientError::Refused {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            }
+        ));
+        assert!(!expired.is_retryable(), "deadline exhaustion is terminal");
+        assert_eq!(expired.retry_after(), None);
+
+        let warming = client.reach("g", 0, 1).unwrap_err();
+        assert!(warming.is_retryable());
+        assert!(format!("{warming}").contains("NOT_READY"));
+    }
+
+    #[test]
+    fn retryable_refusals_are_reissued_and_honor_the_hint() {
+        let addr = scripted_server(vec![
+            Response::overloaded(75, "shed, come back"),
+            Response::Bool(true),
+        ]);
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig {
+                connect_timeout: Duration::from_secs(2),
+                io_timeout: Some(Duration::from_secs(5)),
+                retries: 2,
+            },
+        )
+        .expect("connect");
+        let started = std::time::Instant::now();
+        assert!(
+            client.reach("g", 0, 1).expect("second attempt succeeds"),
+            "the re-issued request's real answer comes through"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(75),
+            "the wait honors the server's 75ms retry-after hint"
+        );
     }
 
     #[test]

@@ -64,9 +64,9 @@ pub use loadgen::{LoadReport, LoadSpec};
 pub use obs::{LogLevel, QueryObs, ServerObs, SlowLog, SlowQuery};
 pub use pool::ThreadPool;
 pub use protocol::{
-    FrameAccumulator, IndexBackend, MetricsReport, MetricsSummary, NamespaceInfo, NamespaceKind,
-    NamespaceStats, Request, Response, WireError, MAX_BATCH_PAIRS, MAX_FRAME_LEN, MAX_NAME_LEN,
-    PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+    ErrorCode, FrameAccumulator, IndexBackend, MetricsReport, MetricsSummary, NamespaceInfo,
+    NamespaceKind, NamespaceStats, Request, Response, WireError, MAX_BATCH_PAIRS, MAX_FRAME_LEN,
+    MAX_NAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
 };
 pub use registry::{NamespaceHandle, Registry, ServeError};
 pub use server::{ServeMode, Server, ServerConfig, ServerHandle};

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use hoplite_core::HistogramSnapshot;
 
 use crate::client::{dial, ClientConfig, ClientError};
-use crate::protocol::{FrameAccumulator, Request, Response, MAX_FRAME_LEN};
+use crate::protocol::{ErrorCode, FrameAccumulator, Request, Response, MAX_FRAME_LEN};
 
 /// What load to offer; see [`run_load`].
 #[derive(Clone, Debug)]
@@ -61,6 +61,12 @@ pub struct LoadReport {
     pub queries: u64,
     /// Frames that came back as wire-level `ERROR` replies.
     pub errors: u64,
+    /// Queries the server shed with a typed `OVERLOADED` reply
+    /// (pairs, same unit as `queries` — a shed `BATCH` frame counts
+    /// its whole batch).
+    pub shed: u64,
+    /// Queries refused with a typed `DEADLINE_EXCEEDED` reply (pairs).
+    pub deadline_exceeded: u64,
     /// `true` answers observed (a cheap checksum against a ground
     /// truth run of the same seed).
     pub positives: u64,
@@ -68,19 +74,32 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-reply wire latency (nanoseconds, measured from a
     /// connection's pipelined send to each of its replies arriving),
-    /// merged across every worker. The same histogram type the server
-    /// records with, so client- and server-side percentiles compare
-    /// directly.
+    /// merged across every worker — **accepted** replies only, so
+    /// overload percentiles describe the service the admitted traffic
+    /// got, not the speed of the refusals. The same histogram type the
+    /// server records with, so client- and server-side percentiles
+    /// compare directly.
     pub latency: HistogramSnapshot,
 }
 
 impl LoadReport {
-    /// Queries per second over the measured phase.
+    /// Queries per second over the measured phase — *accepted* queries
+    /// only, i.e. goodput under overload.
     pub fn qps(&self) -> f64 {
         if self.elapsed.is_zero() {
             return 0.0;
         }
         self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of offered queries the server refused (shed +
+    /// deadline-expired) rather than answered.
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.queries + self.shed + self.deadline_exceeded;
+        if offered == 0 {
+            return 0.0;
+        }
+        (self.shed + self.deadline_exceeded) as f64 / offered as f64
     }
 }
 
@@ -197,12 +216,16 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
     let elapsed = started.elapsed();
     let mut queries = 0;
     let mut errors = 0;
+    let mut shed = 0;
+    let mut deadline_exceeded = 0;
     let mut positives = 0;
     let mut latency = HistogramSnapshot::empty();
     for result in results {
         let totals = result?;
         queries += totals.queries;
         errors += totals.errors;
+        shed += totals.shed;
+        deadline_exceeded += totals.deadline_exceeded;
         positives += totals.positives;
         latency.merge(&totals.latency);
     }
@@ -211,6 +234,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
         threads,
         queries,
         errors,
+        shed,
+        deadline_exceeded,
         positives,
         elapsed,
         latency,
@@ -221,6 +246,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ClientError> {
 struct WorkerTotals {
     queries: u64,
     errors: u64,
+    shed: u64,
+    deadline_exceeded: u64,
     positives: u64,
     latency: HistogramSnapshot,
 }
@@ -237,6 +264,8 @@ fn worker_loop(
     let config = ClientConfig::reconnecting();
     let mut queries = 0u64;
     let mut errors = 0u64;
+    let mut shed = 0u64;
+    let mut deadline_exceeded = 0u64;
     let mut positives = 0u64;
     let mut latency = HistogramSnapshot::empty();
     // Each connection's send-phase flush instant; replies measure
@@ -309,17 +338,29 @@ fn worker_loop(
                     Err(e) => return Err(e),
                 };
                 got += 1;
-                latency.record(sent_at[c].elapsed().as_nanos() as u64);
                 match Response::decode(&reply)? {
                     Response::Bool(b) => {
+                        latency.record(sent_at[c].elapsed().as_nanos() as u64);
                         queries += 1;
                         positives += b as u64;
                     }
                     Response::Bools(bs) => {
+                        latency.record(sent_at[c].elapsed().as_nanos() as u64);
                         queries += bs.len() as u64;
                         positives += bs.iter().filter(|&&b| b).count() as u64;
                     }
-                    Response::Error(_) => errors += 1,
+                    // Typed refusals are the overload machinery doing
+                    // its job — tally them in pairs so shed fractions
+                    // compare directly against `queries`.
+                    Response::Fail {
+                        code: ErrorCode::Overloaded,
+                        ..
+                    } => shed += batch as u64,
+                    Response::Fail {
+                        code: ErrorCode::DeadlineExceeded,
+                        ..
+                    } => deadline_exceeded += batch as u64,
+                    Response::Error(_) | Response::Fail { .. } => errors += 1,
                     _ => errors += 1,
                 }
             }
@@ -328,6 +369,8 @@ fn worker_loop(
     Ok(WorkerTotals {
         queries,
         errors,
+        shed,
+        deadline_exceeded,
         positives,
         latency,
     })
@@ -354,10 +397,19 @@ mod tests {
             threads: 2,
             queries: 1000,
             errors: 0,
+            shed: 0,
+            deadline_exceeded: 0,
             positives: 10,
             elapsed: Duration::from_millis(500),
             latency: HistogramSnapshot::empty(),
         };
         assert!((report.qps() - 2000.0).abs() < 1e-9);
+        assert_eq!(report.shed_fraction(), 0.0);
+        let shed = LoadReport {
+            shed: 200,
+            deadline_exceeded: 50,
+            ..report
+        };
+        assert!((shed.shed_fraction() - 0.2).abs() < 1e-9);
     }
 }

@@ -359,6 +359,13 @@ pub struct ServerObs {
     /// Total nanoseconds connections spent read-paused by
     /// backpressure.
     pub stall_ns: Counter,
+    /// Thread-pool: jobs waiting for a worker, sampled per accepted
+    /// connection.
+    pub pool_queue_depth: Histogram,
+    /// Decoded frames awaiting dispatch, sampled per reactor tick (or
+    /// per drained read in thread-pool mode) — the admission-control
+    /// pressure gauge.
+    pub inflight_frames: Histogram,
 }
 
 impl ServerObs {
@@ -371,6 +378,8 @@ impl ServerObs {
             reply_latency_ns: Histogram::new(),
             stall_count: Counter::new(),
             stall_ns: Counter::new(),
+            pool_queue_depth: Histogram::new(),
+            inflight_frames: Histogram::new(),
         }
     }
 }
@@ -420,6 +429,18 @@ pub(crate) fn collect_metrics(
         counters.active.load(Ordering::SeqCst) as u64,
     ));
     report.counters.push(c(
+        "server_frames_shed_total",
+        counters.frames_shed.load(Ordering::Relaxed),
+    ));
+    report.counters.push(c(
+        "server_deadline_exceeded_total",
+        counters.deadline_exceeded.load(Ordering::Relaxed),
+    ));
+    report.counters.push(c(
+        "server_connections_reaped_total",
+        counters.connections_reaped.load(Ordering::Relaxed),
+    ));
+    report.counters.push(c(
         "reactor_coalesced_frames_total",
         counters.coalesced_frames.load(Ordering::Relaxed),
     ));
@@ -447,6 +468,12 @@ pub(crate) fn collect_metrics(
     report
         .histograms
         .push(h("server_reply_latency_ns", &obs.reply_latency_ns));
+    report
+        .histograms
+        .push(h("server_pool_queue_depth", &obs.pool_queue_depth));
+    report
+        .histograms
+        .push(h("server_inflight_frames", &obs.inflight_frames));
 
     for (name, handle) in registry.handles() {
         if !ns_filter.is_empty() && name != ns_filter {
@@ -574,6 +601,10 @@ pub fn render_prometheus(report: &MetricsReport, slow: &[(String, SlowQuery)]) -
 
 /// Binds `addr` and serves `GET /metrics` as HTTP/1.0 plain text from
 /// a background thread, re-collecting a fresh report per request.
+/// Also answers the health probes: `GET /healthz` is 200 whenever the
+/// process serves HTTP at all (liveness), and `GET /readyz` is 200
+/// only while [`Registry::readiness`] passes — 503 during namespace
+/// load / WAL replay and when a namespace is wedged mid-rebuild.
 /// Returns the bound address and the thread handle; the thread exits
 /// once `stop` is set (checked every poll interval).
 pub(crate) fn spawn_metrics_http(
@@ -639,8 +670,18 @@ fn answer_http(
         let report = collect_metrics(registry, counters, obs, "");
         let slow = collect_slow(registry, "");
         ("200 OK", render_prometheus(&report, &slow))
+    } else if method == "GET" && path == "/healthz" {
+        ("200 OK", "ok\n".to_owned())
+    } else if method == "GET" && path == "/readyz" {
+        match registry.readiness() {
+            Ok(()) => ("200 OK", "ready\n".to_owned()),
+            Err(why) => ("503 Service Unavailable", format!("not ready: {why}\n")),
+        }
     } else {
-        ("404 Not Found", "only GET /metrics is served\n".to_owned())
+        (
+            "404 Not Found",
+            "only GET /metrics, /healthz, /readyz are served\n".to_owned(),
+        )
     };
     let _ = write!(
         stream,
@@ -820,6 +861,117 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
 
         stop.store(true, Ordering::SeqCst);
+        thread.join().unwrap();
+    }
+
+    fn spawn_fixture() -> (
+        Arc<Registry>,
+        SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let registry = Arc::new(Registry::new());
+        let counters = Arc::new(ServerCounters::default());
+        let obs = Arc::new(ServerObs::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr, thread) = spawn_metrics_http(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            counters,
+            obs,
+            Arc::clone(&stop),
+        )
+        .unwrap();
+        (registry, addr, stop, thread)
+    }
+
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        body
+    }
+
+    #[test]
+    fn http_responder_answers_health_and_readiness() {
+        let (registry, addr, stop, thread) = spawn_fixture();
+        // Liveness is unconditional; readiness tracks the registry.
+        assert!(fetch(addr, "/healthz").starts_with("HTTP/1.0 200"));
+        assert!(fetch(addr, "/readyz").starts_with("HTTP/1.0 200"));
+        registry.set_ready(false);
+        let not_ready = fetch(addr, "/readyz");
+        assert!(not_ready.starts_with("HTTP/1.0 503"), "{not_ready}");
+        assert!(not_ready.contains("not ready"), "{not_ready}");
+        assert!(fetch(addr, "/healthz").starts_with("HTTP/1.0 200"));
+        registry.set_ready(true);
+        assert!(fetch(addr, "/readyz").starts_with("HTTP/1.0 200"));
+        stop.store(true, Ordering::SeqCst);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn http_responder_tolerates_malformed_request_lines() {
+        let (_registry, addr, stop, thread) = spawn_fixture();
+        let send_raw = |bytes: &[u8]| {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(bytes).unwrap();
+            let mut body = String::new();
+            let _ = s.read_to_string(&mut body); // close may race the reply
+            body
+        };
+        // A well-formed-but-wrong method, a bare newline, binary junk,
+        // a request line with no path — none may wedge the responder.
+        for raw in [
+            b"POST /metrics HTTP/1.0\r\n\r\n".as_slice(),
+            b"\r\n\r\n".as_slice(),
+            b"\xFF\xFE\x00garbage\r\n\r\n".as_slice(),
+            b"GET\r\n\r\n".as_slice(),
+        ] {
+            let reply = send_raw(raw);
+            assert!(
+                reply.is_empty() || reply.starts_with("HTTP/1.0 404"),
+                "{reply:?}"
+            );
+        }
+        // A peer that connects and says nothing (the responder times
+        // the read out), and one that closes immediately.
+        drop(std::net::TcpStream::connect(addr).unwrap());
+        // The listener must still serve a real scrape afterwards.
+        assert!(fetch(addr, "/metrics").starts_with("HTTP/1.0 200"));
+        stop.store(true, Ordering::SeqCst);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn http_responder_survives_connection_per_scrape_churn() {
+        let (_registry, addr, stop, thread) = spawn_fixture();
+        // Prometheus reconnects per scrape: every cycle must get a
+        // complete, well-formed response on a fresh connection.
+        for round in 0..50 {
+            let reply = fetch(addr, "/metrics");
+            assert!(reply.starts_with("HTTP/1.0 200 OK\r\n"), "round {round}");
+            assert!(reply.contains("server_frames_total"), "round {round}");
+        }
+        stop.store(true, Ordering::SeqCst);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn http_responder_shuts_down_cleanly_mid_churn() {
+        let (_registry, addr, stop, thread) = spawn_fixture();
+        assert!(fetch(addr, "/metrics").starts_with("HTTP/1.0 200"));
+        // Flip stop and race one more scrape against the shutdown: it
+        // may be answered, refused, or reset — but never hang, and the
+        // responder thread must still join.
+        stop.store(true, Ordering::SeqCst);
+        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = write!(s, "GET /metrics HTTP/1.0\r\n\r\n");
+            let mut body = String::new();
+            let _ = s.read_to_string(&mut body);
+            assert!(body.is_empty() || body.starts_with("HTTP/1.0 "), "{body:?}");
+        }
         thread.join().unwrap();
     }
 }

@@ -13,6 +13,7 @@
 //! was already queued, then exit and are joined.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -23,6 +24,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     sender: Option<Sender<Job>>,
+    /// Jobs sent but not yet started by a worker — the admission
+    /// control layer's queue-depth signal. (The mpsc channel itself is
+    /// unbounded; [`ThreadPool::try_execute`] bounds it.)
+    pending: Arc<AtomicUsize>,
 }
 
 impl ThreadPool {
@@ -32,18 +37,21 @@ impl ThreadPool {
         let size = size.max(1);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let pending = Arc::new(AtomicUsize::new(0));
         let workers = (0..size)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&receiver, &pending))
                     .expect("spawn pool worker")
             })
             .collect();
         ThreadPool {
             workers,
             sender: Some(sender),
+            pending,
         }
     }
 
@@ -52,17 +60,34 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Jobs queued but not yet started by a worker.
+    pub fn depth(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
     /// Queues a job; some idle worker picks it up.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
         self.sender
             .as_ref()
             .expect("pool is live until dropped")
             .send(Box::new(job))
             .expect("workers outlive the sender");
     }
+
+    /// [`Self::execute`] with admission control: refuses (returning
+    /// `Err(job)` untouched) when `limit` jobs are already waiting, so
+    /// a wedged pool sheds instead of queueing unboundedly.
+    pub fn try_execute<F: FnOnce() + Send + 'static>(&self, limit: usize, job: F) -> Result<(), F> {
+        if self.depth() >= limit {
+            return Err(job);
+        }
+        self.execute(job);
+        Ok(())
+    }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, pending: &AtomicUsize) {
     loop {
         // Hold the queue lock only for the dequeue itself.
         let job = {
@@ -73,6 +98,7 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
         };
         match job {
             Ok(job) => {
+                pending.fetch_sub(1, Ordering::SeqCst);
                 // A panicking job must not take the worker down with it.
                 let _ = catch_unwind(AssertUnwindSafe(job));
             }
@@ -121,6 +147,45 @@ mod tests {
         });
         drop(pool);
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn try_execute_bounds_the_queue() {
+        let pool = ThreadPool::new(1, "bounded");
+        // Wedge the single worker so queued jobs stay queued.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            while g.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        // Wait for the worker to pick the wedge job up.
+        while pool.depth() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut refused = 0;
+        for _ in 0..8 {
+            let d = Arc::clone(&done);
+            if pool
+                .try_execute(2, move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                })
+                .is_err()
+            {
+                refused += 1;
+            }
+        }
+        assert!(
+            pool.depth() <= 2,
+            "depth {} exceeds the bound",
+            pool.depth()
+        );
+        assert_eq!(refused, 6, "exactly 2 of 8 jobs fit under the bound");
+        gate.store(1, Ordering::SeqCst);
+        drop(pool); // drains the 2 admitted jobs
+        assert_eq!(done.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //!
 //! Response opcodes: `0x81 PONG`, `0x82 BOOL (b:u8)`, `0x83 BOOLS
 //! (k:u32 + ⌈k/8⌉ LSB-first packed bytes)`, `0x86 STATS`, `0x87 LIST`,
-//! `0x88 METRICS (v4+)`, `0xEE ERROR (msg as u16-prefixed UTF-8)`.
+//! `0x88 METRICS (v4+)`, `0xEE ERROR (msg as u16-prefixed UTF-8)`,
+//! `0xEF FAIL (code:u8 retry_after_ms:u32 msg; v6+)` — the machine-
+//! readable refusal the overload-control layer speaks.
 //!
 //! Decoding is strict: bad version, unknown opcode, short bodies,
 //! trailing bytes, oversized counts, non-zero padding bits, and
@@ -57,8 +59,16 @@ use std::io::{self, Read, Write};
 /// durability/rebuild report (`wal_bytes`, `wal_records`, `rebuilds`
 /// as `u64` + `rebuild_in_flight:u8`), encoded only when the frame
 /// speaks v5 — a v3/v4 `STATS` reply stays byte-identical and older
-/// decoders keep parsing.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// decoders keep parsing; `6` — the coded-failure reply (`0xEF FAIL`:
+/// `code:u8 retry_after_ms:u32 msg`), letting overload control speak
+/// machine-readable refusals — `DEADLINE_EXCEEDED` (the frame aged
+/// out before dispatch; not retryable, the work was never done),
+/// `OVERLOADED` (shed by admission control; retry after the hint),
+/// and `NOT_READY` (WAL replay or startup still in progress). A
+/// pre-v6 frame carries the same refusal as a plain `ERROR` with the
+/// code name prefixed to the text, so strict older decoders keep
+/// parsing and humans keep reading.
+pub const PROTOCOL_VERSION: u8 = 6;
 /// Oldest protocol version decoders still accept (see the version
 /// history on [`PROTOCOL_VERSION`]).
 pub const PROTOCOL_VERSION_MIN: u8 = 3;
@@ -86,6 +96,7 @@ const RE_STATS: u8 = 0x86;
 const RE_LIST: u8 = 0x87;
 const RE_METRICS: u8 = 0x88;
 const RE_ERROR: u8 = 0xEE;
+const RE_FAIL: u8 = 0xEF;
 
 /// Is `version` inside the accepted decode window?
 #[inline]
@@ -511,6 +522,63 @@ impl fmt::Display for IndexBackend {
     }
 }
 
+/// Machine-readable refusal category carried by a `FAIL` reply
+/// (protocol v6+). The code tells the client *what to do next* —
+/// retry, back off, or give up — independent of the advisory text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame sat queued past [`request deadline`] and was dropped
+    /// before consuming any kernel time. Not retryable as-is: by the
+    /// time a retry lands the answer is just as stale, so the caller
+    /// should shed the work or raise its deadline.
+    ///
+    /// [`request deadline`]: crate::ServerConfig::request_deadline
+    DeadlineExceeded,
+    /// Admission control shed the frame past the high-water mark.
+    /// Retryable after the `retry_after_ms` hint.
+    Overloaded,
+    /// The server is up but not serving yet (WAL replay / startup in
+    /// progress). Retryable after the `retry_after_ms` hint.
+    NotReady,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::DeadlineExceeded => 1,
+            ErrorCode::Overloaded => 2,
+            ErrorCode::NotReady => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(ErrorCode::DeadlineExceeded),
+            2 => Ok(ErrorCode::Overloaded),
+            3 => Ok(ErrorCode::NotReady),
+            other => Err(WireError::Malformed(format!("unknown error code {other}"))),
+        }
+    }
+
+    /// May the request be retried later with a hope of success?
+    pub fn retryable(self) -> bool {
+        match self {
+            ErrorCode::DeadlineExceeded => false,
+            ErrorCode::Overloaded | ErrorCode::NotReady => true,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::DeadlineExceeded => write!(f, "DEADLINE_EXCEEDED"),
+            ErrorCode::Overloaded => write!(f, "OVERLOADED"),
+            ErrorCode::NotReady => write!(f, "NOT_READY"),
+        }
+    }
+}
+
 /// Per-namespace counters returned by `STATS`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NamespaceStats {
@@ -842,9 +910,50 @@ pub enum Response {
     Metrics(MetricsReport),
     /// Any request can fail; the message is human-readable.
     Error(String),
+    /// A coded refusal (protocol v6+): the overload-control layer's
+    /// reply when a frame is shed, aged out, or arrives before the
+    /// server is ready. `retry_after_ms` is an advisory backoff hint
+    /// (zero when retrying is pointless). Encoded to a pre-v6 peer as
+    /// a plain [`Response::Error`] with the code name prefixed.
+    Fail {
+        /// What kind of refusal this is.
+        code: ErrorCode,
+        /// Advisory "come back in this many milliseconds" hint.
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl Response {
+    /// An `OVERLOADED` refusal with a retry-after hint.
+    pub fn overloaded(retry_after_ms: u32, message: impl Into<String>) -> Response {
+        Response::Fail {
+            code: ErrorCode::Overloaded,
+            retry_after_ms,
+            message: message.into(),
+        }
+    }
+
+    /// A `DEADLINE_EXCEEDED` refusal (no retry hint — a retry would be
+    /// just as stale).
+    pub fn deadline_exceeded(message: impl Into<String>) -> Response {
+        Response::Fail {
+            code: ErrorCode::DeadlineExceeded,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
+
+    /// A `NOT_READY` refusal with a retry-after hint.
+    pub fn not_ready(retry_after_ms: u32, message: impl Into<String>) -> Response {
+        Response::Fail {
+            code: ErrorCode::NotReady,
+            retry_after_ms,
+            message: message.into(),
+        }
+    }
+
     /// Encodes into a frame payload (version + opcode + body) speaking
     /// the current [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
@@ -928,6 +1037,24 @@ impl Response {
             Response::Error(msg) => {
                 out.push(RE_ERROR);
                 put_text(&mut out, msg);
+            }
+            Response::Fail {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                if version >= 6 {
+                    out.push(RE_FAIL);
+                    out.push(code.to_u8());
+                    put_u32(&mut out, *retry_after_ms);
+                    put_text(&mut out, message);
+                } else {
+                    // Pre-v6 peers get the refusal as a plain ERROR
+                    // with the code name prefixed — still readable,
+                    // still a refusal, just not machine-actionable.
+                    out.push(RE_ERROR);
+                    put_text(&mut out, &format!("{code}: {message}"));
+                }
             }
         }
         Ok(out)
@@ -1049,6 +1176,13 @@ impl Response {
                 })
             }
             RE_ERROR => Response::Error(r.text()?),
+            // FAIL arrived in v6; to an older frame it is exactly an
+            // unknown opcode, same as an older server would have said.
+            RE_FAIL if version >= 6 => Response::Fail {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                retry_after_ms: r.u32()?,
+                message: r.text()?,
+            },
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -1139,6 +1273,11 @@ mod tests {
             },
         ]));
         roundtrip_resp(Response::Error("nope".into()));
+        roundtrip_resp(Response::Fail {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 250,
+            message: "shed".into(),
+        });
     }
 
     #[test]
@@ -1271,6 +1410,62 @@ mod tests {
             other => panic!("got {other:?}"),
         }
         assert_eq!(Response::decode(&v5).unwrap(), Response::Stats(full));
+    }
+
+    /// The v6 FAIL extension is version-gated: a v6 frame roundtrips
+    /// the code + retry hint, a v5 (or older) peer gets the refusal
+    /// degraded to a plain ERROR with the code name prefixed — strict
+    /// older decoders keep parsing — and a pre-v6 `RE_FAIL` frame is
+    /// an unknown opcode, exactly what an older server would have said.
+    #[test]
+    fn fail_replies_are_version_gated() {
+        let fail = Response::overloaded(250, "tick budget exhausted");
+        let v6 = fail.encode_versioned(6).unwrap();
+        assert_eq!(v6[0], 6);
+        assert_eq!(Response::decode(&v6).unwrap(), fail);
+
+        for old in [3u8, 4, 5] {
+            let frame = fail.encode_versioned(old).unwrap();
+            assert_eq!(frame[0], old);
+            match Response::decode(&frame).unwrap() {
+                Response::Error(m) => {
+                    assert!(m.starts_with("OVERLOADED: "), "{m}");
+                    assert!(m.contains("tick budget"), "{m}");
+                }
+                other => panic!("got {other:?}"),
+            }
+        }
+
+        // A pre-v6 RE_FAIL frame is an unknown opcode.
+        assert!(matches!(
+            Response::decode(&[5, RE_FAIL, 2, 0, 0, 0, 0, 0, 0]),
+            Err(WireError::UnknownOpcode(RE_FAIL))
+        ));
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_classify() {
+        for (code, retryable) in [
+            (ErrorCode::DeadlineExceeded, false),
+            (ErrorCode::Overloaded, true),
+            (ErrorCode::NotReady, true),
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
+            assert_eq!(code.retryable(), retryable);
+            roundtrip_resp(Response::Fail {
+                code,
+                retry_after_ms: 7,
+                message: format!("{code} detail"),
+            });
+        }
+        assert!(matches!(
+            ErrorCode::from_u8(0),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            ErrorCode::from_u8(9),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -62,6 +62,12 @@ const LISTENER_TOKEN: u64 = u64::MAX;
 /// Read-chunk size per `read(2)` call.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// How often the hygiene sweep walks the slab looking for idle and
+/// slow-loris connections. Coarse on purpose: the timeouts it enforces
+/// are seconds-scale, so a half-second resolution costs nothing while
+/// keeping the per-tick overhead at zero for busy reactors.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
+
 // ---------------------------------------------------------------------
 // Connection slab
 // ---------------------------------------------------------------------
@@ -83,6 +89,12 @@ struct Conn {
     /// When the write-backpressure threshold was crossed (reads
     /// paused); `None` while flowing. Feeds the stall metrics.
     stalled_since: Option<Instant>,
+    /// Last time bytes arrived (or the connection was accepted); the
+    /// idle-reaping clock.
+    last_activity: Instant,
+    /// When the accumulator first held a half frame that has not since
+    /// completed; the slow-loris clock. `None` while frame-aligned.
+    partial_since: Option<Instant>,
 }
 
 impl Conn {
@@ -181,8 +193,8 @@ struct Job {
 }
 
 /// One decoded frame awaiting its reply: where it came from, which
-/// protocol dialect the reply must speak, and when it arrived (for
-/// the accept→reply latency histogram).
+/// protocol dialect the reply must speak, and when its bytes arrived
+/// (the deadline clock, and the accept→reply latency histogram).
 struct Slot {
     token: u64,
     version: u8,
@@ -209,11 +221,11 @@ impl Tick {
         }
     }
 
-    fn push_slot(&mut self, token: u64, version: u8, response: Option<Response>) {
+    fn push_slot(&mut self, token: u64, version: u8, arrived: Instant, response: Option<Response>) {
         self.slots.push(Slot {
             token,
             version,
-            arrived: Instant::now(),
+            arrived,
             response,
         });
     }
@@ -255,6 +267,7 @@ fn run(
     let mut slab = Slab::new();
     let mut events: Vec<sys::Event> = Vec::new();
     let mut tick = Tick::default();
+    let mut last_sweep = Instant::now();
 
     while !stop.load(Ordering::SeqCst) {
         poller.wait(&mut events, config.poll_interval)?;
@@ -281,12 +294,22 @@ fn run(
                 tick.push_dirty(event.token);
             }
         }
+        if !tick.slots.is_empty() {
+            obs.inflight_frames.record(tick.slots.len() as u64);
+        }
         run_jobs(&mut tick, config, counters, obs);
         scatter(&mut tick, &mut slab, counters, obs);
         for token in std::mem::take(&mut tick.dirty) {
             flush_and_sweep(token, &mut slab, &poller, config, counters, obs);
         }
         tick.slots.clear();
+        // Connection hygiene rides the poll tick: reap connections idle
+        // past `idle_timeout` and slow-loris peers holding a half frame
+        // past `half_frame_deadline`.
+        if last_sweep.elapsed() >= SWEEP_INTERVAL {
+            last_sweep = Instant::now();
+            sweep_stale(&mut slab, config, counters);
+        }
         if let Some(started) = tick_started {
             obs.tick_ns.record(started.elapsed().as_nanos() as u64);
         }
@@ -324,6 +347,8 @@ fn accept_ready(
                     close_after_flush: false,
                     interest: (true, false),
                     stalled_since: None,
+                    last_activity: Instant::now(),
+                    partial_since: None,
                 });
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 counters.active.fetch_add(1, Ordering::SeqCst);
@@ -353,6 +378,41 @@ fn drop_conn(token: u64, slab: &mut Slab, counters: &ServerCounters) {
     }
 }
 
+/// Reaps connections that are idle past [`ServerConfig::idle_timeout`]
+/// or have held a half-written frame past
+/// [`ServerConfig::half_frame_deadline`] (the slow-loris pattern: trickle
+/// a length prefix, then hold the fd hostage byte by byte). A
+/// connection with buffered replies or buffered request bytes is never
+/// "idle" — only a peer with nothing in flight in either direction.
+fn sweep_stale(slab: &mut Slab, config: &ServerConfig, counters: &ServerCounters) {
+    if config.idle_timeout.is_none() && config.half_frame_deadline.is_none() {
+        return;
+    }
+    let now = Instant::now();
+    let mut doomed: Vec<u64> = Vec::new();
+    for (index, (gen, slot)) in slab.entries.iter().enumerate() {
+        let Some(conn) = slot.as_ref() else {
+            continue;
+        };
+        let idle = config.idle_timeout.is_some_and(|t| {
+            conn.acc.pending_bytes() == 0
+                && conn.backlog() == 0
+                && now.duration_since(conn.last_activity) >= t
+        });
+        let loris = config.half_frame_deadline.is_some_and(|t| {
+            conn.partial_since
+                .is_some_and(|since| now.duration_since(since) >= t)
+        });
+        if idle || loris {
+            doomed.push(token(index as u32, *gen));
+        }
+    }
+    for t in doomed {
+        counters.connections_reaped.fetch_add(1, Ordering::Relaxed);
+        drop_conn(t, slab, counters);
+    }
+}
+
 /// Pulls every available byte from a readable connection and decodes
 /// the complete frames into this tick's slots/jobs.
 fn read_ready(
@@ -379,6 +439,12 @@ fn read_ready(
     }
     let mut buf = [0u8; READ_CHUNK];
     let mut eof = false;
+    // Every frame completed by this readiness event shares one arrival
+    // stamp: the moment its bytes landed. Deadlines are measured from
+    // here, so time spent queued behind this tick's other work counts
+    // against the budget.
+    let now = Instant::now();
+    let mut got_bytes = false;
     loop {
         match conn.stream.read(&mut buf) {
             Ok(0) => {
@@ -386,6 +452,7 @@ fn read_ready(
                 break;
             }
             Ok(k) => {
+                got_bytes = true;
                 conn.acc.extend(&buf[..k]);
                 if conn.acc.pending_bytes() as u64 > config.max_frame_len as u64 + 4 {
                     break; // one frame's worth is buffered; parse first
@@ -399,6 +466,9 @@ fn read_ready(
             }
         }
     }
+    if got_bytes {
+        conn.last_activity = now;
+    }
 
     // Decode every complete frame in arrival order.
     loop {
@@ -407,22 +477,31 @@ fn read_ready(
         };
         match conn.acc.next_frame() {
             Ok(Some(payload)) => {
-                counters.frames.fetch_add(1, Ordering::Relaxed);
-                decode_frame(&payload, token, tick, registry, config, counters, obs);
+                decode_frame(&payload, token, now, tick, registry, config, counters, obs);
             }
             Ok(None) => break,
             Err(e) => {
                 // Oversized length prefix: framing can no longer be
                 // trusted; final error reply, then close after flush.
-                counters.frames.fetch_add(1, Ordering::Relaxed);
                 conn.close_after_flush = true;
                 tick.push_slot(
                     token,
                     crate::protocol::PROTOCOL_VERSION,
+                    now,
                     Some(Response::Error(format!("bad request: {e}"))),
                 );
                 break;
             }
+        }
+    }
+    // Track how long a half frame has been outstanding (slow-loris
+    // clock): armed when a partial frame first appears, cleared the
+    // moment the connection is frame-aligned again.
+    if let Some(conn) = slab.get_mut(token) {
+        if conn.acc.pending_bytes() > 0 {
+            conn.partial_since.get_or_insert(now);
+        } else {
+            conn.partial_since = None;
         }
     }
     if eof {
@@ -435,9 +514,11 @@ fn read_ready(
 }
 
 /// Decodes one frame into an inline reply or a coalesced-job target.
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would only rename the list
 fn decode_frame(
     payload: &[u8],
     token: u64,
+    arrived: Instant,
     tick: &mut Tick,
     registry: &Registry,
     config: &ServerConfig,
@@ -451,11 +532,66 @@ fn decode_frame(
             tick.push_slot(
                 token,
                 salvage_version(payload),
+                arrived,
                 Some(Response::Error(format!("bad request: {e}"))),
             );
             return;
         }
     };
+    // A frame that aged past its deadline while waiting to be decoded
+    // gets a `DEADLINE_EXCEEDED` reply instead of consuming dispatch
+    // time (coalesced queries get a second check at kernel-call time in
+    // `run_jobs`). `PING` is exempt: liveness probes must answer even
+    // on a drowning server.
+    if let Some(deadline) = config.request_deadline {
+        if !matches!(request, Request::Ping) && arrived.elapsed() > deadline {
+            tick.push_slot(
+                token,
+                version,
+                arrived,
+                Some(Response::deadline_exceeded(
+                    "request aged past its deadline before dispatch",
+                )),
+            );
+            return;
+        }
+    }
+    // Admission control: past the in-flight high-water mark, shed the
+    // cheapest work first — read queries, which are free to retry —
+    // with a typed `OVERLOADED` reply the client's backoff honors.
+    // Mutations (whose reply is the WAL ack) and control-plane ops are
+    // never shed; see [`crate::server::sheddable`].
+    if let Some(hwm) = config.shed_inflight_hwm {
+        if tick.slots.len() >= hwm && crate::server::sheddable(&request) {
+            tick.push_slot(
+                token,
+                version,
+                arrived,
+                Some(Response::overloaded(
+                    config.retry_after_ms(),
+                    format!("overloaded: {} frames already in flight this tick", slot),
+                )),
+            );
+            return;
+        }
+    }
+    // Startup gate: while namespace load / WAL replay is still in
+    // progress, reads get the same typed `NOT_READY` the dispatcher
+    // gives everything else — not a misleading "unknown namespace"
+    // from a registry that simply hasn't loaded yet. (`PING`/`LIST`
+    // fall through and stay answerable.)
+    if !registry.is_ready() && matches!(request, Request::Reach { .. } | Request::Batch { .. }) {
+        tick.push_slot(
+            token,
+            version,
+            arrived,
+            Some(Response::not_ready(
+                config.retry_after_ms(),
+                "server is starting up (namespace load / WAL replay in progress)",
+            )),
+        );
+        return;
+    }
     // Queries against frozen namespaces coalesce; everything else is
     // cheap (or lock-bound anyway) and answered inline through the
     // same dispatcher the thread-pool server uses.
@@ -466,6 +602,7 @@ fn decode_frame(
             tick.push_slot(
                 token,
                 version,
+                arrived,
                 Some(crate::server::handle_request(
                     request, registry, config, counters, obs,
                 )),
@@ -484,19 +621,37 @@ fn decode_frame(
             {
                 Err(e) => Some(Response::Error(e.to_string())),
                 Ok(()) => {
-                    let job = tick.jobs.entry(ns.to_owned()).or_insert_with(|| Job {
-                        handle,
-                        pairs: Vec::new(),
-                        targets: Vec::new(),
-                    });
-                    job.targets.push(Target {
-                        slot,
-                        start: job.pairs.len(),
-                        len: pairs.len(),
-                        batch,
-                    });
-                    job.pairs.extend_from_slice(&pairs);
-                    None
+                    // The per-tick coalesced-pair budget bounds how much
+                    // kernel time one tick can commit to. A frame that
+                    // would bust it is shed — unless the namespace's
+                    // batch is still empty, so an oversized-but-legal
+                    // batch always makes progress eventually.
+                    let queued = tick.jobs.get(ns).map_or(0, |j| j.pairs.len());
+                    let over_budget = config
+                        .shed_coalesced_pairs
+                        .is_some_and(|budget| queued > 0 && queued + pairs.len() > budget);
+                    if over_budget {
+                        Some(Response::overloaded(
+                            config.retry_after_ms(),
+                            format!(
+                                "overloaded: coalesced-batch budget for namespace {ns:?} exhausted this tick"
+                            ),
+                        ))
+                    } else {
+                        let job = tick.jobs.entry(ns.to_owned()).or_insert_with(|| Job {
+                            handle,
+                            pairs: Vec::new(),
+                            targets: Vec::new(),
+                        });
+                        job.targets.push(Target {
+                            slot,
+                            start: job.pairs.len(),
+                            len: pairs.len(),
+                            batch,
+                        });
+                        job.pairs.extend_from_slice(&pairs);
+                        None
+                    }
                 }
             }
         }
@@ -508,7 +663,7 @@ fn decode_frame(
             Err(e) => Response::Error(e.to_string()),
         }),
     };
-    tick.push_slot(token, version, response);
+    tick.push_slot(token, version, arrived, response);
 }
 
 /// Runs every namespace's coalesced batch through one kernel call
@@ -517,7 +672,34 @@ fn decode_frame(
 /// the targets' slots.
 fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters, obs: &ServerObs) {
     let jobs = std::mem::take(&mut tick.jobs);
-    for (_, job) in jobs {
+    let dispatch = Instant::now();
+    for (_, mut job) in jobs {
+        // Last deadline check, at the moment the kernel call would
+        // start: frames that aged out queued behind this tick's other
+        // work answer `DEADLINE_EXCEEDED` and their pairs drop out of
+        // the batch rather than consuming kernel time.
+        if let Some(deadline) = config.request_deadline {
+            let mut live_pairs: Vec<(u32, u32)> = Vec::with_capacity(job.pairs.len());
+            let mut live_targets: Vec<Target> = Vec::with_capacity(job.targets.len());
+            for mut target in job.targets {
+                let arrived = tick.slots[target.slot].arrived;
+                if dispatch.duration_since(arrived) > deadline {
+                    tick.slots[target.slot].response = Some(Response::deadline_exceeded(
+                        "request aged past its deadline before dispatch",
+                    ));
+                    continue;
+                }
+                let slice = &job.pairs[target.start..target.start + target.len];
+                target.start = live_pairs.len();
+                live_pairs.extend_from_slice(slice);
+                live_targets.push(target);
+            }
+            job.pairs = live_pairs;
+            job.targets = live_targets;
+            if job.targets.is_empty() {
+                continue;
+            }
+        }
         obs.coalesce_batch.record(job.pairs.len() as u64);
         let mut answers: Vec<bool> = Vec::with_capacity(job.pairs.len());
         let mut failed = None;
@@ -564,15 +746,16 @@ fn run_jobs(tick: &mut Tick, config: &ServerConfig, counters: &ServerCounters, o
 /// buffer, in slot order — which is per-connection arrival order.
 fn scatter(tick: &mut Tick, slab: &mut Slab, counters: &ServerCounters, obs: &ServerObs) {
     for slot in tick.slots.drain(..) {
-        let Some(conn) = slab.get_mut(slot.token) else {
-            continue; // connection died mid-tick; drop its replies
-        };
         let response = slot
             .response
             .unwrap_or_else(|| Response::Error("internal: request went unanswered".into()));
-        if matches!(response, Response::Error(_)) {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
+        // Count before the connection lookup: a frame whose connection
+        // died mid-tick was still served, and the books must reconcile
+        // (frames = answers + sheds + deadline refusals).
+        crate::server::count_reply(counters, &response);
+        let Some(conn) = slab.get_mut(slot.token) else {
+            continue; // connection died mid-tick; drop its replies
+        };
         encode_into(&mut conn.out, &response, slot.version);
         obs.reply_latency_ns
             .record(slot.arrived.elapsed().as_nanos() as u64);
@@ -628,6 +811,14 @@ fn flush_and_sweep(
             drop_conn(token, slab, counters);
             return;
         }
+    } else if conn.backlog() > config.max_conn_backlog {
+        // Soft backpressure pauses reads; this is the hard line. A peer
+        // that pipelines faster than it drains replies past the cap is
+        // abusive (or dead), and holding its buffer hostage-style costs
+        // memory every other connection shares. Close it.
+        counters.connections_reaped.fetch_add(1, Ordering::Relaxed);
+        drop_conn(token, slab, counters);
+        return;
     } else if conn.out_pos >= 64 * 1024 {
         // Reclaim the written prefix of a large backlog.
         conn.out.drain(..conn.out_pos);
@@ -690,6 +881,8 @@ mod tests {
             close_after_flush: false,
             interest: (true, false),
             stalled_since: None,
+            last_activity: Instant::now(),
+            partial_since: None,
         }
     }
 

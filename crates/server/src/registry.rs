@@ -152,6 +152,10 @@ struct DynamicNs {
     /// the next checkpoint here *off* the namespace lock before
     /// `Durability::rotate` publishes it.
     wal: Option<WalDir>,
+    /// Unix-epoch milliseconds when the in-flight rebuild started
+    /// (zero when idle). Readiness probes compare it against the
+    /// registry's stall threshold to spot a wedged worker.
+    rebuild_started_ms: AtomicU64,
 }
 
 impl DynamicNs {
@@ -166,6 +170,7 @@ impl DynamicNs {
             wal_bytes: AtomicU64::new(wal_bytes),
             wal_records: AtomicU64::new(wal_records),
             wal,
+            rebuild_started_ms: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +191,8 @@ fn spawn_rebuild(name: &str, ns: &Arc<DynamicNs>) {
     if ns.rebuild_in_flight.swap(true, Ordering::AcqRel) {
         return;
     }
+    ns.rebuild_started_ms
+        .store(now_unix_ms(), Ordering::Relaxed);
     let worker = Arc::clone(ns);
     let spawned = std::thread::Builder::new()
         .name(format!("hoplite-rebuild-{name}"))
@@ -199,14 +206,26 @@ fn spawn_rebuild(name: &str, ns: &Arc<DynamicNs>) {
             let run =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rebuild_worker(&worker)));
             if run.is_err() {
+                worker.rebuild_started_ms.store(0, Ordering::Relaxed);
                 worker.rebuild_in_flight.store(false, Ordering::Release);
                 crate::log_error!("rebuild", "worker panicked; rebuild latch released");
             }
         });
     if let Err(e) = spawned {
+        ns.rebuild_started_ms.store(0, Ordering::Relaxed);
         ns.rebuild_in_flight.store(false, Ordering::Release);
         crate::log_error!("rebuild", "worker spawn failed for {name:?}: {e}");
     }
+}
+
+/// Milliseconds since the Unix epoch — coarse wall-clock for the
+/// rebuild-stall probe (monotonicity does not matter there; a clock
+/// step merely shifts one probe's verdict).
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// The background rebuild loop. Per iteration: snapshot a
@@ -219,6 +238,10 @@ fn spawn_rebuild(name: &str, ns: &Arc<DynamicNs>) {
 /// mid-build write traffic), then disarms.
 fn rebuild_worker(ns: &Arc<DynamicNs>) {
     loop {
+        // Re-stamp per iteration: a worker looping through many quick
+        // folds is making progress, not wedged.
+        ns.rebuild_started_ms
+            .store(now_unix_ms(), Ordering::Relaxed);
         let started = std::time::Instant::now();
         let plan = lock_unpoisoned(&ns.oracle).rebuild_plan();
         let rebuilt = plan.execute();
@@ -259,6 +282,7 @@ fn rebuild_worker(ns: &Arc<DynamicNs>) {
         if more {
             continue;
         }
+        ns.rebuild_started_ms.store(0, Ordering::Relaxed);
         ns.rebuild_in_flight.store(false, Ordering::Release);
         // A mutation may have crossed the threshold between the check
         // above and the disarm — it saw the latch armed and did not
@@ -453,6 +477,22 @@ impl NamespaceHandle {
         match &self.inner {
             Inner::Frozen(_) => false,
             Inner::Dynamic(ns) => ns.rebuild_in_flight.load(Ordering::Acquire),
+        }
+    }
+
+    /// How long the current in-flight rebuild has been running, in
+    /// milliseconds — `None` when no rebuild is in flight. The
+    /// readiness probe's raw material for wedged-worker detection.
+    pub fn rebuild_running_ms(&self) -> Option<u64> {
+        let Inner::Dynamic(ns) = &self.inner else {
+            return None;
+        };
+        if !ns.rebuild_in_flight.load(Ordering::Acquire) {
+            return None;
+        }
+        match ns.rebuild_started_ms.load(Ordering::Relaxed) {
+            0 => None,
+            started => Some(now_unix_ms().saturating_sub(started)),
         }
     }
 
@@ -655,15 +695,77 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// assert!(ns.reach(0, 2).unwrap());
 /// assert!(registry.get("absent").is_none());
 /// ```
-#[derive(Default)]
 pub struct Registry {
     map: RwLock<HashMap<String, NamespaceHandle>>,
+    /// Serving-readiness gate. Starts **true** so embedded/library
+    /// users never see refusals; `hoplited serve` clears it before
+    /// loading namespaces (WAL replay can take a while) and sets it
+    /// once every namespace is registered — the `/readyz` 503→200
+    /// flip and the `NOT_READY` wire refusal both key off it.
+    ready: AtomicBool,
+    /// An in-flight background rebuild older than this many
+    /// milliseconds counts as wedged for the readiness probe.
+    rebuild_stall_ms: AtomicU64,
+}
+
+/// Default wedged-rebuild threshold: rebuilds of production-sized
+/// graphs take seconds, not minutes.
+const DEFAULT_REBUILD_STALL_MS: u64 = 5 * 60 * 1000;
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            map: RwLock::new(HashMap::new()),
+            ready: AtomicBool::new(true),
+            rebuild_stall_ms: AtomicU64::new(DEFAULT_REBUILD_STALL_MS),
+        }
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Flips the serving-readiness gate (see the field doc on
+    /// [`Registry`]; starts `true`).
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::Release);
+    }
+
+    /// The raw readiness flag, without the wedged-rebuild probe.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Overrides the wedged-rebuild threshold for [`Self::readiness`]
+    /// (default five minutes).
+    pub fn set_rebuild_stall_threshold(&self, threshold: std::time::Duration) {
+        self.rebuild_stall_ms
+            .store(threshold.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// The full readiness probe behind `/readyz`: the ready flag must
+    /// be set *and* no namespace may be wedged in a background rebuild
+    /// past the stall threshold. `Err` carries the human-readable
+    /// reason the probe body reports.
+    pub fn readiness(&self) -> Result<(), String> {
+        if !self.is_ready() {
+            return Err("loading: namespace registration in progress".into());
+        }
+        let stall_ms = self.rebuild_stall_ms.load(Ordering::Relaxed);
+        for (name, handle) in self.handles() {
+            if let Some(running_ms) = handle.rebuild_running_ms() {
+                if running_ms > stall_ms {
+                    return Err(format!(
+                        "namespace {name:?} wedged in rebuild for {running_ms}ms \
+                         (threshold {stall_ms}ms)"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn validate_name(name: &str) -> Result<(), ServeError> {

@@ -19,6 +19,7 @@
 //! short timeout (or `epoll_wait` timeout) so idle connections notice
 //! shutdown promptly without racing partially read frames.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -29,7 +30,8 @@ use std::time::{Duration, Instant};
 use crate::obs::ServerObs;
 use crate::pool::ThreadPool;
 use crate::protocol::{
-    MetricsReport, Request, Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ErrorCode, FrameAccumulator, MetricsReport, Request, Response, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use crate::registry::{Registry, ServeError};
 
@@ -76,6 +78,43 @@ pub struct ServerConfig {
     /// until the peer drains — bounding per-connection memory with
     /// backpressure instead of unbounded queueing.
     pub write_backpressure: usize,
+    /// Maximum age of a frame between **accumulation** (its last byte
+    /// arriving off the socket) and dispatch. A frame that sits queued
+    /// past the deadline is answered with a `DEADLINE_EXCEEDED`
+    /// refusal instead of consuming batch-kernel time — under overload
+    /// the server does *useful* work first and tells stale work it was
+    /// never done. `None` (the default) disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// Close connections that carried no traffic for this long.
+    /// `None` (the default) keeps idle peers forever.
+    pub idle_timeout: Option<Duration>,
+    /// Slow-loris guard: close connections holding an incomplete frame
+    /// (a length prefix or partial body with no follow-up bytes) for
+    /// this long. `None` disables the guard.
+    pub half_frame_deadline: Option<Duration>,
+    /// Admission-control high-water mark on decoded frames awaiting
+    /// dispatch — per reactor tick, or per connection in thread-pool
+    /// mode. Past it, reads (`REACH`/`BATCH`) are shed with an
+    /// `OVERLOADED` refusal carrying [`Self::retry_after`]; mutations
+    /// are never shed (their ack is the WAL ack). `None` (the default)
+    /// never sheds.
+    pub shed_inflight_hwm: Option<usize>,
+    /// Reactor mode: cap on query pairs admitted into one namespace's
+    /// per-tick coalesced super-batch; frames past it are shed with
+    /// `OVERLOADED`. `None` (the default) admits everything.
+    pub shed_coalesced_pairs: Option<usize>,
+    /// Thread-pool mode: bound on jobs queued waiting for a worker;
+    /// connections arriving past it are refused with `OVERLOADED`.
+    /// Zero means "use the worker count".
+    pub pool_queue_limit: usize,
+    /// Hard cap on bytes of replies buffered for one connection. A
+    /// peer that stops reading long enough to cross it is disconnected
+    /// (and counted as reaped) instead of buffered unboundedly —
+    /// [`Self::write_backpressure`] throttles, this one evicts.
+    pub max_conn_backlog: usize,
+    /// Advisory "come back in this long" hint carried by `OVERLOADED`
+    /// and `NOT_READY` refusals.
+    pub retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,7 +129,23 @@ impl Default for ServerConfig {
             max_frame_len: MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(25),
             write_backpressure: 256 * 1024,
+            request_deadline: None,
+            idle_timeout: None,
+            half_frame_deadline: Some(Duration::from_secs(30)),
+            shed_inflight_hwm: None,
+            shed_coalesced_pairs: None,
+            pool_queue_limit: 0,
+            max_conn_backlog: 16 * 256 * 1024,
+            retry_after: Duration::from_millis(100),
         }
+    }
+}
+
+impl ServerConfig {
+    /// The retry-after hint in the unit the wire carries (saturating;
+    /// a hint longer than ~49 days caps out).
+    pub(crate) fn retry_after_ms(&self) -> u32 {
+        self.retry_after.as_millis().min(u32::MAX as u128) as u32
     }
 }
 
@@ -108,6 +163,37 @@ pub(crate) struct ServerCounters {
     /// call, and how many such calls ran (reactor mode only).
     pub(crate) coalesced_frames: AtomicU64,
     pub(crate) coalesced_calls: AtomicU64,
+    /// Frames shed by admission control (`OVERLOADED` replies).
+    pub(crate) frames_shed: AtomicU64,
+    /// Frames that aged out before dispatch (`DEADLINE_EXCEEDED`).
+    pub(crate) deadline_exceeded: AtomicU64,
+    /// Connections closed by hygiene: idle timeout, slow-loris
+    /// half-frame deadline, or the hard reply-backlog cap.
+    pub(crate) connections_reaped: AtomicU64,
+}
+
+/// Books one outgoing reply into the shared counters — every serving
+/// path (thread-pool, reactor inline, reactor scatter) funnels through
+/// this so the exposition reconciles with what peers observed.
+pub(crate) fn count_reply(counters: &ServerCounters, response: &Response) {
+    counters.frames.fetch_add(1, Ordering::Relaxed);
+    match response {
+        Response::Error(_) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Fail { code, .. } => match code {
+            ErrorCode::Overloaded => {
+                counters.frames_shed.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::DeadlineExceeded => {
+                counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::NotReady => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        _ => {}
+    }
 }
 
 /// The server entry point; see [`Server::bind`].
@@ -239,6 +325,23 @@ impl ServerHandle {
         self.counters.active.load(Ordering::SeqCst)
     }
 
+    /// Frames shed by admission control (`OVERLOADED` replies sent).
+    pub fn frames_shed(&self) -> u64 {
+        self.counters.frames_shed.load(Ordering::Relaxed)
+    }
+
+    /// Frames that aged out past [`ServerConfig::request_deadline`]
+    /// before dispatch (`DEADLINE_EXCEEDED` replies sent).
+    pub fn deadlines_exceeded(&self) -> u64 {
+        self.counters.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by hygiene (idle timeout, slow-loris
+    /// half-frame deadline, or the hard reply-backlog cap).
+    pub fn connections_reaped(&self) -> u64 {
+        self.counters.connections_reaped.load(Ordering::Relaxed)
+    }
+
     /// Frames answered through a shared coalesced batch call — i.e. a
     /// per-tick kernel invocation that served ≥ 2 frames (reactor
     /// mode).
@@ -334,6 +437,12 @@ fn accept_loop(
     // Dropping the pool at the end of this function joins the workers,
     // so `ServerHandle::shutdown` transitively waits for connections.
     let pool = ThreadPool::new(config.workers, "hoplited-conn");
+    let queue_limit = if config.pool_queue_limit == 0 {
+        pool.size()
+    } else {
+        config.pool_queue_limit
+    };
+    let retry_ms = config.retry_after_ms();
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -343,12 +452,31 @@ fn accept_loop(
                 // Every live connection pins a worker, so a saturated
                 // pool must refuse loudly instead of queueing: a queued
                 // connection would hang with no reply until some peer
-                // disconnects.
+                // disconnects. The bounded job queue is the second
+                // gate: even below the connection cap, jobs stuck
+                // waiting for a worker must not pile up unanswered.
                 if counters.active.load(Ordering::SeqCst) >= pool.size() {
                     counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    refuse_connection(stream, pool.size());
+                    refuse_connection(
+                        stream,
+                        retry_ms,
+                        format!(
+                            "server at capacity ({} connections); retry later",
+                            pool.size()
+                        ),
+                    );
                     continue;
                 }
+                if pool.depth() >= queue_limit {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    refuse_connection(
+                        stream,
+                        retry_ms,
+                        format!("connection queue full ({queue_limit} waiting); retry later"),
+                    );
+                    continue;
+                }
+                obs.pool_queue_depth.record(pool.depth() as u64);
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 counters.active.fetch_add(1, Ordering::SeqCst);
                 let registry = Arc::clone(&registry);
@@ -379,87 +507,17 @@ fn accept_loop(
     }
 }
 
-/// Tells an over-capacity client why it is being turned away; bounded
-/// by a short write timeout so a slow peer cannot stall the accept
-/// thread.
-fn refuse_connection(mut stream: TcpStream, workers: usize) {
+/// Tells a refused client why it is being turned away — an
+/// `OVERLOADED` refusal with a retry-after hint, so client backoff
+/// actually helps instead of hammering. Bounded by a short write
+/// timeout so a slow peer cannot stall the accept thread.
+fn refuse_connection(mut stream: TcpStream, retry_after_ms: u32, why: String) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = send_response(
         &mut stream,
-        &Response::Error(format!(
-            "server at capacity ({workers} connections); retry later"
-        )),
+        &Response::overloaded(retry_after_ms, why),
         PROTOCOL_VERSION,
     );
-}
-
-/// What one attempt to read a frame produced.
-enum FrameIn {
-    /// A complete payload.
-    Frame(Vec<u8>),
-    /// Length prefix over the limit; connection must close after the
-    /// error reply.
-    TooLarge(u32),
-    /// Peer closed (cleanly or mid-frame) or the transport failed.
-    Closed,
-    /// The server is shutting down.
-    Shutdown,
-}
-
-/// `read_exact` that tolerates the poll timeout, re-checking `stop`
-/// between polls, and accumulates partial reads so a slow client never
-/// desynchronizes framing.
-fn read_exact_interruptible(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-) -> FrameReadStatus {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return FrameReadStatus::Eof,
-            Ok(k) => filled += k,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return FrameReadStatus::Shutdown;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return FrameReadStatus::Failed,
-        }
-    }
-    FrameReadStatus::Complete
-}
-
-enum FrameReadStatus {
-    Complete,
-    Eof,
-    Shutdown,
-    Failed,
-}
-
-fn read_frame_interruptible(stream: &mut TcpStream, max_len: u32, stop: &AtomicBool) -> FrameIn {
-    let mut header = [0u8; 4];
-    match read_exact_interruptible(stream, &mut header, stop) {
-        FrameReadStatus::Complete => {}
-        FrameReadStatus::Eof | FrameReadStatus::Failed => return FrameIn::Closed,
-        FrameReadStatus::Shutdown => return FrameIn::Shutdown,
-    }
-    let len = u32::from_le_bytes(header);
-    if len > max_len {
-        return FrameIn::TooLarge(len);
-    }
-    let mut payload = vec![0u8; len as usize];
-    match read_exact_interruptible(stream, &mut payload, stop) {
-        FrameReadStatus::Complete => FrameIn::Frame(payload),
-        FrameReadStatus::Eof | FrameReadStatus::Failed => FrameIn::Closed,
-        FrameReadStatus::Shutdown => FrameIn::Shutdown,
-    }
 }
 
 /// Replies echo the *request's* protocol version (see
@@ -488,6 +546,21 @@ pub(crate) fn salvage_version(payload: &[u8]) -> u8 {
         .unwrap_or(PROTOCOL_VERSION)
 }
 
+/// May this request be shed by admission control? Reads are cheap to
+/// refuse and cheap to retry; mutations are never shed (the client
+/// treats the reply as the WAL ack), and control-plane ops
+/// (`PING`/`STATS`/`LIST`/`METRICS`) are exactly what an operator
+/// needs *during* overload.
+pub(crate) fn sheddable(request: &Request) -> bool {
+    matches!(request, Request::Reach { .. } | Request::Batch { .. })
+}
+
+/// How long a slow peer may stall a blocking reply write before the
+/// connection is closed — the thread-pool twin of the reactor's hard
+/// backlog cap (there is no userspace reply queue here to bound, only
+/// a worker wedged in `write`).
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn serve_connection(
     mut stream: TcpStream,
     registry: &Registry,
@@ -498,45 +571,130 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let _ = stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
+    let retry_ms = config.retry_after_ms();
+    let mut acc = FrameAccumulator::new(config.max_frame_len);
+    // Frames stamped at accumulation time (the read that completed
+    // them) — the deadline clock starts here, and a pipelining client
+    // can land many frames per read.
+    let mut queue: VecDeque<(Vec<u8>, Instant)> = VecDeque::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut last_activity = Instant::now();
+    let mut partial_since: Option<Instant> = None;
     loop {
-        match read_frame_interruptible(&mut stream, config.max_frame_len, stop) {
-            FrameIn::Frame(payload) => {
-                let started = Instant::now();
-                let (response, version) = match Request::decode_with_version(&payload) {
-                    Ok((request, version)) => (
-                        handle_request(request, registry, config, counters, obs),
-                        version,
-                    ),
-                    Err(e) => (
-                        Response::Error(format!("bad request: {e}")),
-                        salvage_version(&payload),
-                    ),
-                };
-                counters.frames.fetch_add(1, Ordering::Relaxed);
-                if matches!(response, Response::Error(_)) {
-                    counters.errors.fetch_add(1, Ordering::Relaxed);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A FrameTooLarge prefix poisons the stream (the oversized
+        // body was never consumed): answer everything decoded before
+        // it, send one final error, close.
+        let mut poisoned: Option<WireError> = None;
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(k) => {
+                let arrived = Instant::now();
+                last_activity = arrived;
+                acc.extend(&buf[..k]);
+                loop {
+                    match acc.next_frame() {
+                        Ok(Some(payload)) => queue.push_back((payload, arrived)),
+                        Ok(None) => break,
+                        Err(e) => {
+                            poisoned = Some(e);
+                            break;
+                        }
+                    }
                 }
-                obs.reply_latency_ns
-                    .record(started.elapsed().as_nanos() as u64);
-                if send_response(&mut stream, &response, version).is_err() {
-                    break;
-                }
-            }
-            FrameIn::TooLarge(len) => {
-                counters.frames.fetch_add(1, Ordering::Relaxed);
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                let err = WireError::FrameTooLarge {
-                    len,
-                    max: config.max_frame_len,
+                partial_since = if acc.pending_bytes() > 0 && poisoned.is_none() {
+                    partial_since.or(Some(arrived))
+                } else {
+                    None
                 };
-                let _ = send_response(
-                    &mut stream,
-                    &Response::Error(format!("bad request: {err}")),
-                    PROTOCOL_VERSION,
-                );
-                break; // cannot skip the oversized body safely
             }
-            FrameIn::Closed | FrameIn::Shutdown => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick: connection hygiene runs here.
+                if let Some(timeout) = config.idle_timeout {
+                    if acc.pending_bytes() == 0 && last_activity.elapsed() >= timeout {
+                        counters.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                if let (Some(deadline), Some(since)) = (config.half_frame_deadline, partial_since) {
+                    if since.elapsed() >= deadline {
+                        counters.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        if !queue.is_empty() {
+            obs.inflight_frames.record(queue.len() as u64);
+        }
+        while let Some((payload, arrived)) = queue.pop_front() {
+            let (response, version) = match Request::decode_with_version(&payload) {
+                Ok((request, version)) => {
+                    let expired = config.request_deadline.is_some_and(|deadline| {
+                        !matches!(request, Request::Ping) && arrived.elapsed() > deadline
+                    });
+                    let shed = config
+                        .shed_inflight_hwm
+                        .is_some_and(|hwm| queue.len() > hwm && sheddable(&request));
+                    let response = if expired {
+                        Response::deadline_exceeded(format!(
+                            "request aged out after {}ms queued",
+                            arrived.elapsed().as_millis()
+                        ))
+                    } else if shed {
+                        Response::overloaded(
+                            retry_ms,
+                            format!("shed: {} frames queued on this connection", queue.len() + 1),
+                        )
+                    } else {
+                        handle_request(request, registry, config, counters, obs)
+                    };
+                    (response, version)
+                }
+                Err(e) => (
+                    Response::Error(format!("bad request: {e}")),
+                    salvage_version(&payload),
+                ),
+            };
+            count_reply(counters, &response);
+            obs.reply_latency_ns
+                .record(arrived.elapsed().as_nanos() as u64);
+            match send_response(&mut stream, &response, version) {
+                Ok(()) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The peer stopped reading long enough to wedge a
+                    // blocking write: abusive, evict it.
+                    counters.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+        if let Some(err) = poisoned {
+            counters.frames.fetch_add(1, Ordering::Relaxed);
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = send_response(
+                &mut stream,
+                &Response::Error(format!("bad request: {err}")),
+                PROTOCOL_VERSION,
+            );
+            return; // cannot skip the oversized body safely
         }
     }
 }
@@ -559,6 +717,16 @@ pub(crate) fn handle_request(
             Ok(v) => ok(v),
             Err(e) => Response::Error(e.to_string()),
         }
+    }
+    // Not ready (still loading / WAL replay in progress): refuse data-
+    // plane work with a typed NOT_READY. PING stays answerable — it is
+    // the liveness probe — and so does LIST (it reports what *has*
+    // loaded so far).
+    if !registry.is_ready() && !matches!(request, Request::Ping | Request::List) {
+        return Response::not_ready(
+            config.retry_after_ms(),
+            "server is starting up (namespace load / WAL replay in progress)",
+        );
     }
     match request {
         Request::Ping => Response::Pong,

@@ -12,8 +12,8 @@ use hoplite::core::DynamicOracle;
 use hoplite::graph::gen::Rng;
 use hoplite::graph::traversal;
 use hoplite::server::{
-    Client, ClientError, NamespaceKind, Registry, Response, Server, ServerConfig, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    Client, ClientError, ErrorCode, NamespaceKind, Registry, Response, Server, ServerConfig,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use hoplite::{Dag, DiGraph, Oracle, VertexId};
 
@@ -455,12 +455,22 @@ fn over_capacity_connections_get_an_explicit_refusal_not_a_hang() {
     c1.ping().unwrap();
     c2.ping().unwrap();
 
-    // …so a third gets an immediate, explicit refusal instead of
-    // hanging behind them.
+    // …so a third gets an immediate, *typed* refusal — OVERLOADED with
+    // a retry-after hint — instead of hanging behind them.
     let mut c3 = Client::connect(addr).unwrap();
     match c3.ping() {
-        Err(ClientError::Server(message)) => {
-            assert!(message.contains("capacity"), "{message}")
+        Err(
+            refusal @ ClientError::Refused {
+                code: ErrorCode::Overloaded,
+                ..
+            },
+        ) => {
+            assert!(format!("{refusal}").contains("capacity"), "{refusal}");
+            assert!(refusal.is_retryable());
+            assert!(
+                refusal.retry_after().unwrap() > std::time::Duration::ZERO,
+                "refusal must carry a retry-after hint"
+            );
         }
         other => panic!("over-capacity connection got {other:?}"),
     }
@@ -477,7 +487,10 @@ fn over_capacity_connections_get_an_explicit_refusal_not_a_hang() {
                 assert!(answer);
                 break;
             }
-            Err(ClientError::Server(m)) if m.contains("capacity") => {
+            Err(ClientError::Refused {
+                code: ErrorCode::Overloaded,
+                ..
+            }) => {
                 assert!(
                     std::time::Instant::now() < deadline,
                     "slot never freed after client disconnect"
